@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the machine simulator: functional
+//! block-parallel execution with and without scratchpad staging, and
+//! sequential vs crossbeam-parallel block scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polymem_ir::ArrayStore;
+use polymem_kernels::{jacobi, me};
+use polymem_machine::{execute_blocked, MachineConfig};
+use std::hint::black_box;
+
+fn bench_me_execution(c: &mut Criterion) {
+    let cfg = MachineConfig::geforce_8800_gtx();
+    let size = me::MeSize {
+        ni: 16,
+        nj: 16,
+        ws: 4,
+    };
+    let p = me::program();
+    let mut base = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
+    me::init_store(&mut base, 1);
+
+    let mut g = c.benchmark_group("simulator_me");
+    g.sample_size(10);
+    for (label, smem, par) in [
+        ("dram_seq", false, false),
+        ("smem_seq", true, false),
+        ("smem_par", true, true),
+    ] {
+        let kernel = me::blocked_kernel(8, 8, smem);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut st = base.clone();
+                execute_blocked(
+                    black_box(&kernel),
+                    &me::params(&size),
+                    &mut st,
+                    &cfg,
+                    par,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_jacobi_execution(c: &mut Criterion) {
+    let cfg = MachineConfig::geforce_8800_gtx();
+    let s = jacobi::JacobiSize { n: 128, t: 8 };
+    let p = jacobi::program();
+    let mut base = ArrayStore::for_program(&p, &jacobi::params(&s)).unwrap();
+    jacobi::init_store(&mut base, 1);
+
+    let mut g = c.benchmark_group("simulator_jacobi");
+    g.sample_size(10);
+    let stepwise = jacobi::stepwise_kernel(16, false);
+    g.bench_function("stepwise_rounds", |b| {
+        b.iter(|| {
+            let mut st = base.clone();
+            execute_blocked(black_box(&stepwise), &jacobi::params(&s), &mut st, &cfg, true)
+                .unwrap()
+        })
+    });
+    let overlapped = jacobi::overlapped_kernel(4, 32, false);
+    g.bench_function("overlapped_time_tiles", |b| {
+        b.iter(|| {
+            let mut st = base.clone();
+            execute_blocked(
+                black_box(&overlapped),
+                &jacobi::params(&s),
+                &mut st,
+                &cfg,
+                true,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_me_execution, bench_jacobi_execution);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the §4.3 tile-size search: the SQP-style
+//! continuous solver vs the exact pruned discrete enumeration, on the
+//! paper's two kernels. Besides speed, the harness asserts (once, at
+//! setup) that the two solvers agree on quality within tolerance —
+//! the "SQP vs discrete" ablation of DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polymem_core::tiling::{search_discrete, search_sqp};
+use polymem_kernels::me;
+use polymem_machine::MachineConfig;
+use std::hint::black_box;
+
+fn me_problem() -> polymem_core::tiling::TileSizeProblem {
+    let machine = MachineConfig::geforce_8800_gtx();
+    let size = me::MeSize::square(1 << 22, 16);
+    polymem_core::tiling::TileSizeProblem {
+        cost: me::cost_model(&size),
+        params: machine.cost_params(256.0),
+        mem_limit: (machine.smem_bytes / machine.word_bytes) as f64,
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let problem = me_problem();
+    // Quality ablation (checked once): the continuous solver must land
+    // within 25% of the exact discrete optimum.
+    let d = search_discrete(&problem, None);
+    let s = search_sqp(&problem);
+    assert!(
+        s.cost <= d.cost * 1.25 + 1.0,
+        "sqp quality regressed: {} vs {}",
+        s.cost,
+        d.cost
+    );
+
+    let mut g = c.benchmark_group("tile_search");
+    g.bench_function("discrete_me", |b| {
+        b.iter(|| search_discrete(black_box(&problem), None))
+    });
+    g.bench_function("sqp_me", |b| b.iter(|| search_sqp(black_box(&problem))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Reproduce every figure of the paper's evaluation in one run.
+fn main() {
+    for fig in [
+        polymem_bench::figure4(),
+        polymem_bench::figure5(),
+        polymem_bench::figure6(),
+        polymem_bench::figure7(),
+        polymem_bench::figure8(),
+    ] {
+        print!("{}\n", fig.to_table());
+    }
+}

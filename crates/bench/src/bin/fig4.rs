@@ -1,0 +1,4 @@
+//! Reproduce the paper's Figure 4 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", polymem_bench::figure4().to_table());
+}

@@ -1,0 +1,4 @@
+//! Reproduce the paper's Figure 5 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", polymem_bench::figure5().to_table());
+}

@@ -1,0 +1,4 @@
+//! Reproduce the paper's Figure 6 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", polymem_bench::figure6().to_table());
+}

@@ -1,0 +1,4 @@
+//! Reproduce the paper's Figure 7 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", polymem_bench::figure7().to_table());
+}

@@ -1,0 +1,4 @@
+//! Reproduce the paper's Figure 8 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", polymem_bench::figure8().to_table());
+}

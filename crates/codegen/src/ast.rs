@@ -1,0 +1,287 @@
+//! The generated loop AST: `for` nests with `max`/`min` affine bounds,
+//! guards, sequences and tagged leaves.
+//!
+//! Leaves carry a `tag` identifying *what* to do at each visited point
+//! (which copy statement, which computation); the interpreter hands
+//! the tag and the current iteration vector to a callback. The
+//! C-like printer renders the same AST for inspection and golden
+//! tests against the paper's Fig. 1.
+
+use polymem_poly::bounds::BoundList;
+use polymem_poly::Constraint;
+
+/// Loop bounds: a `max` list for the lower end and a `min` list for
+/// the upper end, each over `[outer vars..., params..., 1]`.
+#[derive(Clone, Debug)]
+pub struct LoopBounds {
+    /// Lower bound candidates (effective bound = max of ceils).
+    pub lower: BoundList,
+    /// Upper bound candidates (effective bound = min of floors).
+    pub upper: BoundList,
+}
+
+/// A generated abstract syntax tree.
+#[derive(Clone, Debug)]
+pub enum Ast {
+    /// Statements executed in order.
+    Seq(Vec<Ast>),
+    /// `for (var = max(lb); var <= min(ub); var++) body`
+    Loop {
+        /// Iterator name (for printing).
+        var: String,
+        /// Bounds over the enclosing iterators and parameters.
+        bounds: LoopBounds,
+        /// Loop body.
+        body: Box<Ast>,
+    },
+    /// `if (conds) body` — each constraint is over
+    /// `[outer vars..., params..., 1]`.
+    Guard {
+        /// Conjunction of affine conditions.
+        conds: Vec<Constraint>,
+        /// Guarded body.
+        body: Box<Ast>,
+    },
+    /// A tagged visit of the current iteration vector.
+    Leaf {
+        /// Caller-defined payload identifier.
+        tag: usize,
+    },
+    /// Nothing.
+    Empty,
+}
+
+impl Ast {
+    /// Interpret the AST for concrete parameter values, invoking
+    /// `visit(tag, point)` at each leaf with the current (fully
+    /// enclosing) iteration vector.
+    pub fn for_each_point(&self, params: &[i64], visit: &mut dyn FnMut(usize, &[i64])) {
+        let mut stack = Vec::new();
+        self.walk(params, &mut stack, visit);
+    }
+
+    fn walk(&self, params: &[i64], point: &mut Vec<i64>, visit: &mut dyn FnMut(usize, &[i64])) {
+        match self {
+            Ast::Seq(items) => {
+                for it in items {
+                    it.walk(params, point, visit);
+                }
+            }
+            Ast::Loop { bounds, body, .. } => {
+                let Some(lo) = bounds.lower.eval_lower(point, params) else {
+                    return;
+                };
+                let Some(hi) = bounds.upper.eval_upper(point, params) else {
+                    return;
+                };
+                for v in lo..=hi {
+                    point.push(v);
+                    body.walk(params, point, visit);
+                    point.pop();
+                }
+            }
+            Ast::Guard { conds, body } => {
+                if conds.iter().all(|c| c.satisfied(point, params)) {
+                    body.walk(params, point, visit);
+                }
+            }
+            Ast::Leaf { tag } => visit(*tag, point),
+            Ast::Empty => {}
+        }
+    }
+
+    /// Count leaf visits for given parameters (used in tests and
+    /// volume verification).
+    pub fn count_visits(&self, params: &[i64]) -> u64 {
+        let mut n = 0;
+        self.for_each_point(params, &mut |_, _| n += 1);
+        n
+    }
+
+    /// Render as C-like text. `param_names` label the parameter
+    /// columns; `leaf_text(tag)` renders each leaf (e.g.
+    /// `"LA[i-10][j-11] = A[i][j];"`); outer iterator names come from
+    /// the loops themselves.
+    pub fn to_c(&self, param_names: &[String], leaf_text: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        let mut vars: Vec<String> = Vec::new();
+        self.print(param_names, leaf_text, &mut vars, 0, &mut out);
+        out
+    }
+
+    fn print(
+        &self,
+        params: &[String],
+        leaf_text: &dyn Fn(usize) -> String,
+        vars: &mut Vec<String>,
+        indent: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Ast::Seq(items) => {
+                for it in items {
+                    it.print(params, leaf_text, vars, indent, out);
+                }
+            }
+            Ast::Loop { var, bounds, body } => {
+                let fmt_list = |terms: &[polymem_poly::AffineForm], f: &str| -> String {
+                    let rendered: Vec<String> =
+                        terms.iter().map(|t| t.display(vars, params)).collect();
+                    if rendered.len() == 1 {
+                        rendered.into_iter().next().expect("len checked")
+                    } else {
+                        format!("{f}({})", rendered.join(", "))
+                    }
+                };
+                let lb = fmt_list(&bounds.lower.terms, "max");
+                let ub = fmt_list(&bounds.upper.terms, "min");
+                out.push_str(&format!(
+                    "{pad}for ({var} = {lb}; {var} <= {ub}; {var}++) {{\n"
+                ));
+                vars.push(var.clone());
+                body.print(params, leaf_text, vars, indent + 1, out);
+                vars.pop();
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Ast::Guard { conds, body } => {
+                let rendered: Vec<String> = conds
+                    .iter()
+                    .map(|c| c.display(vars, params))
+                    .collect();
+                out.push_str(&format!("{pad}if ({}) {{\n", rendered.join(" && ")));
+                body.print(params, leaf_text, vars, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Ast::Leaf { tag } => {
+                out.push_str(&format!("{pad}{}\n", leaf_text(*tag)));
+            }
+            Ast::Empty => {}
+        }
+    }
+
+    /// Depth of the deepest loop nest in the AST.
+    pub fn loop_depth(&self) -> usize {
+        match self {
+            Ast::Seq(items) => items.iter().map(Ast::loop_depth).max().unwrap_or(0),
+            Ast::Loop { body, .. } => 1 + body.loop_depth(),
+            Ast::Guard { body, .. } => body.loop_depth(),
+            Ast::Leaf { .. } | Ast::Empty => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_poly::bounds::{AffineForm, BoundList};
+
+    fn const_bounds(lo: i64, hi: i64, n_outer: usize, n_params: usize) -> LoopBounds {
+        LoopBounds {
+            lower: BoundList {
+                terms: vec![AffineForm::constant(n_outer, n_params, lo)],
+            },
+            upper: BoundList {
+                terms: vec![AffineForm::constant(n_outer, n_params, hi)],
+            },
+        }
+    }
+
+    #[test]
+    fn interprets_rectangular_nest() {
+        // for i in 0..=2 { for j in 0..=1 { visit } }
+        let ast = Ast::Loop {
+            var: "i".into(),
+            bounds: const_bounds(0, 2, 0, 0),
+            body: Box::new(Ast::Loop {
+                var: "j".into(),
+                bounds: const_bounds(0, 1, 1, 0),
+                body: Box::new(Ast::Leaf { tag: 7 }),
+            }),
+        };
+        let mut pts = Vec::new();
+        ast.for_each_point(&[], &mut |tag, p| {
+            assert_eq!(tag, 7);
+            pts.push(p.to_vec());
+        });
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[5], vec![2, 1]);
+        assert_eq!(ast.loop_depth(), 2);
+        assert_eq!(ast.count_visits(&[]), 6);
+    }
+
+    #[test]
+    fn triangular_bounds_reference_outer_vars() {
+        // for i in 0..=3 { for j in 0..=i { visit } } : 10 visits.
+        let ub_j = AffineForm {
+            coeffs: vec![1, 0].into(), // j <= i (1 outer var, 0 params)
+            div: 1,
+        };
+        let ast = Ast::Loop {
+            var: "i".into(),
+            bounds: const_bounds(0, 3, 0, 0),
+            body: Box::new(Ast::Loop {
+                var: "j".into(),
+                bounds: LoopBounds {
+                    lower: BoundList {
+                        terms: vec![AffineForm::constant(1, 0, 0)],
+                    },
+                    upper: BoundList { terms: vec![ub_j] },
+                },
+                body: Box::new(Ast::Leaf { tag: 0 }),
+            }),
+        };
+        assert_eq!(ast.count_visits(&[]), 10);
+    }
+
+    #[test]
+    fn guards_filter_points() {
+        // for i in 0..=5 { if (i - 3 >= 0) visit } : 3 visits.
+        let ast = Ast::Loop {
+            var: "i".into(),
+            bounds: const_bounds(0, 5, 0, 0),
+            body: Box::new(Ast::Guard {
+                conds: vec![polymem_poly::Constraint::ineq(vec![1, -3])],
+                body: Box::new(Ast::Leaf { tag: 0 }),
+            }),
+        };
+        assert_eq!(ast.count_visits(&[]), 3);
+    }
+
+    #[test]
+    fn empty_bounds_skip_execution() {
+        let ast = Ast::Loop {
+            var: "i".into(),
+            bounds: LoopBounds {
+                lower: BoundList { terms: vec![] },
+                upper: BoundList {
+                    terms: vec![AffineForm::constant(0, 0, 5)],
+                },
+            },
+            body: Box::new(Ast::Leaf { tag: 0 }),
+        };
+        assert_eq!(ast.count_visits(&[]), 0);
+        assert_eq!(Ast::Empty.count_visits(&[]), 0);
+    }
+
+    #[test]
+    fn seq_runs_in_order() {
+        let ast = Ast::Seq(vec![Ast::Leaf { tag: 1 }, Ast::Leaf { tag: 2 }]);
+        let mut tags = Vec::new();
+        ast.for_each_point(&[], &mut |t, _| tags.push(t));
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn c_rendering() {
+        let ast = Ast::Loop {
+            var: "i".into(),
+            bounds: const_bounds(0, 4, 0, 1),
+            body: Box::new(Ast::Leaf { tag: 0 }),
+        };
+        let c = ast.to_c(&["N".into()], &|_| "body;".into());
+        assert!(c.contains("for (i = 0; i <= 4; i++) {"), "{c}");
+        assert!(c.contains("body;"), "{c}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Scanning polyhedra into loop nests.
+//!
+//! [`scan_polyhedron`] emits one loop per dimension, outermost first,
+//! with bounds derived by Fourier–Motzkin in the context of the outer
+//! dimensions — the standard polyhedral scanning scheme. Because the
+//! FM cascade can over-approximate inner ranges for non-unit
+//! coefficients, a residual [`Guard`](crate::ast::Ast::Guard) with the
+//! original constraints is inserted above the leaf whenever the
+//! original system has constraints that the loop bounds alone do not
+//! re-imply for every visited point; this keeps the scan exact without
+//! costing anything for the common (unit-coefficient) case.
+//!
+//! [`scan_union`] handles a union of possibly-overlapping polyhedra:
+//! it first decomposes the union into disjoint pieces (polyhedral
+//! difference) and concatenates their nests — this is what gives the
+//! paper's move-in/move-out code its "single load/store per element"
+//! property (§3.1.3) and reproduces the two-nest shape of Fig. 1.
+
+use crate::ast::{Ast, LoopBounds};
+use crate::Result;
+use polymem_poly::bounds::dim_bounds;
+use polymem_poly::{Polyhedron, PolyUnion};
+
+/// Scan one polyhedron into a loop nest whose leaf carries `tag`.
+///
+/// Returns [`Ast::Empty`] for empty sets.
+pub fn scan_polyhedron(poly: &Polyhedron, tag: usize) -> Result<Ast> {
+    if poly.is_empty()? {
+        return Ok(Ast::Empty);
+    }
+    let n = poly.n_dims();
+    // Innermost first: start from the leaf.
+    let mut body = Ast::Leaf { tag };
+
+    // Exactness guard: with unit coefficients the FM cascade is exact
+    // and the guard would be vacuous, so only add one when some
+    // constraint mixes several dims with |coeff| > 1 (the only case
+    // where the rational shadow can admit extra integer points).
+    if needs_guard(poly) {
+        body = Ast::Guard {
+            conds: poly.as_ineq_rows(),
+            body: Box::new(body),
+        };
+    }
+
+    for d in (0..n).rev() {
+        let b = dim_bounds(poly, d, d)?;
+        body = Ast::Loop {
+            var: poly.space().dim_name(d).to_string(),
+            bounds: LoopBounds {
+                lower: b.lower,
+                upper: b.upper,
+            },
+            body: Box::new(body),
+        };
+    }
+    Ok(body)
+}
+
+/// Heuristic for when the FM cascade may over-approximate: some
+/// constraint has |coefficient| > 1 on a dimension *and* involves
+/// another dimension. (Pure single-dim strides are handled exactly by
+/// the ceil/floor bound evaluation.)
+fn needs_guard(poly: &Polyhedron) -> bool {
+    let n = poly.n_dims();
+    poly.constraints().iter().any(|c| {
+        let nz: Vec<usize> = (0..n).filter(|&j| c.coeff(j) != 0).collect();
+        nz.len() >= 2 && nz.iter().any(|&j| c.coeff(j).abs() > 1)
+    })
+}
+
+/// Scan a union of polyhedra, visiting every point of the union
+/// exactly once. `tags[k]` labels the leaf generated for the k-th
+/// *disjoint piece*; if `tags` is shorter than the piece list the last
+/// tag is reused (pass a single-element slice for a uniform label).
+///
+/// The generated AST is a [`Ast::Seq`] of one nest per disjoint piece,
+/// mirroring the multiple copy nests of the paper's Fig. 1.
+pub fn scan_union(union: &PolyUnion, tags: &[usize]) -> Result<Ast> {
+    let pieces = union.disjoint_pieces()?;
+    let mut items = Vec::with_capacity(pieces.len());
+    for (k, piece) in pieces.iter().enumerate() {
+        let tag = *tags.get(k).or(tags.last()).unwrap_or(&0);
+        match scan_polyhedron(piece, tag)? {
+            Ast::Empty => {}
+            ast => items.push(ast),
+        }
+    }
+    Ok(match items.len() {
+        0 => Ast::Empty,
+        1 => items.pop().expect("len checked"),
+        _ => Ast::Seq(items),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_poly::{Constraint, Space};
+    use std::collections::HashSet;
+
+    fn poly(space: Space, rows: Vec<Constraint>) -> Polyhedron {
+        Polyhedron::new(space, rows)
+    }
+
+    fn interval(lo: i64, hi: i64) -> Polyhedron {
+        poly(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, -lo]),
+                Constraint::ineq(vec![-1, hi]),
+            ],
+        )
+    }
+
+    #[test]
+    fn scans_triangle_exactly() {
+        let t = poly(
+            Space::new(["i", "j"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 1, -1]),
+                Constraint::ineq(vec![0, 1, 0, 0]),
+                Constraint::ineq(vec![1, -1, 0, 0]),
+            ],
+        );
+        let ast = scan_polyhedron(&t, 0).unwrap();
+        let mut seen = HashSet::new();
+        ast.for_each_point(&[5], &mut |_, p| {
+            assert!(seen.insert(p.to_vec()), "revisited {p:?}");
+            assert!(t.contains(p, &[5]), "outside {p:?}");
+        });
+        assert_eq!(seen.len(), 15); // 1+2+3+4+5
+    }
+
+    #[test]
+    fn scans_empty_to_empty_ast() {
+        let e = Polyhedron::empty(Space::new(["i"], Vec::<String>::new()));
+        assert!(matches!(scan_polyhedron(&e, 0).unwrap(), Ast::Empty));
+    }
+
+    #[test]
+    fn guard_inserted_for_skewed_strides() {
+        // { (i,j) : 0 <= i <= 10, 0 <= j <= 10, 2i + 3j <= 11 } — the
+        // mixed constraint forces a guard; the scan must stay exact.
+        let p = poly(
+            Space::new(["i", "j"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 10]),
+                Constraint::ineq(vec![0, 1, 0]),
+                Constraint::ineq(vec![0, -1, 10]),
+                Constraint::ineq(vec![-2, -3, 11]),
+            ],
+        );
+        let ast = scan_polyhedron(&p, 0).unwrap();
+        let mut count = 0u64;
+        ast.for_each_point(&[], &mut |_, pt| {
+            assert!(p.contains(pt, &[]));
+            count += 1;
+        });
+        let exact = polymem_poly::count::count_points(&p, 10_000).unwrap();
+        assert_eq!(count, exact);
+    }
+
+    #[test]
+    fn union_scan_visits_once_despite_overlap() {
+        let u = PolyUnion::from_members(vec![interval(0, 6), interval(4, 10)]).unwrap();
+        let ast = scan_union(&u, &[1, 2]).unwrap();
+        let mut seen = HashSet::new();
+        ast.for_each_point(&[], &mut |_, p| {
+            assert!(seen.insert(p[0]), "revisited {}", p[0]);
+        });
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    fn union_scan_tags_pieces() {
+        let u = PolyUnion::from_members(vec![interval(0, 2), interval(10, 12)]).unwrap();
+        let ast = scan_union(&u, &[7, 8]).unwrap();
+        let mut tags = HashSet::new();
+        ast.for_each_point(&[], &mut |t, _| {
+            tags.insert(t);
+        });
+        assert_eq!(tags, HashSet::from([7, 8]));
+        // A single uniform tag is reused for later pieces.
+        let ast = scan_union(&u, &[9]).unwrap();
+        let mut tags = HashSet::new();
+        ast.for_each_point(&[], &mut |t, _| {
+            tags.insert(t);
+        });
+        assert_eq!(tags, HashSet::from([9]));
+    }
+
+    #[test]
+    fn union_scan_of_empty_union() {
+        let u = PolyUnion::new();
+        assert!(matches!(scan_union(&u, &[0]).unwrap(), Ast::Empty));
+    }
+
+    #[test]
+    fn parametric_scan_adapts_to_parameters() {
+        // { i : 0 <= i <= N-1 }
+        let p = poly(
+            Space::new(["i"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0]),
+                Constraint::ineq(vec![-1, 1, -1]),
+            ],
+        );
+        let ast = scan_polyhedron(&p, 0).unwrap();
+        assert_eq!(ast.count_visits(&[4]), 4);
+        assert_eq!(ast.count_visits(&[9]), 9);
+        assert_eq!(ast.count_visits(&[0]), 0);
+    }
+
+    #[test]
+    fn c_output_shape_matches_bounds() {
+        let p = poly(
+            Space::new(["i"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, -2]),
+                Constraint::ineq(vec![-1, 1, 0]),
+            ],
+        );
+        let ast = scan_polyhedron(&p, 0).unwrap();
+        let c = ast.to_c(&["N".into()], &|_| "move();".into());
+        assert!(c.contains("for (i = 2; i <= N; i++) {"), "{c}");
+    }
+}

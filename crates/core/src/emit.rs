@@ -1,0 +1,340 @@
+//! Emission of the transformed block as C/CUDA-like source text.
+//!
+//! The paper's system emitted CUDA kernels compiled by nvcc; polymem's
+//! backend is its own simulator, but for inspection, documentation and
+//! golden tests this module renders the *same artefact*: the staged
+//! program with local buffer declarations, move-in code, the compute
+//! nest with rewritten accesses, and move-out code — optionally in
+//! CUDA flavour (`__global__`, `__shared__`, `blockIdx`/`threadIdx`
+//! bindings for the block/thread-mapped dimensions).
+//!
+//! This is a pretty-printer over the compiler's actual data structures
+//! (the emitted subscripts are the very `LocalAccess` functions the
+//! simulator executes), not a separate code path.
+
+use crate::smem::{AccessId, SmemPlan};
+use polymem_ir::{Expr, Program};
+use polymem_poly::bounds::dim_bounds;
+
+/// Flavour and mapping options for emission.
+#[derive(Clone, Debug, Default)]
+pub struct EmitOptions {
+    /// CUDA flavour: kernel signature, `__shared__` buffers, and
+    /// `blockIdx`/`threadIdx` bindings.
+    pub cuda: bool,
+    /// Dims bound to `blockIdx.{x,y,z}` (outermost dims of the tiled
+    /// program). Ignored unless `cuda`.
+    pub block_dims: Vec<String>,
+    /// Dims distributed across `threadIdx.{x,y,z}`.
+    pub thread_dims: Vec<String>,
+}
+
+/// Render the staged block: buffers, move-in, rewritten compute nest,
+/// move-out. With `EmitOptions::cuda` the output is a CUDA-like kernel.
+pub fn emit_staged(program: &Program, plan: &SmemPlan, opts: &EmitOptions) -> String {
+    let mut out = String::new();
+    let params = &program.params;
+    let mut indent = 0usize;
+    let pad = |n: usize| "  ".repeat(n);
+
+    if opts.cuda {
+        let mut args: Vec<String> = params.iter().map(|p| format!("int {p}")).collect();
+        args.extend(program.arrays.iter().map(|a| format!("int *{}", a.name)));
+        out.push_str(&format!(
+            "__global__ void {}_kernel({}) {{\n",
+            program.name,
+            args.join(", ")
+        ));
+        indent = 1;
+        for (k, d) in opts.block_dims.iter().enumerate() {
+            let axis = ["x", "y", "z"].get(k).copied().unwrap_or("w");
+            out.push_str(&format!("{}int {d} = blockIdx.{axis};\n", pad(indent)));
+        }
+    }
+
+    // Buffer declarations.
+    for buf in &plan.buffers {
+        let qual = if opts.cuda { "__shared__ int " } else { "" };
+        out.push_str(&format!(
+            "{}{}{}\n",
+            pad(indent),
+            qual,
+            buf.render_decl(params)
+        ));
+    }
+    out.push('\n');
+
+    // Move-in code.
+    for mc in &plan.movement {
+        let buf = &plan.buffers[mc.buffer];
+        out.push_str(&format!(
+            "{}/* move in: {} -> L{} */\n",
+            pad(indent),
+            buf.array_name,
+            buf.array_name
+        ));
+        out.push_str(&indent_text(
+            &mc.move_in.to_c(params, &copy_leaf(buf, true)),
+            indent,
+        ));
+    }
+    if opts.cuda && !plan.movement.is_empty() {
+        out.push_str(&format!("{}__syncthreads();\n", pad(indent)));
+    }
+    out.push('\n');
+
+    // Compute nests, one per statement, with rewritten accesses.
+    for (si, stmt) in program.stmts.iter().enumerate() {
+        out.push_str(&format!("{}/* {} */\n", pad(indent), stmt.name));
+        let dims = stmt.domain.space().dims().to_vec();
+        let mut level = indent;
+        for (d, name) in dims.iter().enumerate() {
+            if opts.cuda && opts.block_dims.contains(name) {
+                continue; // bound from blockIdx above
+            }
+            let annot = if opts.thread_dims.contains(name) {
+                "  /* FORALL: threadIdx */"
+            } else {
+                ""
+            };
+            let Ok(b) = dim_bounds(&stmt.domain, d, d) else {
+                continue;
+            };
+            let wrap = |terms: &[polymem_poly::AffineForm], f: &str| {
+                let rendered: Vec<String> = terms
+                    .iter()
+                    .map(|t| t.display(&dims[..d], params))
+                    .collect();
+                if rendered.len() == 1 {
+                    rendered.into_iter().next().expect("len checked")
+                } else {
+                    format!("{f}({})", rendered.join(", "))
+                }
+            };
+            let lb = wrap(&b.lower.terms, "max");
+            let ub = wrap(&b.upper.terms, "min");
+            out.push_str(&format!(
+                "{}for ({name} = {lb}; {name} <= {ub}; {name}++) {{{annot}\n",
+                pad(level)
+            ));
+            level += 1;
+        }
+        // Body: lhs = f(reads) with rewritten references.
+        let lhs = render_ref(program, plan, si, None);
+        let rhs = render_body(program, plan, si, &stmt.body);
+        out.push_str(&format!("{}{lhs} = {rhs};\n", pad(level)));
+        while level > indent {
+            level -= 1;
+            out.push_str(&format!("{}}}\n", pad(level)));
+        }
+    }
+    out.push('\n');
+
+    // Move-out code.
+    if opts.cuda && !plan.movement.is_empty() {
+        out.push_str(&format!("{}__syncthreads();\n", pad(indent)));
+    }
+    for mc in &plan.movement {
+        let buf = &plan.buffers[mc.buffer];
+        out.push_str(&format!(
+            "{}/* move out: L{} -> {} */\n",
+            pad(indent),
+            buf.array_name,
+            buf.array_name
+        ));
+        out.push_str(&indent_text(
+            &mc.move_out.to_c(params, &copy_leaf(buf, false)),
+            indent,
+        ));
+    }
+
+    if opts.cuda {
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Leaf renderer for copy code: `L<A>[..-g] = A[..]` or the reverse.
+/// The scanned loop variables are named `<array>_<dim>` by the data
+/// space construction.
+fn copy_leaf(
+    buf: &crate::smem::LocalBuffer,
+    move_in: bool,
+) -> impl Fn(usize) -> String + '_ {
+    move |_| {
+        let a = &buf.array_name;
+        let global: String = (0..buf.n_array_dims)
+            .map(|d| format!("[{a}_{d}]"))
+            .collect();
+        let none: Vec<String> = Vec::new();
+        let local: String = buf
+            .kept_dims
+            .iter()
+            .zip(&buf.bounds)
+            .map(|(&d, b)| format!("[{a}_{d} - ({})]", b.display_lower(&none)))
+            .collect();
+        if move_in {
+            format!("L{a}{local} = {a}{global};")
+        } else {
+            format!("{a}{global} = L{a}{local};")
+        }
+    }
+}
+
+/// Render one reference: rewritten to its local buffer when staged,
+/// the original global access otherwise.
+fn render_ref(
+    program: &Program,
+    plan: &SmemPlan,
+    stmt: usize,
+    read_idx: Option<usize>,
+) -> String {
+    let id = AccessId {
+        stmt,
+        read_idx,
+    };
+    if let Some(la) = plan.rewrites.get(&id) {
+        return la.render(&plan.buffers[la.buffer], &program.params);
+    }
+    let s = &program.stmts[stmt];
+    let acc = match read_idx {
+        None => &s.write,
+        Some(k) => &s.reads[k],
+    };
+    program.render_access(acc)
+}
+
+/// Render the statement body over rewritten read references.
+fn render_body(program: &Program, plan: &SmemPlan, stmt: usize, e: &Expr) -> String {
+    let go = |x: &Expr| render_body(program, plan, stmt, x);
+    match e {
+        Expr::Read(k) => render_ref(program, plan, stmt, Some(*k)),
+        Expr::Iter(k) => program.stmts[stmt]
+            .domain
+            .space()
+            .dims()
+            .get(*k)
+            .cloned()
+            .unwrap_or_else(|| format!("iter{k}")),
+        Expr::Param(k) => program
+            .params
+            .get(*k)
+            .cloned()
+            .unwrap_or_else(|| format!("param{k}")),
+        Expr::Const(c) => c.to_string(),
+        Expr::Add(a, b) => format!("({} + {})", go(a), go(b)),
+        Expr::Sub(a, b) => format!("({} - {})", go(a), go(b)),
+        Expr::Mul(a, b) => format!("({} * {})", go(a), go(b)),
+        Expr::Div(a, b) => format!("({} / {})", go(a), go(b)),
+        Expr::Min(a, b) => format!("min({}, {})", go(a), go(b)),
+        Expr::Max(a, b) => format!("max({}, {})", go(a), go(b)),
+        Expr::Abs(a) => format!("abs({})", go(a)),
+    }
+}
+
+fn indent_text(text: &str, levels: usize) -> String {
+    let pad = "  ".repeat(levels);
+    text.lines()
+        .map(|l| format!("{pad}{l}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::{analyze_program, SmemConfig};
+    use polymem_ir::expr::v;
+    use polymem_ir::{LinExpr, ProgramBuilder};
+
+    fn window_program() -> Program {
+        let mut b = ProgramBuilder::new("win", ["N"]);
+        b.array("A", &[v("N") + 1]);
+        b.array("Out", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")])
+            .read("A", &[v("i")])
+            .read("A", &[v("i") + 1])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        b.build().unwrap()
+    }
+
+    fn plan_for(p: &Program) -> SmemPlan {
+        analyze_program(
+            p,
+            &SmemConfig {
+                sample_params: vec![16],
+                ..SmemConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_emission_contains_all_phases() {
+        let p = window_program();
+        let plan = plan_for(&p);
+        let text = emit_staged(&p, &plan, &EmitOptions::default());
+        assert!(text.contains("LA["), "{text}");
+        assert!(text.contains("/* move in: A -> LA */"), "{text}");
+        assert!(text.contains("/* move out"), "{text}");
+        assert!(text.contains("LA[i - (0)]"), "{text}");
+        assert!(text.contains("for (i = 0; i <= N - 1; i++)"), "{text}");
+    }
+
+    #[test]
+    fn cuda_emission_has_kernel_scaffolding() {
+        let p = window_program();
+        let plan = plan_for(&p);
+        let opts = EmitOptions {
+            cuda: true,
+            block_dims: vec![],
+            thread_dims: vec!["i".into()],
+        };
+        let text = emit_staged(&p, &plan, &opts);
+        assert!(text.contains("__global__ void win_kernel(int N, int *A, int *Out)"), "{text}");
+        assert!(text.contains("__shared__ int LA["), "{text}");
+        assert!(text.contains("__syncthreads();"), "{text}");
+        assert!(text.contains("/* FORALL: threadIdx */"), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn block_dims_bind_to_blockidx() {
+        use crate::tiling::transform::{tile_program, TileSpec};
+        let p = window_program();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+        let plan = plan_for(&t);
+        let opts = EmitOptions {
+            cuda: true,
+            block_dims: vec!["iT".into()],
+            thread_dims: vec!["i".into()],
+        };
+        let text = emit_staged(&t, &plan, &opts);
+        assert!(text.contains("int iT = blockIdx.x;"), "{text}");
+        // The iT loop must not be emitted as a for loop.
+        assert!(!text.contains("for (iT"), "{text}");
+    }
+
+    #[test]
+    fn unstaged_references_render_globally() {
+        // Prevent staging entirely: delta high, no rank-deficiency...
+        // simplest: empty rewrites by using a plan from a program where
+        // nothing is beneficial.
+        let mut b = ProgramBuilder::new("nostage", ["N"]);
+        b.array("A", &[v("N")]);
+        b.array("Out", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")])
+            .read("A", &[v("i")])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let plan = plan_for(&p); // single non-overlapping refs: no buffers
+        assert!(plan.buffers.is_empty());
+        let text = emit_staged(&p, &plan, &EmitOptions::default());
+        assert!(text.contains("Out[i] = A[i];"), "{text}");
+    }
+}

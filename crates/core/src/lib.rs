@@ -1,0 +1,36 @@
+//! The paper's contribution: automatic scratchpad data management and
+//! multi-level tiling.
+//!
+//! `polymem-core` implements both halves of Baskaran et al.
+//! (PPoPP 2008) on top of the polyhedral substrate crates:
+//!
+//! * [`smem`] — **automatic data management in scratchpad memories**
+//!   (paper §3): per-reference data spaces, partitioning into maximal
+//!   disjoint groups, the Algorithm 1 reuse-benefit test, Algorithm 2
+//!   local-buffer allocation with parametric bounds, local access
+//!   function rewriting (`F'(y) − g`), generation of single-transfer
+//!   move-in/move-out code, moved-volume upper bounds, and the §3.1.4
+//!   dependence-based copy-in/copy-out minimisation (future work in
+//!   the paper, implemented here as an extension);
+//! * [`tiling`] — **computation mapping via multi-level tiling**
+//!   (paper §4): permutable-band detection and space/time loop
+//!   classification, the multi-level tiling transformation itself
+//!   (Fig. 3 shape), data-movement placement/hoisting past redundant
+//!   loops, the data-movement cost model
+//!   `C = N·(P·S + V·L/P)`, and the memory-constrained tile-size
+//!   search (§4.3) with both a continuous SQP-style solver and an
+//!   exact pruned discrete search.
+
+pub mod deps;
+pub mod emit;
+pub mod smem;
+pub mod tiling;
+
+pub use smem::{
+    analyze_program, AccessId, BufferId, LocalBuffer, ReuseDecision, SmemConfig, SmemError,
+    SmemPlan,
+};
+pub use tiling::{
+    find_permutable_band, tile_program, Band, CostModel, CostParams, LoopKind, SearchOutcome,
+    TileSizeProblem,
+};

@@ -1,0 +1,181 @@
+//! Local access-function rewriting (paper §3.1.2).
+//!
+//! For a reference `A[F(y)]` whose partition got a local buffer, the
+//! local reference is `L[F'(y) − g]`: `F'` keeps only the rows of `F`
+//! for dimensions present in the buffer, and `g = (lb_1, …, lb_n)` is
+//! the buffer's offset vector. Offsets are evaluated per parameter
+//! value at execution time and rendered symbolically in generated
+//! code.
+
+use super::alloc::LocalBuffer;
+use super::dataspace::RefInfo;
+use super::{BufferId, Result};
+use polymem_poly::{AffineMap, Space};
+
+/// A rewritten (local-buffer) reference.
+#[derive(Clone, Debug)]
+pub struct LocalAccess {
+    /// The buffer this reference now targets.
+    pub buffer: BufferId,
+    /// `F'`: the original access map restricted to the buffer's kept
+    /// dimensions (before offset subtraction).
+    pub map: AffineMap,
+}
+
+impl LocalAccess {
+    /// The local index at a concrete iteration point:
+    /// `F'(y) − g(params)`.
+    pub fn local_index(
+        &self,
+        buffer: &LocalBuffer,
+        iter: &[i64],
+        params: &[i64],
+    ) -> Result<Vec<i64>> {
+        let raw = self.map.apply(iter, params)?;
+        let g = buffer.offsets(params)?;
+        Ok(raw.iter().zip(&g).map(|(x, o)| x - o).collect())
+    }
+
+    /// Render the local reference, e.g. `LA[i - 10][j + 1 - 11]`.
+    pub fn render(&self, buffer: &LocalBuffer, param_names: &[String]) -> String {
+        let mut s = format!("L{}", buffer.array_name);
+        let in_space = self.map.in_space();
+        let m = self.map.matrix();
+        for r in 0..self.map.n_out() {
+            let mut sub = String::new();
+            for j in 0..in_space.n_dims() {
+                append(&mut sub, m[(r, j)], in_space.dim_name(j));
+            }
+            for j in 0..in_space.n_params() {
+                append(&mut sub, m[(r, in_space.n_dims() + j)], in_space.param_name(j));
+            }
+            let k = m[(r, in_space.n_cols() - 1)];
+            if k != 0 || sub.is_empty() {
+                if sub.is_empty() {
+                    sub = k.to_string();
+                } else if k > 0 {
+                    sub.push_str(&format!(" + {k}"));
+                } else {
+                    sub.push_str(&format!(" - {}", -k));
+                }
+            }
+            let lb = buffer.bounds[r].display_lower(param_names);
+            s.push_str(&format!("[{sub} - ({lb})]"));
+        }
+        s
+    }
+}
+
+fn append(s: &mut String, c: i64, name: &str) {
+    if c == 0 {
+        return;
+    }
+    if s.is_empty() {
+        if c == -1 {
+            s.push('-');
+        } else if c != 1 {
+            s.push_str(&format!("{c}*"));
+        }
+    } else if c > 0 {
+        s.push_str(" + ");
+        if c != 1 {
+            s.push_str(&format!("{c}*"));
+        }
+    } else {
+        s.push_str(" - ");
+        if c != -1 {
+            s.push_str(&format!("{}*", -c));
+        }
+    }
+    s.push_str(name);
+}
+
+/// Derive the local access function for one original reference
+/// (the `F → F'` row selection of §3.1.2).
+pub fn rewrite_access(buffer: &LocalBuffer, r: &RefInfo) -> Result<LocalAccess> {
+    let out_space = Space::new(
+        buffer
+            .kept_dims
+            .iter()
+            .map(|&d| format!("l{}_{d}", buffer.array_name)),
+        r.map.in_space().params().to_vec(),
+    );
+    let map = r.map.select_outputs(&buffer.kept_dims, out_space);
+    Ok(LocalAccess {
+        buffer: buffer.id,
+        map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::alloc::allocate_buffer;
+    use crate::smem::dataspace::collect_refs;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, Program, ProgramBuilder};
+
+    fn window_program() -> Program {
+        // for i in [10, 14]: Out[i - 10] = A[i + 1]
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[LinExpr::c(100)]);
+        b.array("Out", &[LinExpr::c(100)]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(10), LinExpr::c(14))])
+            .write("Out", &[v("i") - 10])
+            .read("A", &[v("i") + 1])
+            .body(Expr::Read(0))
+            .done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn local_index_subtracts_offset() {
+        let p = window_program();
+        let ai = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, ai).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let buf = allocate_buffer(&p, ai, 0, &members).unwrap();
+        // Data space of A[i+1] is [11, 15]: offset 11.
+        assert_eq!(buf.offsets(&[0]).unwrap(), vec![11]);
+        let la = rewrite_access(&buf, &refs[0]).unwrap();
+        // At i = 12: global index 13, local index 13 - 11 = 2.
+        assert_eq!(la.local_index(&buf, &[12], &[0]).unwrap(), vec![2]);
+        // First iteration maps to local 0.
+        assert_eq!(la.local_index(&buf, &[10], &[0]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn rewrite_drops_degenerate_dims() {
+        // D[i][i]: buffer keeps dim 0 only; F' is the first row.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("D", &[v("N"), v("N")]);
+        b.array("Out", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")])
+            .read("D", &[v("i"), v("i")])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let di = p.array_index("D").unwrap();
+        let refs = collect_refs(&p, di).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let buf = allocate_buffer(&p, di, 0, &members).unwrap();
+        let la = rewrite_access(&buf, &refs[0]).unwrap();
+        assert_eq!(la.map.n_out(), 1);
+        assert_eq!(la.local_index(&buf, &[7], &[9]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn rendering_matches_paper_shape() {
+        let p = window_program();
+        let ai = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, ai).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let buf = allocate_buffer(&p, ai, 0, &members).unwrap();
+        let la = rewrite_access(&buf, &refs[0]).unwrap();
+        let r = la.render(&buf, &p.params);
+        assert_eq!(r, "LA[i + 1 - (11)]");
+    }
+}

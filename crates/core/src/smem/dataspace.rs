@@ -1,0 +1,173 @@
+//! Per-reference data spaces.
+//!
+//! For each reference `F` to an array in statement `S` with iteration
+//! polytope `I`, the data space is the affine image `F·I` — "the set
+//! of elements accessed by the affine reference" (paper §2). This
+//! module collects, for one array, every reference in the block with
+//! its data space and reuse rank information; the rest of the pipeline
+//! consumes these [`RefInfo`]s.
+
+use super::Result;
+use polymem_ir::Program;
+use polymem_poly::{AffineMap, Polyhedron};
+
+/// Identity of one array reference in a program block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AccessId {
+    /// Statement index.
+    pub stmt: usize,
+    /// `None` = the write access; `Some(k)` = the k-th read.
+    pub read_idx: Option<usize>,
+}
+
+impl AccessId {
+    /// The write access of statement `stmt`.
+    pub fn write(stmt: usize) -> AccessId {
+        AccessId {
+            stmt,
+            read_idx: None,
+        }
+    }
+
+    /// The `k`-th read access of statement `stmt`.
+    pub fn read(stmt: usize, k: usize) -> AccessId {
+        AccessId {
+            stmt,
+            read_idx: Some(k),
+        }
+    }
+
+    /// True iff this is a write access.
+    pub fn is_write(&self) -> bool {
+        self.read_idx.is_none()
+    }
+}
+
+/// One reference to the array under analysis, with its data space.
+#[derive(Clone, Debug)]
+pub struct RefInfo {
+    /// Which reference this is.
+    pub id: AccessId,
+    /// The access function (subscript map).
+    pub map: AffineMap,
+    /// The data space `F·I` (dims = array dims, params = program params).
+    pub data_space: Polyhedron,
+    /// `rank(F)` over the iteration-dimension columns.
+    pub rank: usize,
+    /// Dimensionality of the statement's iteration space.
+    pub iter_dims: usize,
+}
+
+impl RefInfo {
+    /// The paper's Condition (1): `rank(F) < dim(is)` — the reference
+    /// touches each element Ω(trip-count) times ("order of magnitude"
+    /// reuse).
+    pub fn has_order_of_magnitude_reuse(&self) -> bool {
+        self.rank < self.iter_dims
+    }
+}
+
+/// Collect every reference to array `array_idx` in the block.
+pub fn collect_refs(program: &Program, array_idx: usize) -> Result<Vec<RefInfo>> {
+    let mut out = Vec::new();
+    for (si, stmt) in program.stmts.iter().enumerate() {
+        let mut push = |id: AccessId, map: &AffineMap| -> Result<()> {
+            out.push(RefInfo {
+                id,
+                map: map.clone(),
+                data_space: map.image(&stmt.domain)?,
+                rank: map.dim_rank().map_err(polymem_poly::PolyError::from)?,
+                iter_dims: stmt.domain.n_dims(),
+            });
+            Ok(())
+        };
+        if stmt.write.array == array_idx {
+            push(AccessId::write(si), &stmt.write.map)?;
+        }
+        for (k, r) in stmt.reads.iter().enumerate() {
+            if r.array == array_idx {
+                push(AccessId::read(si, k), &r.map)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_ir::{Expr, LinExpr, ProgramBuilder};
+    use polymem_ir::expr::v;
+
+    /// The matvec-like kernel: for i, j in [0, N-1]^2:
+    /// `Y[i] = Y[i] + A[i][j] * X[j]`.
+    fn matvec() -> Program {
+        let mut b = ProgramBuilder::new("matvec", ["N"]);
+        b.array("A", &[v("N"), v("N")]);
+        b.array("X", &[v("N")]);
+        b.array("Y", &[v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("Y", &[v("i")])
+            .read("Y", &[v("i")])
+            .read("A", &[v("i"), v("j")])
+            .read("X", &[v("j")])
+            .body(Expr::add(
+                Expr::Read(0),
+                Expr::mul(Expr::Read(1), Expr::Read(2)),
+            ))
+            .done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn collects_reads_and_writes() {
+        let p = matvec();
+        let y = p.array_index("Y").unwrap();
+        let refs = collect_refs(&p, y).unwrap();
+        assert_eq!(refs.len(), 2);
+        assert!(refs.iter().any(|r| r.id.is_write()));
+        assert!(refs.iter().any(|r| r.id == AccessId::read(0, 0)));
+    }
+
+    #[test]
+    fn rank_classifies_reuse() {
+        let p = matvec();
+        // A[i][j]: rank 2 = iter dims 2 → no order-of-magnitude reuse.
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].rank, 2);
+        assert!(!refs[0].has_order_of_magnitude_reuse());
+        // X[j]: rank 1 < 2 → reuse along i.
+        let x = p.array_index("X").unwrap();
+        let refs = collect_refs(&p, x).unwrap();
+        assert!(refs[0].has_order_of_magnitude_reuse());
+        // Y[i]: rank 1 < 2 → reuse along j (both refs).
+        let y = p.array_index("Y").unwrap();
+        for r in collect_refs(&p, y).unwrap() {
+            assert!(r.has_order_of_magnitude_reuse());
+        }
+    }
+
+    #[test]
+    fn data_spaces_are_images() {
+        let p = matvec();
+        let x = p.array_index("X").unwrap();
+        let refs = collect_refs(&p, x).unwrap();
+        let ds = &refs[0].data_space;
+        assert!(ds.contains(&[0], &[5]));
+        assert!(ds.contains(&[4], &[5]));
+        assert!(!ds.contains(&[5], &[5]));
+    }
+
+    #[test]
+    fn access_id_helpers() {
+        assert!(AccessId::write(3).is_write());
+        assert!(!AccessId::read(3, 0).is_write());
+        assert_ne!(AccessId::write(0), AccessId::read(0, 0));
+    }
+}

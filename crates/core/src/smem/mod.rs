@@ -1,0 +1,211 @@
+//! Automatic data management in scratchpad memories (paper §3).
+//!
+//! The pipeline, per array `A` of the input block (Algorithm 2):
+//!
+//! 1. [`dataspace`] — compute the data space `F·I` of every reference;
+//! 2. [`partition`] — split the set of data spaces into maximal
+//!    disjoint groups (connected components of the overlap graph);
+//! 3. [`reuse`] — Algorithm 1: keep groups with order-of-magnitude
+//!    reuse (`rank(F) < dim(is)`) or ≥ δ pairwise-overlap volume;
+//! 4. [`alloc`] — allocate one local buffer per kept group, sized by
+//!    the parametric per-dimension bounds of the group's convex union;
+//! 5. [`access`] — rewrite each reference to `L[F'(y) − g]`;
+//! 6. [`movement`] — emit move-in (read spaces) and move-out (write
+//!    spaces) loop nests with the single-transfer property, plus
+//!    volume upper bounds;
+//! 7. [`liveness`] — (§3.1.4 extension) shrink copy sets using
+//!    dependence information.
+//!
+//! [`analyze_program`] runs 1–6 for every array and returns a
+//! [`SmemPlan`].
+
+pub mod access;
+pub mod alloc;
+pub mod dataspace;
+pub mod liveness;
+pub mod movement;
+pub mod partition;
+pub mod reuse;
+
+pub use access::LocalAccess;
+pub use alloc::{LocalBuffer, UnionBound};
+pub use dataspace::{AccessId, RefInfo};
+pub use liveness::LivenessPlan;
+pub use movement::MovementCode;
+pub use reuse::{ReuseDecision, DEFAULT_DELTA};
+
+use polymem_ir::Program;
+use polymem_poly::{Polyhedron, Space};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a local buffer within a [`SmemPlan`].
+pub type BufferId = usize;
+
+/// Errors from the data-management framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmemError {
+    /// Polyhedral substrate failure.
+    Poly(polymem_poly::PolyError),
+    /// IR-level failure.
+    Ir(polymem_ir::IrError),
+    /// A buffer dimension is unbounded, so no finite local storage
+    /// exists (the paper assumes bounded blocks).
+    UnboundedBuffer {
+        /// Array name.
+        array: String,
+        /// Offending dimension.
+        dim: usize,
+    },
+    /// Sample parameter values were required (for volume estimation)
+    /// but not supplied.
+    MissingSampleParams,
+}
+
+impl fmt::Display for SmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmemError::Poly(e) => write!(f, "polyhedral error: {e}"),
+            SmemError::Ir(e) => write!(f, "IR error: {e}"),
+            SmemError::UnboundedBuffer { array, dim } => {
+                write!(f, "buffer for `{array}` unbounded in dimension {dim}")
+            }
+            SmemError::MissingSampleParams => {
+                write!(f, "sample parameter values required for volume estimation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmemError {}
+
+impl From<polymem_poly::PolyError> for SmemError {
+    fn from(e: polymem_poly::PolyError) -> Self {
+        SmemError::Poly(e)
+    }
+}
+
+impl From<polymem_ir::IrError> for SmemError {
+    fn from(e: polymem_ir::IrError) -> Self {
+        SmemError::Ir(e)
+    }
+}
+
+/// Convenience alias used across the module.
+pub type Result<T> = std::result::Result<T, SmemError>;
+
+/// Configuration of the framework.
+#[derive(Clone, Debug)]
+pub struct SmemConfig {
+    /// Overlap-volume threshold δ of Algorithm 1 (paper: 0.30).
+    pub delta: f64,
+    /// Architectures like the Cell *must* copy everything into local
+    /// store (`true`); GPU-like architectures copy only beneficial
+    /// partitions (`false`, paper default for the GPU testbed).
+    pub must_copy_all: bool,
+    /// Representative parameter values for exact volume counting in
+    /// Algorithm 1's constant-reuse test.
+    pub sample_params: Vec<i64>,
+    /// Budget on exact point counting before falling back to
+    /// bounding-box estimates.
+    pub count_budget: u64,
+    /// Partition data spaces into maximal disjoint groups (paper §3.1,
+    /// default). With `false`, all references of an array share one
+    /// buffer spanning the convex union of everything accessed — the
+    /// layout of the paper's Fig. 1 worked example.
+    pub partition: bool,
+}
+
+impl Default for SmemConfig {
+    fn default() -> Self {
+        SmemConfig {
+            delta: DEFAULT_DELTA,
+            must_copy_all: false,
+            sample_params: Vec::new(),
+            count_budget: 1 << 20,
+            partition: true,
+        }
+    }
+}
+
+/// The result of analysing a program block: buffers, rewrites and
+/// movement code.
+#[derive(Clone, Debug)]
+pub struct SmemPlan {
+    /// Allocated local buffers.
+    pub buffers: Vec<LocalBuffer>,
+    /// Rewritten accesses: which local buffer (if any) each original
+    /// reference now targets.
+    pub rewrites: HashMap<AccessId, LocalAccess>,
+    /// Per-buffer data movement code.
+    pub movement: Vec<MovementCode>,
+    /// Reuse decisions, including for partitions that were *not*
+    /// buffered (useful for reporting/ablation).
+    pub decisions: Vec<(String, ReuseDecision)>,
+}
+
+impl SmemPlan {
+    /// Total local-memory words needed by all buffers at concrete
+    /// parameter values.
+    pub fn total_buffer_words(&self, params: &[i64]) -> Result<u64> {
+        let mut total = 0u64;
+        for b in &self.buffers {
+            total = total.saturating_add(b.size_words(params)?);
+        }
+        Ok(total)
+    }
+}
+
+/// Run the full §3 pipeline over a program block.
+///
+/// `config.sample_params` must be supplied if any array needs the
+/// constant-reuse volume test (i.e. always supply it for programs with
+/// parameters unless `must_copy_all` is set).
+pub fn analyze_program(program: &Program, config: &SmemConfig) -> Result<SmemPlan> {
+    program.validate()?;
+    let context = param_universe(program);
+    let mut buffers = Vec::new();
+    let mut rewrites = HashMap::new();
+    let mut movement = Vec::new();
+    let mut decisions = Vec::new();
+
+    for (ai, arr) in program.arrays.iter().enumerate() {
+        let refs = dataspace::collect_refs(program, ai)?;
+        if refs.is_empty() {
+            continue;
+        }
+        let groups = if config.partition {
+            partition::partition_refs(&refs, &context)?
+        } else {
+            vec![(0..refs.len()).collect()]
+        };
+        for group in &groups {
+            let members: Vec<&RefInfo> = group.iter().map(|&k| &refs[k]).collect();
+            let decision = reuse::evaluate_group(&members, config)?;
+            decisions.push((arr.name.clone(), decision.clone()));
+            if !config.must_copy_all && !decision.beneficial {
+                continue;
+            }
+            let id: BufferId = buffers.len();
+            let buffer = alloc::allocate_buffer(program, ai, id, &members)?;
+            for m in &members {
+                let la = access::rewrite_access(&buffer, m)?;
+                rewrites.insert(m.id, la);
+            }
+            movement.push(movement::generate_movement(program, &buffer, &members)?);
+            buffers.push(buffer);
+        }
+    }
+    Ok(SmemPlan {
+        buffers,
+        rewrites,
+        movement,
+        decisions,
+    })
+}
+
+/// The unconstrained parameter context of a program (0-dim polyhedron
+/// over its parameters).
+pub fn param_universe(program: &Program) -> Polyhedron {
+    Polyhedron::universe(Space::new(Vec::<String>::new(), program.params.clone()))
+}

@@ -1,0 +1,188 @@
+//! Partitioning data spaces into maximal disjoint groups.
+//!
+//! The paper (§3.1) partitions the set of all data spaces of an array
+//! into maximal sets such that no data space in one partition overlaps
+//! any data space in another, by "finding connected components of an
+//! undirected graph" whose vertices are data spaces and whose edges
+//! are non-empty pairwise intersections. This module does exactly
+//! that, with a union-find over the overlap relation; overlap is
+//! tested *symbolically* (existentially in the parameters, within a
+//! caller-supplied parameter context).
+
+use super::dataspace::RefInfo;
+use super::Result;
+use polymem_poly::Polyhedron;
+
+/// Union-find with path halving.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partition references by data-space overlap. Returns groups of
+/// indices into `refs`, each group sorted ascending, groups ordered by
+/// their smallest member (deterministic).
+///
+/// `context` is a 0-dim polyhedron over the program parameters; two
+/// spaces overlap iff their intersection is non-empty for *some*
+/// parameter values admitted by the context.
+pub fn partition_refs(refs: &[RefInfo], context: &Polyhedron) -> Result<Vec<Vec<usize>>> {
+    let n = refs.len();
+    let mut dsu = Dsu::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dsu.find(i) == dsu.find(j) {
+                continue; // already connected; skip the emptiness test
+            }
+            let inter = refs[i].data_space.intersect(&refs[j].data_space)?;
+            if !inter.is_empty_in_context(context)? {
+                dsu.union(i, j);
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_of: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        let r = dsu.find(i);
+        match root_of[r] {
+            Some(g) => groups[g].push(i),
+            None => {
+                root_of[r] = Some(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::dataspace::{collect_refs, AccessId};
+    use crate::smem::param_universe;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, Program, ProgramBuilder};
+
+    /// for i in [0, N-1]: B[i] = A[i] + A[i+1] + A[i + 2N]
+    /// A[i] and A[i+1] overlap; A[i + 2N] is disjoint from both.
+    fn prog() -> Program {
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") * 3 + 1]);
+        b.array("B", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("B", &[v("i")])
+            .read("A", &[v("i")])
+            .read("A", &[v("i") + 1])
+            .read("A", &[v("i") + v("N") * 2])
+            .body(Expr::add(
+                Expr::add(Expr::Read(0), Expr::Read(1)),
+                Expr::Read(2),
+            ))
+            .done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn overlapping_refs_group_together() {
+        let p = prog();
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let ctx = param_universe(&p);
+        let groups = partition_refs(&refs, &ctx).unwrap();
+        assert_eq!(groups.len(), 2);
+        // A[i] and A[i+1] (read 0 and 1) together; A[i+2N] alone.
+        let g0: Vec<AccessId> = groups[0].iter().map(|&k| refs[k].id).collect();
+        assert_eq!(g0, vec![AccessId::read(0, 0), AccessId::read(0, 1)]);
+        let g1: Vec<AccessId> = groups[1].iter().map(|&k| refs[k].id).collect();
+        assert_eq!(g1, vec![AccessId::read(0, 2)]);
+    }
+
+    #[test]
+    fn context_can_force_overlap_or_disjointness() {
+        // A[i] over [0, N-1] and A[i + M] over the same range overlap
+        // iff M <= N - 1.
+        let mut b = ProgramBuilder::new("p", ["N", "M"]);
+        b.array("A", &[v("N") + v("M") + 10]);
+        b.array("B", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("B", &[v("i")])
+            .read("A", &[v("i")])
+            .read("A", &[v("i") + v("M")])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        let p = b.build().unwrap();
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+
+        // Context M >= N: disjoint.
+        let mut far = param_universe(&p);
+        far.add_constraint(polymem_poly::Constraint::ineq(vec![-1, 1, 0]));
+        let groups = partition_refs(&refs, &far).unwrap();
+        assert_eq!(groups.len(), 2);
+
+        // Context M <= N - 1 (and N >= 1): overlapping.
+        let mut near = param_universe(&p);
+        near.add_constraint(polymem_poly::Constraint::ineq(vec![1, -1, -1]));
+        near.add_constraint(polymem_poly::Constraint::ineq(vec![1, 0, -1]));
+        let groups = partition_refs(&refs, &near).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn transitive_overlap_chains_into_one_group() {
+        // A[i], A[i+N/2...]: use three refs where 1 overlaps 2 and
+        // 2 overlaps 3, but 1 and 3 are disjoint — still one group.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") * 4]);
+        b.array("B", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("B", &[v("i")])
+            .read("A", &[v("i")])                 // [0, N-1]
+            .read("A", &[v("i") + v("N") - 1])    // [N-1, 2N-2]
+            .read("A", &[v("i") + v("N") * 2 - 2]) // [2N-2, 3N-3]
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let mut ctx = param_universe(&p);
+        // N >= 2 so adjacent pairs overlap at exactly one point.
+        ctx.add_constraint(polymem_poly::Constraint::ineq(vec![1, -2]));
+        let groups = partition_refs(&refs, &ctx).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_ref_list_gives_no_groups() {
+        let p = prog();
+        let ctx = param_universe(&p);
+        assert!(partition_refs(&[], &ctx).unwrap().is_empty());
+    }
+}

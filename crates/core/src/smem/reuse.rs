@@ -1,0 +1,220 @@
+//! Algorithm 1 — the reuse-benefit test.
+//!
+//! A partition of data spaces is worth copying into scratchpad memory
+//! when either
+//!
+//! 1. some reference has **order-of-magnitude reuse**
+//!    (`rank(F) < dim(is)`, Condition (1) of the paper), or
+//! 2. the partition has significant **constant reuse**: the summed
+//!    volume of pairwise intersections of member data spaces exceeds
+//!    a fraction δ of the total volume of the set (paper: δ = 30 %,
+//!    fixed empirically).
+//!
+//! Volumes need concrete numbers, so the constant-reuse test
+//! substitutes the caller's representative parameter values
+//! (`SmemConfig::sample_params`) before counting integer points
+//! (exactly, with a bounding-box fallback under a point budget).
+
+use super::dataspace::RefInfo;
+use super::{Result, SmemConfig, SmemError};
+use polymem_poly::count::count_or_estimate;
+use polymem_poly::PolyUnion;
+
+/// The paper's empirically fixed overlap threshold δ.
+pub const DEFAULT_DELTA: f64 = 0.30;
+
+/// Outcome of Algorithm 1 for one partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReuseDecision {
+    /// Should this partition live in scratchpad memory?
+    pub beneficial: bool,
+    /// Did Condition (1) (`rank < dim`) fire for some reference?
+    pub order_of_magnitude: bool,
+    /// Measured overlap fraction (only computed when Condition (1)
+    /// did not fire and parameters were available).
+    pub overlap_fraction: Option<f64>,
+}
+
+/// Run Algorithm 1 on one partition of references.
+pub fn evaluate_group(members: &[&RefInfo], config: &SmemConfig) -> Result<ReuseDecision> {
+    // Lines 1–5: mark yes if any reference has rank < iteration dims.
+    if members.iter().any(|m| m.has_order_of_magnitude_reuse()) {
+        return Ok(ReuseDecision {
+            beneficial: true,
+            order_of_magnitude: true,
+            overlap_fraction: None,
+        });
+    }
+    // Lines 6–10: constant-reuse volume test. A singleton partition
+    // has no pairwise overlap and is never beneficial by this test.
+    if members.len() < 2 {
+        return Ok(ReuseDecision {
+            beneficial: false,
+            order_of_magnitude: false,
+            overlap_fraction: Some(0.0),
+        });
+    }
+    let n_params = members[0].data_space.n_params();
+    if config.sample_params.len() != n_params {
+        return Err(SmemError::MissingSampleParams);
+    }
+    let concrete: Vec<_> = members
+        .iter()
+        .map(|m| m.data_space.substitute_params(&config.sample_params))
+        .collect::<std::result::Result<_, _>>()?;
+    let union = PolyUnion::from_members(concrete)?;
+    let (total, _) = union.count_or_estimate(config.count_budget)?;
+    if total == 0 {
+        return Ok(ReuseDecision {
+            beneficial: false,
+            order_of_magnitude: false,
+            overlap_fraction: Some(0.0),
+        });
+    }
+    let mut overlap = 0u64;
+    for i in 0..union.members().len() {
+        for j in (i + 1)..union.members().len() {
+            let inter = union.members()[i].intersect(&union.members()[j])?;
+            let (v, _) = count_or_estimate(&inter, config.count_budget)?;
+            overlap = overlap.saturating_add(v);
+        }
+    }
+    let fraction = overlap as f64 / total as f64;
+    Ok(ReuseDecision {
+        beneficial: fraction > config.delta,
+        order_of_magnitude: false,
+        overlap_fraction: Some(fraction),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::dataspace::collect_refs;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, Program, ProgramBuilder};
+
+    fn one_stmt_program(reads: &[(Vec<LinExpr>, &str)]) -> Program {
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") * 4 + 4]);
+        b.array("B", &[v("N"), v("N")]);
+        b.array("Out", &[v("N")]);
+        let mut s = b
+            .stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")]);
+        for (subs, arr) in reads {
+            s = s.read(arr, subs);
+        }
+        s.body(Expr::Const(0)).done();
+        b.build().unwrap()
+    }
+
+    fn config(params: &[i64]) -> SmemConfig {
+        SmemConfig {
+            sample_params: params.to_vec(),
+            ..SmemConfig::default()
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_triggers_condition_one() {
+        // B[i][0] in a 1-deep nest has rank 1 = dim 1 — no condition 1.
+        // But B[0][i]... also rank 1. Use a 2-deep nest instead.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("X", &[v("N")]);
+        b.array("Out", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("Out", &[v("i"), v("j")])
+            .read("X", &[v("j")])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let x = p.array_index("X").unwrap();
+        let refs = collect_refs(&p, x).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let d = evaluate_group(&members, &config(&[8])).unwrap();
+        assert!(d.beneficial);
+        assert!(d.order_of_magnitude);
+    }
+
+    #[test]
+    fn heavy_overlap_passes_delta_test() {
+        // A[i] and A[i+1]: overlap N-1 of N+1 total ≈ 78% > 30%.
+        let p = one_stmt_program(&[
+            (vec![v("i")], "A"),
+            (vec![v("i") + 1], "A"),
+        ]);
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let d = evaluate_group(&members, &config(&[10])).unwrap();
+        assert!(d.beneficial);
+        assert!(!d.order_of_magnitude);
+        let f = d.overlap_fraction.unwrap();
+        assert!(f > 0.5, "fraction {f}");
+    }
+
+    #[test]
+    fn light_overlap_fails_delta_test() {
+        // A[2i] and A[2i + 2N]: never overlap... choose a 1-point
+        // overlap instead: A[i] over [0,N-1] and A[i + N - 1] over
+        // [N-1, 2N-2]: 1 of 2N-1 points ≈ 5% < 30%.
+        let p = one_stmt_program(&[
+            (vec![v("i")], "A"),
+            (vec![v("i") + v("N") - 1], "A"),
+        ]);
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let d = evaluate_group(&members, &config(&[10])).unwrap();
+        assert!(!d.beneficial);
+        assert!(d.overlap_fraction.unwrap() < 0.30);
+    }
+
+    #[test]
+    fn singleton_without_rank_reuse_is_not_beneficial() {
+        let p = one_stmt_program(&[(vec![v("i")], "A")]);
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let d = evaluate_group(&members, &config(&[10])).unwrap();
+        assert!(!d.beneficial);
+        assert_eq!(d.overlap_fraction, Some(0.0));
+    }
+
+    #[test]
+    fn missing_sample_params_is_an_error() {
+        let p = one_stmt_program(&[
+            (vec![v("i")], "A"),
+            (vec![v("i") + 1], "A"),
+        ]);
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let cfg = SmemConfig::default(); // no sample params
+        assert_eq!(
+            evaluate_group(&members, &cfg).unwrap_err(),
+            SmemError::MissingSampleParams
+        );
+    }
+
+    #[test]
+    fn delta_is_configurable() {
+        let p = one_stmt_program(&[
+            (vec![v("i")], "A"),
+            (vec![v("i") + v("N") - 1], "A"),
+        ]);
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let mut cfg = config(&[10]);
+        cfg.delta = 0.01; // even 5% overlap now counts
+        let d = evaluate_group(&members, &cfg).unwrap();
+        assert!(d.beneficial);
+    }
+}

@@ -1,0 +1,38 @@
+//! Computation mapping via multi-level tiling (paper §4).
+//!
+//! * [`bands`] — find the outermost band of permutable loops from the
+//!   program's dependences and classify band loops as **space**
+//!   (communication-free, distributed over parallel units) or **time**
+//!   (sequential); when no loop is communication-free, all but the
+//!   last band loop become space loops for pipelined execution
+//!   (paper §4.1, consuming the Bondhugula-framework interface);
+//! * [`transform`] — the multi-level tiling rewrite itself: each level
+//!   adds tile iterators `iT` with `iT·T ≤ i ≤ iT·T + T − 1`,
+//!   producing the loop structure of the paper's Fig. 3;
+//! * [`placement`] — hoist data-movement code out of *redundant*
+//!   tiling loops (loops no reference of the buffer depends on), so
+//!   buffers are reused across the blocks those loops enumerate
+//!   (§4.2);
+//! * [`cost`] — the data-movement cost model
+//!   `C = N · (P·S + V·L / P)` (§4.3);
+//! * [`search`] — the memory-constrained tile-size optimisation: a
+//!   continuous SQP-style solver over the relaxed problem plus an
+//!   exact pruned discrete search, both honouring
+//!   `Σ M_i ≤ M_up` and `Π t_i ≥ P`;
+//! * [`sqp`] — the generic penalty/projected-gradient solver behind
+//!   the continuous search.
+
+pub mod bands;
+pub mod cost;
+pub mod legality;
+pub mod placement;
+pub mod search;
+pub mod sqp;
+pub mod transform;
+
+pub use bands::{find_permutable_band, tilable_prefix, Band, LoopKind};
+pub use cost::{CostModel, CostParams, FootprintModel};
+pub use legality::{check_tiling, TilingViolation};
+pub use placement::placement_level;
+pub use search::{search_discrete, search_sqp, SearchOutcome, TileSizeProblem};
+pub use transform::{interchange_loops, tile_program, TileSpec};

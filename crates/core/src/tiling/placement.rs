@@ -1,0 +1,115 @@
+//! Optimal placement of data movement code (paper §4.2).
+//!
+//! A tiling loop is *redundant* for an array reference when the access
+//! function does not depend on that loop's iterator. If every
+//! reference of a local buffer shares one or more redundant loops at
+//! the bottom of the tiling-loop nest, the buffer's move-in/move-out
+//! code is hoisted above them: the data stays live in the scratchpad
+//! across the iterations of those loops, and the cost model's
+//! occurrence count `N` shrinks by their trip counts.
+
+use crate::smem::dataspace::RefInfo;
+
+/// True iff loop dim `l` (an input dim of the access maps) is
+/// redundant for all the given references.
+pub fn loop_is_redundant(refs: &[&RefInfo], l: usize) -> bool {
+    refs.iter().all(|r| {
+        let m = r.map.matrix();
+        (0..m.rows()).all(|row| m[(row, l)] == 0)
+    })
+}
+
+/// Placement level of a buffer's movement code in a nest of tiling
+/// loops (`tiling_loops` = iterator dims of the tiled program,
+/// outermost first): the returned value `r` is the number of tiling
+/// loops the movement code remains *inside* — loops `r..` are all
+/// redundant for every reference, so the code hoists just above them.
+///
+/// `r == tiling_loops.len()` means no hoisting is possible.
+pub fn placement_level(refs: &[&RefInfo], tiling_loops: &[usize]) -> usize {
+    let mut r = tiling_loops.len();
+    while r > 0 && loop_is_redundant(refs, tiling_loops[r - 1]) {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::dataspace::collect_refs;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, Program, ProgramBuilder};
+
+    /// C[i][j] += A[i][k] * B[k][j] — classic matmul reference shapes.
+    fn matmul() -> Program {
+        let mut b = ProgramBuilder::new("mm", ["N"]);
+        b.array("A", &[v("N"), v("N")]);
+        b.array("B", &[v("N"), v("N")]);
+        b.array("C", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+                ("k", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("C", &[v("i"), v("j")])
+            .read("C", &[v("i"), v("j")])
+            .read("A", &[v("i"), v("k")])
+            .read("B", &[v("k"), v("j")])
+            .body(Expr::add(
+                Expr::Read(0),
+                Expr::mul(Expr::Read(1), Expr::Read(2)),
+            ))
+            .done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn c_hoists_past_k() {
+        let p = matmul();
+        let c = p.array_index("C").unwrap();
+        let refs = collect_refs(&p, c).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        // Loops (i, j, k) = dims (0, 1, 2): k is redundant for C.
+        assert!(loop_is_redundant(&members, 2));
+        assert!(!loop_is_redundant(&members, 0));
+        assert_eq!(placement_level(&members, &[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn a_does_not_hoist_past_k_but_past_j() {
+        let p = matmul();
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        assert!(loop_is_redundant(&members, 1)); // j redundant for A[i][k]
+        assert!(!loop_is_redundant(&members, 2));
+        // Innermost loop k is not redundant: no hoisting at all.
+        assert_eq!(placement_level(&members, &[0, 1, 2]), 3);
+        // If the nest were (i, k, j), A would hoist past the inner j.
+        assert_eq!(placement_level(&members, &[0, 2, 1]), 2);
+    }
+
+    #[test]
+    fn fully_invariant_buffer_hoists_to_top() {
+        // X[0] is invariant in all loops.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("X", &[LinExpr::c(4)]);
+        b.array("Out", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("Out", &[v("i"), v("j")])
+            .read("X", &[LinExpr::c(0)])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let x = p.array_index("X").unwrap();
+        let refs = collect_refs(&p, x).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        assert_eq!(placement_level(&members, &[0, 1]), 0);
+    }
+}

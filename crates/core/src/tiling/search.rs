@@ -1,0 +1,360 @@
+//! Tile-size search (paper §4.3).
+//!
+//! The optimisation problem:
+//!
+//! ```text
+//! minimise   Σ_k N_k(t) · (P·S + V_k(t)·L / P)
+//! subject to 0 < t_i <= N_i
+//!            Σ_k M_k(t) <= M_up
+//!            Π_i t_i >= P
+//! ```
+//!
+//! Two solvers are provided and cross-checked by the test-suite and
+//! ablation benches:
+//!
+//! * [`search_sqp`] — the paper's approach: relax `t ∈ ℝ^m`, solve the
+//!   smooth problem with the penalty/projected-gradient solver of
+//!   [`super::sqp`], then round to nearby integer candidates and pick
+//!   the best feasible one;
+//! * [`search_discrete`] — an exact pruned enumeration over a
+//!   power-of-two-ish candidate grid (plus loop bounds), used as
+//!   ground truth.
+
+use super::cost::{CostModel, CostParams};
+use super::sqp::{minimize, NlProblem};
+
+/// A fully specified tile-size selection problem.
+#[derive(Clone, Debug)]
+pub struct TileSizeProblem {
+    /// Objective/constraint functions (footprints, placements, ranges).
+    pub cost: CostModel,
+    /// Machine constants `P`, `S`, `L`.
+    pub params: CostParams,
+    /// Scratchpad capacity available to the process, `M_up` (words).
+    pub mem_limit: f64,
+}
+
+impl TileSizeProblem {
+    fn n(&self) -> usize {
+        self.cost.loop_ranges.len()
+    }
+
+    /// Feasibility of an integer tile-size vector.
+    pub fn feasible(&self, t: &[i64]) -> bool {
+        let tf: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        t.iter().zip(&self.cost.loop_ranges).all(|(&x, &n)| {
+            x >= 1 && (x as f64) <= n
+        }) && self.cost.memory(&tf) <= self.mem_limit
+            && tf.iter().product::<f64>() >= self.params.p
+    }
+
+    /// Objective at an integer point.
+    pub fn objective(&self, t: &[i64]) -> f64 {
+        let tf: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        self.cost.movement_cost(&tf, &self.params)
+    }
+}
+
+/// Result of a search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The chosen (integer) tile sizes.
+    pub sizes: Vec<i64>,
+    /// Objective value.
+    pub cost: f64,
+    /// Which solver produced it.
+    pub method: &'static str,
+}
+
+/// Candidate values for one loop: powers of two up to the range, plus
+/// the range itself (covers "whole loop in one tile").
+fn default_candidates(range: f64) -> Vec<i64> {
+    let n = range as i64;
+    let mut out = Vec::new();
+    let mut v = 1i64;
+    while v < n {
+        out.push(v);
+        v *= 2;
+    }
+    out.push(n.max(1));
+    out.dedup();
+    out
+}
+
+/// Exact pruned enumeration over per-loop candidate grids.
+///
+/// Pruning: buffer footprints are monotone in every tile size, so once
+/// the memory constraint fails for a prefix assignment with all
+/// remaining sizes at their minimum, the whole subtree is skipped.
+pub fn search_discrete(
+    problem: &TileSizeProblem,
+    candidates: Option<Vec<Vec<i64>>>,
+) -> SearchOutcome {
+    let n = problem.n();
+    let cands: Vec<Vec<i64>> = candidates.unwrap_or_else(|| {
+        problem
+            .cost
+            .loop_ranges
+            .iter()
+            .map(|&r| default_candidates(r))
+            .collect()
+    });
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    let mut current = vec![1i64; n];
+    fn rec(
+        problem: &TileSizeProblem,
+        cands: &[Vec<i64>],
+        depth: usize,
+        current: &mut Vec<i64>,
+        best: &mut Option<(Vec<i64>, f64)>,
+    ) {
+        let n = problem.n();
+        if depth == n {
+            if problem.feasible(current) {
+                let c = problem.objective(current);
+                // Ties break toward lexicographically larger sizes
+                // (larger outer space tiles): the model is symmetric
+                // in permutable space dims, but larger outer tiles
+                // give better per-block access locality, which the
+                // model does not capture (and matches the paper's
+                // reported (32, 16, 16, 16) ME optimum).
+                let better = match best.as_ref() {
+                    None => true,
+                    Some((bs, bc)) => {
+                        c < *bc || (c == *bc && current.as_slice() > bs.as_slice())
+                    }
+                };
+                if better {
+                    *best = Some((current.clone(), c));
+                }
+            }
+            return;
+        }
+        for &v in &cands[depth] {
+            current[depth] = v;
+            // Prune: minimal memory for the remaining dims is at their
+            // smallest candidates; if even that busts the limit, stop
+            // (candidates ascend, footprints are monotone).
+            let mut probe: Vec<f64> = current[..=depth].iter().map(|&x| x as f64).collect();
+            for d in (depth + 1)..n {
+                probe.push(cands[d][0] as f64);
+            }
+            if problem.cost.memory(&probe) > problem.mem_limit {
+                break;
+            }
+            rec(problem, cands, depth + 1, current, best);
+        }
+        current[depth] = 1;
+    }
+    rec(problem, &cands, 0, &mut current, &mut best);
+    match best {
+        Some((sizes, cost)) => SearchOutcome {
+            sizes,
+            cost,
+            method: "discrete",
+        },
+        None => SearchOutcome {
+            sizes: vec![1; n],
+            cost: f64::INFINITY,
+            method: "discrete",
+        },
+    }
+}
+
+/// The paper's §4.3 approach: continuous relaxation solved by the
+/// SQP-style solver, then integral rounding (each coordinate tried at
+/// floor and ceil, best feasible combination wins; falls back to the
+/// discrete search if no rounding is feasible).
+pub fn search_sqp(problem: &TileSizeProblem) -> SearchOutcome {
+    let n = problem.n();
+    let obj = |t: &[f64]| problem.cost.movement_cost(t, &problem.params);
+    let mem = |t: &[f64]| problem.cost.memory(t) - problem.mem_limit;
+    let par = |t: &[f64]| problem.params.p - t.iter().product::<f64>();
+    let nl = NlProblem {
+        objective: &obj,
+        constraints: vec![&mem, &par],
+        lo: vec![1.0; n],
+        hi: problem.cost.loop_ranges.clone(),
+    };
+    // A few deterministic starts across the feasible box.
+    let starts: Vec<Vec<f64>> = vec![
+        vec![2.0; n],
+        problem
+            .cost
+            .loop_ranges
+            .iter()
+            .map(|r| (r / 4.0).max(1.0))
+            .collect(),
+        problem
+            .cost
+            .loop_ranges
+            .iter()
+            .map(|r| r.sqrt().max(1.0))
+            .collect(),
+    ];
+    let mut best_cont: Option<super::sqp::NlSolution> = None;
+    for s in &starts {
+        let sol = minimize(&nl, s);
+        if sol.violation < 1e-6
+            && best_cont.as_ref().is_none_or(|b| sol.value < b.value)
+        {
+            best_cont = Some(sol);
+        }
+    }
+    let Some(cont) = best_cont else {
+        let mut out = search_discrete(problem, None);
+        out.method = "sqp-fallback-discrete";
+        return out;
+    };
+    // Round: try floor/ceil per coordinate.
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    let combos = 1usize << n.min(20);
+    for mask in 0..combos {
+        let t: Vec<i64> = cont
+            .x
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let f = v.floor().max(1.0) as i64;
+                if mask >> j & 1 == 1 {
+                    f + 1
+                } else {
+                    f
+                }
+            })
+            .collect();
+        if problem.feasible(&t) {
+            let c = problem.objective(&t);
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                best = Some((t, c));
+            }
+        }
+    }
+    match best {
+        Some((sizes, cost)) => SearchOutcome {
+            sizes,
+            cost,
+            method: "sqp",
+        },
+        None => {
+            let mut out = search_discrete(problem, None);
+            out.method = "sqp-fallback-discrete";
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smem::dataspace::collect_refs;
+    use crate::tiling::cost::BufferCost;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, Program, ProgramBuilder};
+
+    /// Jacobi-style body: one array with a 3-point window over i, no
+    /// dependence on t; buffer moved per (tT, iT) tile.
+    fn jacobi_problem(mem_limit: f64, p: f64) -> TileSizeProblem {
+        let prog: Program = {
+            let mut b = ProgramBuilder::new("jac", ["T", "N"]);
+            b.array("A", &[v("N") + 2]);
+            b.array("B", &[v("N") + 2]);
+            b.stmt("S")
+                .loops(&[
+                    ("t", LinExpr::c(1), v("T")),
+                    ("i", LinExpr::c(1), v("N")),
+                ])
+                .write("B", &[v("i")])
+                .read("A", &[v("i") - 1])
+                .read("A", &[v("i")])
+                .read("A", &[v("i") + 1])
+                .body(Expr::add(
+                    Expr::add(Expr::Read(0), Expr::Read(1)),
+                    Expr::Read(2),
+                ))
+                .done();
+            b.build().unwrap()
+        };
+        let a = prog.array_index("A").unwrap();
+        let b_ = prog.array_index("B").unwrap();
+        let refs_a = collect_refs(&prog, a).unwrap();
+        let refs_b = collect_refs(&prog, b_).unwrap();
+        let ma: Vec<&_> = refs_a.iter().collect();
+        let mb: Vec<&_> = refs_b.iter().collect();
+        let cost = crate::tiling::cost::CostModel {
+            buffers: vec![
+                BufferCost::from_refs("A", &ma, &[0], &[0, 1], 2),
+                BufferCost::from_refs("B", &mb, &[0], &[0, 1], 2),
+            ],
+            loop_ranges: vec![4096.0, 65536.0],
+        };
+        TileSizeProblem {
+            cost,
+            params: CostParams {
+                p,
+                s: 20.0,
+                l: 1.0,
+            },
+            mem_limit,
+        }
+    }
+
+    #[test]
+    fn discrete_search_respects_memory_limit() {
+        let prob = jacobi_problem(512.0, 64.0);
+        let out = search_discrete(&prob, None);
+        assert!(prob.feasible(&out.sizes), "{:?}", out);
+        let tf: Vec<f64> = out.sizes.iter().map(|&x| x as f64).collect();
+        assert!(prob.cost.memory(&tf) <= 512.0);
+    }
+
+    #[test]
+    fn larger_memory_allows_cheaper_schedules() {
+        let small = search_discrete(&jacobi_problem(256.0, 64.0), None);
+        let large = search_discrete(&jacobi_problem(4096.0, 64.0), None);
+        assert!(large.cost <= small.cost);
+    }
+
+    #[test]
+    fn sqp_agrees_with_discrete_within_tolerance() {
+        let prob = jacobi_problem(1024.0, 64.0);
+        let d = search_discrete(&prob, None);
+        let s = search_sqp(&prob);
+        assert!(prob.feasible(&s.sizes), "{:?}", s);
+        // SQP may land slightly off the discrete grid optimum; accept
+        // up to 25% regression, flag anything worse.
+        assert!(
+            s.cost <= d.cost * 1.25 + 1.0,
+            "sqp {} vs discrete {}",
+            s.cost,
+            d.cost
+        );
+    }
+
+    #[test]
+    fn parallelism_constraint_enforced() {
+        let prob = jacobi_problem(4096.0, 256.0);
+        let out = search_discrete(&prob, None);
+        let prod: i64 = out.sizes.iter().product();
+        assert!(prod >= 256, "{:?}", out.sizes);
+    }
+
+    #[test]
+    fn infeasible_problem_reports_infinite_cost() {
+        // Memory limit below the smallest possible footprint.
+        let prob = jacobi_problem(1.0, 1.0);
+        let out = search_discrete(&prob, None);
+        assert!(out.cost.is_infinite());
+    }
+
+    #[test]
+    fn explicit_candidates_are_honoured() {
+        let prob = jacobi_problem(4096.0, 1.0);
+        let out = search_discrete(
+            &prob,
+            Some(vec![vec![8, 16], vec![64, 128]]),
+        );
+        assert!(out.sizes[0] == 8 || out.sizes[0] == 16);
+        assert!(out.sizes[1] == 64 || out.sizes[1] == 128);
+    }
+}

@@ -1,0 +1,198 @@
+//! A small constrained nonlinear minimiser.
+//!
+//! §4.3 phrases tile-size selection as a nonlinear constrained
+//! optimisation "that can be solved by a technique such as sequential
+//! quadratic programming", relaxing integrality and rounding the
+//! result. This module provides the continuous solver: an exterior
+//! penalty method over inequality constraints with projected
+//! (box-clamped) gradient descent, numeric central-difference
+//! gradients, backtracking line search and multiple penalty rounds.
+//! It is deterministic and dependency-free — adequate for the small
+//! (≤ 8-variable) smooth problems tile-size selection produces, where
+//! a full SQP implementation would be overkill.
+
+/// An inequality-constrained minimisation problem:
+/// minimise `objective(x)` subject to `g_i(x) <= 0` and
+/// `lo_j <= x_j <= hi_j`.
+pub struct NlProblem<'a> {
+    /// Objective function.
+    pub objective: &'a dyn Fn(&[f64]) -> f64,
+    /// Inequality constraints, satisfied when `<= 0`.
+    pub constraints: Vec<&'a dyn Fn(&[f64]) -> f64>,
+    /// Per-variable lower bounds.
+    pub lo: Vec<f64>,
+    /// Per-variable upper bounds.
+    pub hi: Vec<f64>,
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug)]
+pub struct NlSolution {
+    /// The minimiser found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Maximum constraint violation at `x` (0 = feasible).
+    pub violation: f64,
+}
+
+/// Solve by penalty + projected gradient descent from `x0`.
+pub fn minimize(problem: &NlProblem<'_>, x0: &[f64]) -> NlSolution {
+    let n = x0.len();
+    let clamp = |x: &mut [f64]| {
+        for j in 0..n {
+            x[j] = x[j].clamp(problem.lo[j], problem.hi[j]);
+        }
+    };
+    let violation = |x: &[f64]| -> f64 {
+        problem
+            .constraints
+            .iter()
+            .map(|g| g(x).max(0.0))
+            .fold(0.0, f64::max)
+    };
+
+    let mut x = x0.to_vec();
+    clamp(&mut x);
+    let mut mu = 1.0;
+    for _round in 0..8 {
+        // Penalised objective for this round.
+        let f = |x: &[f64]| -> f64 {
+            let base = (problem.objective)(x);
+            let pen: f64 = problem
+                .constraints
+                .iter()
+                .map(|g| {
+                    let v = g(x).max(0.0);
+                    v * v
+                })
+                .sum();
+            base + mu * pen
+        };
+        // Projected gradient descent with backtracking.
+        let mut fx = f(&x);
+        for _iter in 0..200 {
+            // Central-difference gradient with relative step.
+            let mut grad = vec![0.0; n];
+            for j in 0..n {
+                let h = (x[j].abs() * 1e-4).max(1e-6);
+                let mut xp = x.clone();
+                xp[j] = (x[j] + h).min(problem.hi[j]);
+                let mut xm = x.clone();
+                xm[j] = (x[j] - h).max(problem.lo[j]);
+                let denom = xp[j] - xm[j];
+                grad[j] = if denom > 0.0 {
+                    (f(&xp) - f(&xm)) / denom
+                } else {
+                    0.0
+                };
+            }
+            let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < 1e-10 {
+                break;
+            }
+            // Backtracking line search.
+            let mut step = x
+                .iter()
+                .map(|v| v.abs().max(1.0))
+                .fold(0.0, f64::max)
+                / gnorm;
+            let mut improved = false;
+            for _bt in 0..40 {
+                let mut xn: Vec<f64> = x
+                    .iter()
+                    .zip(&grad)
+                    .map(|(v, g)| v - step * g)
+                    .collect();
+                clamp(&mut xn);
+                let fn_ = f(&xn);
+                if fn_ < fx - 1e-12 {
+                    x = xn;
+                    fx = fn_;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        if violation(&x) < 1e-9 {
+            break;
+        }
+        mu *= 10.0;
+    }
+    NlSolution {
+        value: (problem.objective)(&x),
+        violation: violation(&x),
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let obj = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let p = NlProblem {
+            objective: &obj,
+            constraints: vec![],
+            lo: vec![-10.0, -10.0],
+            hi: vec![10.0, 10.0],
+        };
+        let s = minimize(&p, &[0.0, 0.0]);
+        assert!((s.x[0] - 3.0).abs() < 1e-2, "{:?}", s.x);
+        assert!((s.x[1] + 1.0).abs() < 1e-2, "{:?}", s.x);
+    }
+
+    #[test]
+    fn box_bounds_are_respected() {
+        let obj = |x: &[f64]| -x[0]; // wants x0 -> +inf
+        let p = NlProblem {
+            objective: &obj,
+            constraints: vec![],
+            lo: vec![1.0],
+            hi: vec![7.0],
+        };
+        let s = minimize(&p, &[2.0]);
+        assert!((s.x[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inequality_constraint_binds() {
+        // min (x-5)^2 s.t. x <= 2.
+        let obj = |x: &[f64]| (x[0] - 5.0).powi(2);
+        let g = |x: &[f64]| x[0] - 2.0;
+        let p = NlProblem {
+            objective: &obj,
+            constraints: vec![&g],
+            lo: vec![0.0],
+            hi: vec![10.0],
+        };
+        let s = minimize(&p, &[8.0]);
+        assert!(s.x[0] <= 2.0 + 1e-3, "{:?}", s.x);
+        assert!((s.x[0] - 2.0).abs() < 0.1, "{:?}", s.x);
+        assert!(s.violation < 1e-3);
+    }
+
+    #[test]
+    fn product_constraint_like_memory_limit() {
+        // min 100/x + 100/y s.t. x*y <= 64, 1 <= x,y <= 64: symmetric
+        // optimum at x = y = 8.
+        let obj = |x: &[f64]| 100.0 / x[0] + 100.0 / x[1];
+        let g = |x: &[f64]| x[0] * x[1] - 64.0;
+        let p = NlProblem {
+            objective: &obj,
+            constraints: vec![&g],
+            lo: vec![1.0, 1.0],
+            hi: vec![64.0, 64.0],
+        };
+        let s = minimize(&p, &[2.0, 2.0]);
+        assert!(s.x[0] * s.x[1] <= 64.0 + 1e-2, "{:?}", s.x);
+        let v = 100.0 / s.x[0] + 100.0 / s.x[1];
+        assert!(v < 26.0, "suboptimal: {v} at {:?}", s.x); // optimum 25
+    }
+}

@@ -1,0 +1,404 @@
+//! Expressions: linear forms for building constraints/accesses, and
+//! arithmetic trees for statement bodies.
+//!
+//! [`LinExpr`] is a *named* linear expression (`i + 2*j - N + 3`) used
+//! by the builder DSL to write constraints and access subscripts the
+//! way the paper writes them; it lowers to coefficient rows once the
+//! surrounding space is known. [`Expr`] is the run-time arithmetic of
+//! a statement body, evaluated over `i64` by the interpreters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A linear expression over named variables plus a constant.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinExpr {
+    /// Coefficient per variable name (absent = 0). BTreeMap keeps
+    /// rendering deterministic.
+    pub coeffs: BTreeMap<String, i64>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl LinExpr {
+    /// The variable `name`.
+    pub fn var(name: &str) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_string(), 1);
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// A constant.
+    pub fn c(value: i64) -> LinExpr {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// Coefficient of `name` (0 if absent).
+    pub fn coeff(&self, name: &str) -> i64 {
+        self.coeffs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Lower to a coefficient row over `[dims..., params..., 1]`.
+    /// Unknown variable names yield an error.
+    pub fn to_row(&self, dims: &[String], params: &[String]) -> crate::Result<Vec<i64>> {
+        let mut row = vec![0i64; dims.len() + params.len() + 1];
+        for (name, &c) in &self.coeffs {
+            if let Some(i) = dims.iter().position(|d| d == name) {
+                row[i] = c;
+            } else if let Some(i) = params.iter().position(|p| p == name) {
+                row[dims.len() + i] = c;
+            } else {
+                return Err(crate::IrError::UnknownName(name.clone()));
+            }
+        }
+        *row.last_mut().expect("row is never empty") = self.constant;
+        Ok(row)
+    }
+
+    /// Evaluate at a named environment.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> crate::Result<i64> {
+        let mut acc = self.constant;
+        for (name, &c) in &self.coeffs {
+            let v = env(name).ok_or_else(|| crate::IrError::UnknownName(name.clone()))?;
+            acc += c * v;
+        }
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, &c) in &self.coeffs {
+            if c == 0 {
+                continue;
+            }
+            if first {
+                if c == -1 {
+                    write!(f, "-")?;
+                } else if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+                first = false;
+            } else if c > 0 {
+                write!(f, " + ")?;
+                if c != 1 {
+                    write!(f, "{c}*")?;
+                }
+            } else {
+                write!(f, " - ")?;
+                if c != -1 {
+                    write!(f, "{}*", -c)?;
+                }
+            }
+            write!(f, "{name}")?;
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (k, v) in rhs.coeffs {
+            *self.coeffs.entry(k).or_insert(0) += v;
+        }
+        self.constant += rhs.constant;
+        self.coeffs.retain(|_, v| *v != 0);
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for v in self.coeffs.values_mut() {
+            *v = -*v;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<i64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: i64) -> LinExpr {
+        for v in self.coeffs.values_mut() {
+            *v *= k;
+        }
+        self.constant *= k;
+        self.coeffs.retain(|_, v| *v != 0);
+        self
+    }
+}
+
+impl Add<i64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, k: i64) -> LinExpr {
+        self.constant += k;
+        self
+    }
+}
+
+impl Sub<i64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, k: i64) -> LinExpr {
+        self.constant -= k;
+        self
+    }
+}
+
+/// Shorthand for [`LinExpr::var`].
+pub fn v(name: &str) -> LinExpr {
+    LinExpr::var(name)
+}
+
+/// The arithmetic body of a statement, evaluated over `i64`.
+///
+/// `Read(k)` refers to the statement's `k`-th read access; `Iter(k)`
+/// to the `k`-th iteration-vector coordinate; `Param(k)` to the `k`-th
+/// program parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Value of the statement's `k`-th read access.
+    Read(usize),
+    /// Value of the `k`-th loop iterator.
+    Iter(usize),
+    /// Value of the `k`-th program parameter.
+    Param(usize),
+    /// An integer literal.
+    Const(i64),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer (truncating) quotient; divisor 0 is an error.
+    Div(Box<Expr>, Box<Expr>),
+    /// Minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum.
+    Max(Box<Expr>, Box<Expr>),
+    /// Absolute value.
+    Abs(Box<Expr>),
+}
+
+impl Expr {
+    /// Sum helper.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Difference helper.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Product helper.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Quotient helper.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Minimum helper.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Min(Box::new(a), Box::new(b))
+    }
+
+    /// Maximum helper.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// Absolute-value helper.
+    pub fn abs(a: Expr) -> Expr {
+        Expr::Abs(Box::new(a))
+    }
+
+    /// Evaluate with wrap-checked arithmetic.
+    ///
+    /// `reads[k]` is the value of the statement's `k`-th read access at
+    /// this instance; `iter` the iteration vector; `params` the
+    /// program parameters.
+    pub fn eval(&self, reads: &[i64], iter: &[i64], params: &[i64]) -> crate::Result<i64> {
+        use Expr::*;
+        Ok(match self {
+            Read(k) => *reads
+                .get(*k)
+                .ok_or(crate::IrError::Arithmetic("read index out of range"))?,
+            Iter(k) => *iter
+                .get(*k)
+                .ok_or(crate::IrError::Arithmetic("iterator index out of range"))?,
+            Param(k) => *params
+                .get(*k)
+                .ok_or(crate::IrError::Arithmetic("param index out of range"))?,
+            Const(c) => *c,
+            Add(a, b) => a
+                .eval(reads, iter, params)?
+                .checked_add(b.eval(reads, iter, params)?)
+                .ok_or(crate::IrError::Arithmetic("overflow in add"))?,
+            Sub(a, b) => a
+                .eval(reads, iter, params)?
+                .checked_sub(b.eval(reads, iter, params)?)
+                .ok_or(crate::IrError::Arithmetic("overflow in sub"))?,
+            Mul(a, b) => a
+                .eval(reads, iter, params)?
+                .checked_mul(b.eval(reads, iter, params)?)
+                .ok_or(crate::IrError::Arithmetic("overflow in mul"))?,
+            Div(a, b) => {
+                let d = b.eval(reads, iter, params)?;
+                if d == 0 {
+                    return Err(crate::IrError::Arithmetic("division by zero"));
+                }
+                a.eval(reads, iter, params)? / d
+            }
+            Min(a, b) => a
+                .eval(reads, iter, params)?
+                .min(b.eval(reads, iter, params)?),
+            Max(a, b) => a
+                .eval(reads, iter, params)?
+                .max(b.eval(reads, iter, params)?),
+            Abs(a) => a.eval(reads, iter, params)?.abs(),
+        })
+    }
+
+    /// Rewrite every `Iter(k)` index through `f` (e.g. to shift
+    /// iterator positions after tiling inserts new outer loops).
+    pub fn map_iters(&self, f: &dyn Fn(usize) -> usize) -> Expr {
+        use Expr::*;
+        let go = |e: &Expr| Box::new(e.map_iters(f));
+        match self {
+            Read(k) => Read(*k),
+            Iter(k) => Iter(f(*k)),
+            Param(k) => Param(*k),
+            Const(c) => Const(*c),
+            Add(a, b) => Add(go(a), go(b)),
+            Sub(a, b) => Sub(go(a), go(b)),
+            Mul(a, b) => Mul(go(a), go(b)),
+            Div(a, b) => Div(go(a), go(b)),
+            Min(a, b) => Min(go(a), go(b)),
+            Max(a, b) => Max(go(a), go(b)),
+            Abs(a) => Abs(go(a)),
+        }
+    }
+
+    /// Number of scalar arithmetic operations in the tree (used by the
+    /// machine cost model to charge compute time per instance).
+    pub fn op_count(&self) -> u64 {
+        use Expr::*;
+        match self {
+            Read(_) | Iter(_) | Param(_) | Const(_) => 0,
+            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Min(a, b) | Max(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+            Abs(a) => 1 + a.op_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexpr_building_and_rendering() {
+        let e = v("i") * 2 + v("j") - v("N") + 3;
+        assert_eq!(e.coeff("i"), 2);
+        assert_eq!(e.coeff("j"), 1);
+        assert_eq!(e.coeff("N"), -1);
+        assert_eq!(e.constant, 3);
+        // BTreeMap renders names in lexicographic (ASCII) order.
+        assert_eq!(e.to_string(), "-N + 2*i + j + 3");
+        assert_eq!(LinExpr::c(-4).to_string(), "-4");
+        assert_eq!((v("i") - v("i")).to_string(), "0");
+    }
+
+    #[test]
+    fn linexpr_lowering() {
+        let e = v("i") * 2 - v("N") + 3;
+        let row = e
+            .to_row(&["i".into(), "j".into()], &["N".into()])
+            .unwrap();
+        assert_eq!(row, vec![2, 0, -1, 3]);
+        assert!(v("zz")
+            .to_row(&["i".into()], &["N".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn linexpr_eval() {
+        let e = v("i") + v("N") * 3 - 1;
+        let val = e
+            .eval(&|n| match n {
+                "i" => Some(2),
+                "N" => Some(10),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(val, 31);
+    }
+
+    #[test]
+    fn expr_evaluation() {
+        // |reads[0] - reads[1]| + iter[0] * params[0]
+        let e = Expr::add(
+            Expr::abs(Expr::sub(Expr::Read(0), Expr::Read(1))),
+            Expr::mul(Expr::Iter(0), Expr::Param(0)),
+        );
+        assert_eq!(e.eval(&[3, 10], &[2], &[5]).unwrap(), 17);
+        assert_eq!(e.op_count(), 4);
+    }
+
+    #[test]
+    fn expr_division_semantics() {
+        let e = Expr::div(Expr::Const(7), Expr::Const(2));
+        assert_eq!(e.eval(&[], &[], &[]).unwrap(), 3);
+        let z = Expr::div(Expr::Const(1), Expr::Const(0));
+        assert!(z.eval(&[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn expr_min_max() {
+        let e = Expr::min(Expr::Const(3), Expr::max(Expr::Const(1), Expr::Const(9)));
+        assert_eq!(e.eval(&[], &[], &[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn expr_overflow_detected() {
+        let e = Expr::mul(Expr::Const(i64::MAX), Expr::Const(2));
+        assert!(e.eval(&[], &[], &[]).is_err());
+    }
+
+    #[test]
+    fn expr_bad_indices() {
+        assert!(Expr::Read(0).eval(&[], &[], &[]).is_err());
+        assert!(Expr::Iter(1).eval(&[], &[0], &[]).is_err());
+        assert!(Expr::Param(0).eval(&[], &[], &[]).is_err());
+    }
+}

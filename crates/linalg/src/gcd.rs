@@ -1,0 +1,134 @@
+//! Greatest-common-divisor and least-common-multiple helpers.
+//!
+//! Used throughout the polyhedral layer to keep constraint coefficients
+//! reduced (normalising `2x + 4y >= 6` to `x + 2y >= 3`) and to combine
+//! denominators when clearing fractions after Fourier–Motzkin steps.
+
+use crate::{LinalgError, Result};
+
+/// Non-negative gcd of two `i64` values; `gcd(0, 0) == 0`.
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    // The gcd of two i64 magnitudes fits in i64 except gcd(i64::MIN, 0),
+    // whose magnitude 2^63 does not. Callers never normalise by such a
+    // gcd in practice, but saturate defensively.
+    i64::try_from(a).unwrap_or(i64::MAX)
+}
+
+/// Non-negative gcd of two `i128` values; `gcd(0, 0) == 0`.
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    i128::try_from(a).unwrap_or(i128::MAX)
+}
+
+/// Checked non-negative lcm of two `i64` values; `lcm(0, x) == 0`.
+pub fn lcm_i64(a: i64, b: i64) -> Result<i64> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd_i64(a, b);
+    (a / g)
+        .checked_mul(b)
+        .map(i64::abs)
+        .ok_or(LinalgError::Overflow)
+}
+
+/// Checked non-negative lcm of two `i128` values; `lcm(0, x) == 0`.
+pub fn lcm_i128(a: i128, b: i128) -> Result<i128> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd_i128(a, b);
+    (a / g)
+        .checked_mul(b)
+        .map(i128::abs)
+        .ok_or(LinalgError::Overflow)
+}
+
+/// Gcd of a slice of `i64` values (non-negative; 0 for an all-zero slice).
+pub fn gcd_slice(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |acc, &x| gcd_i64(acc, x))
+}
+
+/// Floor division `a / b` for `b > 0` (rounds toward negative infinity).
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "div_floor requires a positive divisor");
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division `a / b` for `b > 0` (rounds toward positive infinity).
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "div_ceil requires a positive divisor");
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_i64(12, 18), 6);
+        assert_eq!(gcd_i64(-12, 18), 6);
+        assert_eq!(gcd_i64(0, 0), 0);
+        assert_eq!(gcd_i64(0, 7), 7);
+        assert_eq!(gcd_i64(7, 0), 7);
+        assert_eq!(gcd_i64(1, i64::MAX), 1);
+        assert_eq!(gcd_i128(2_i128.pow(100), 2_i128.pow(90)), 2_i128.pow(90));
+    }
+
+    #[test]
+    fn gcd_of_min_value() {
+        // |i64::MIN| is not representable; we saturate instead of panicking.
+        assert_eq!(gcd_i64(i64::MIN, 0), i64::MAX);
+        assert_eq!(gcd_i64(i64::MIN, 2), 2);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_i64(4, 6).unwrap(), 12);
+        assert_eq!(lcm_i64(-4, 6).unwrap(), 12);
+        assert_eq!(lcm_i64(0, 6).unwrap(), 0);
+        assert!(lcm_i64(i64::MAX, i64::MAX - 1).is_err());
+        assert_eq!(lcm_i128(1 << 70, 1 << 60).unwrap(), 1 << 70);
+    }
+
+    #[test]
+    fn gcd_slice_basics() {
+        assert_eq!(gcd_slice(&[4, 8, 12]), 4);
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[3, 5]), 1);
+    }
+
+    #[test]
+    fn floor_and_ceil_division() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(6, 3), 2);
+        assert_eq!(div_floor(-6, 3), -2);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Exact rational and integer linear algebra for the polymem polyhedral
+//! framework.
+//!
+//! All polyhedral computations in polymem (Fourier–Motzkin elimination,
+//! affine images, rank tests, dependence analysis) require *exact*
+//! arithmetic: floating point would silently corrupt constraint systems
+//! and integer wrap-around would do the same. This crate provides
+//!
+//! * [`Rat`] — a reduced rational number over checked `i128`,
+//! * [`IVec`] / [`IMat`] — integer vectors and matrices with `i64`
+//!   entries and checked arithmetic,
+//! * fraction-free Gaussian elimination ([`IMat::rank`],
+//!   [`IMat::nullspace`], [`IMat::solve`]),
+//! * gcd/lcm helpers used for constraint normalisation.
+//!
+//! Overflow is a hard error ([`LinalgError::Overflow`]), never silent
+//! wrap-around; polyhedral callers surface it to the user as "program
+//! coefficients too large".
+
+pub mod gcd;
+pub mod mat;
+pub mod rat;
+pub mod vec;
+
+pub use gcd::{gcd_i128, gcd_i64, lcm_i128, lcm_i64};
+pub use mat::IMat;
+pub use rat::Rat;
+pub use vec::IVec;
+
+use std::fmt;
+
+/// Errors produced by exact linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// An intermediate value exceeded the representable range.
+    Overflow,
+    /// Division by zero (zero denominator or singular pivot).
+    DivisionByZero,
+    /// Two operands had incompatible shapes; the payload describes them.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A linear system had no (rational) solution.
+    Inconsistent,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Overflow => write!(f, "integer overflow in exact arithmetic"),
+            LinalgError::DivisionByZero => write!(f, "division by zero"),
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Inconsistent => write!(f, "inconsistent linear system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "mul",
+            left: (2, 3),
+            right: (2, 3),
+        };
+        assert!(e.to_string().contains("mul"));
+        assert!(LinalgError::Overflow.to_string().contains("overflow"));
+        assert!(LinalgError::DivisionByZero.to_string().contains("zero"));
+        assert!(LinalgError::Inconsistent.to_string().contains("inconsistent"));
+    }
+}

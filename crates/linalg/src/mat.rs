@@ -1,0 +1,477 @@
+//! Dense integer matrices with exact (checked) arithmetic.
+//!
+//! [`IMat`] stores `i64` entries row-major and provides the operations
+//! the polyhedral layer needs: multiplication, transpose, stacking,
+//! rank / nullspace / linear-system solving via exact rational Gaussian
+//! elimination (internally over [`Rat`]). The access-function rank test
+//! of the paper's Algorithm 1 (`rank(F) < dim(i)`) and the affine image
+//! construction both sit directly on this module.
+
+use crate::rat::Rat;
+use crate::vec::IVec;
+use crate::{LinalgError, Result};
+use std::fmt;
+
+/// A dense row-major integer matrix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// A `rows x cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> IMat {
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> IMat {
+        let mut m = IMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from nested rows; panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[i64]]) -> IMat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "IMat::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        IMat { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major vec; panics if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> IMat {
+        assert_eq!(data.len(), rows * cols, "IMat::from_vec: wrong length");
+        IMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[i64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy row `i` into an [`IVec`].
+    pub fn row_vec(&self, i: usize) -> IVec {
+        IVec::from_slice(self.row(i))
+    }
+
+    /// Copy column `j` into an [`IVec`].
+    pub fn col_vec(&self, j: usize) -> IVec {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Append a row; panics if the width disagrees.
+    pub fn push_row(&mut self, row: &[i64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "IMat::push_row: wrong width");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IMat {
+        let mut t = IMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Checked matrix multiplication.
+    pub fn mul(&self, rhs: &IMat) -> Result<IMat> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = IMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc: i128 = 0;
+                for k in 0..self.cols {
+                    acc = acc
+                        .checked_add((self[(i, k)] as i128) * (rhs[(k, j)] as i128))
+                        .ok_or(LinalgError::Overflow)?;
+                }
+                out[(i, j)] = i64::try_from(acc).map_err(|_| LinalgError::Overflow)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checked matrix-vector product.
+    pub fn mul_vec(&self, x: &IVec) -> Result<IVec> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        (0..self.rows)
+            .map(|i| self.row_vec(i).dot(x))
+            .collect::<Result<Vec<_>>>()
+            .map(IVec)
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn hstack(&self, rhs: &IMat) -> Result<IMat> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = IMat::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.data[i * out.cols..i * out.cols + self.cols].copy_from_slice(self.row(i));
+            out.data[i * out.cols + self.cols..(i + 1) * out.cols].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self; rhs]`.
+    pub fn vstack(&self, rhs: &IMat) -> Result<IMat> {
+        if self.cols != rhs.cols && self.rows != 0 && rhs.rows != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let cols = if self.rows == 0 { rhs.cols } else { self.cols };
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Ok(IMat {
+            rows: self.rows + rhs.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Select a subset of columns (in the given order).
+    pub fn select_cols(&self, cols: &[usize]) -> IMat {
+        let mut out = IMat::zeros(self.rows, cols.len());
+        for i in 0..self.rows {
+            for (jj, &j) in cols.iter().enumerate() {
+                out[(i, jj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Select a subset of rows (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> IMat {
+        let mut out = IMat::zeros(rows.len(), self.cols);
+        for (ii, &i) in rows.iter().enumerate() {
+            out.data[ii * self.cols..(ii + 1) * self.cols].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Convert to a rational matrix (row-major `Vec<Vec<Rat>>`).
+    fn to_rat(&self) -> Vec<Vec<Rat>> {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|&x| Rat::int(x)).collect())
+            .collect()
+    }
+
+    /// Rank over the rationals, via exact Gaussian elimination.
+    ///
+    /// This implements the reuse-detection test of the paper's
+    /// Algorithm 1: a reference `F` over an iteration space of
+    /// dimensionality `d` has order-of-magnitude reuse iff
+    /// `F.rank() < d`.
+    pub fn rank(&self) -> Result<usize> {
+        let mut m = self.to_rat();
+        Ok(rat_row_echelon(&mut m)?.len())
+    }
+
+    /// An integer basis of the (right) nullspace `{x : A x = 0}`.
+    ///
+    /// Each returned vector is primitive (entries share no common factor).
+    pub fn nullspace(&self) -> Result<Vec<IVec>> {
+        let mut m = self.to_rat();
+        let pivots = rat_row_echelon(&mut m)?;
+        let pivot_cols: Vec<usize> = pivots.iter().map(|&(_, c)| c).collect();
+        let free_cols: Vec<usize> =
+            (0..self.cols).filter(|c| !pivot_cols.contains(c)).collect();
+        let mut basis = Vec::with_capacity(free_cols.len());
+        for &fc in &free_cols {
+            // Back-substitute with the free variable set to 1.
+            let mut x = vec![Rat::ZERO; self.cols];
+            x[fc] = Rat::ONE;
+            for &(r, c) in pivots.iter().rev() {
+                // row r: m[r][c]*x_c + sum_{j>c} m[r][j]*x_j = 0
+                let mut s = Rat::ZERO;
+                for j in (c + 1)..self.cols {
+                    if !m[r][j].is_zero() {
+                        s = s.checked_add(&m[r][j].checked_mul(&x[j])?)?;
+                    }
+                }
+                x[c] = s.checked_neg()?.checked_div(&m[r][c])?;
+            }
+            basis.push(clear_denominators(&x)?);
+        }
+        Ok(basis)
+    }
+
+    /// Solve `A x = b` over the rationals. Returns one solution if the
+    /// system is consistent, `Err(Inconsistent)` otherwise. Free
+    /// variables are set to zero.
+    pub fn solve(&self, b: &[Rat]) -> Result<Vec<Rat>> {
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve",
+                left: (self.rows, self.cols),
+                right: (b.len(), 1),
+            });
+        }
+        // Eliminate on the augmented matrix [A | b].
+        let mut m: Vec<Vec<Rat>> = (0..self.rows)
+            .map(|i| {
+                let mut row: Vec<Rat> = self.row(i).iter().map(|&x| Rat::int(x)).collect();
+                row.push(b[i]);
+                row
+            })
+            .collect();
+        let pivots = rat_row_echelon_cols(&mut m, self.cols)?;
+        // Inconsistency: a row 0 ... 0 | nonzero.
+        for row in &m {
+            if row[..self.cols].iter().all(Rat::is_zero) && !row[self.cols].is_zero() {
+                return Err(LinalgError::Inconsistent);
+            }
+        }
+        let mut x = vec![Rat::ZERO; self.cols];
+        for &(r, c) in pivots.iter().rev() {
+            let mut s = m[r][self.cols];
+            for j in (c + 1)..self.cols {
+                if !m[r][j].is_zero() {
+                    s = s.checked_sub(&m[r][j].checked_mul(&x[j])?)?;
+                }
+            }
+            x[c] = s.checked_div(&m[r][c])?;
+        }
+        Ok(x)
+    }
+
+    /// True iff the matrix has no rows or no columns.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+}
+
+/// Row-echelon reduction over `Rat`, considering all columns.
+/// Returns the `(row, col)` pivot positions in elimination order.
+fn rat_row_echelon(m: &mut [Vec<Rat>]) -> Result<Vec<(usize, usize)>> {
+    let cols = m.first().map_or(0, |r| r.len());
+    rat_row_echelon_cols(m, cols)
+}
+
+/// Row-echelon reduction over `Rat`, restricted to the first
+/// `ncols` columns (the rest ride along, e.g. an augmented RHS).
+fn rat_row_echelon_cols(m: &mut [Vec<Rat>], ncols: usize) -> Result<Vec<(usize, usize)>> {
+    let nrows = m.len();
+    let total = m.first().map_or(0, |r| r.len());
+    let mut pivots = Vec::new();
+    let mut r = 0usize;
+    for c in 0..ncols {
+        // Find a pivot row at or below r with a nonzero entry in column c.
+        let Some(p) = (r..nrows).find(|&i| !m[i][c].is_zero()) else {
+            continue;
+        };
+        m.swap(r, p);
+        for i in (r + 1)..nrows {
+            if m[i][c].is_zero() {
+                continue;
+            }
+            let f = m[i][c].checked_div(&m[r][c])?;
+            for j in c..total {
+                let sub = f.checked_mul(&m[r][j])?;
+                m[i][j] = m[i][j].checked_sub(&sub)?;
+            }
+        }
+        pivots.push((r, c));
+        r += 1;
+        if r == nrows {
+            break;
+        }
+    }
+    Ok(pivots)
+}
+
+/// Scale a rational vector to a primitive integer vector.
+fn clear_denominators(x: &[Rat]) -> Result<IVec> {
+    let mut l: i128 = 1;
+    for r in x {
+        l = crate::gcd::lcm_i128(l, r.den())?;
+    }
+    let mut out = Vec::with_capacity(x.len());
+    for r in x {
+        let v = r
+            .num()
+            .checked_mul(l / r.den())
+            .ok_or(LinalgError::Overflow)?;
+        out.push(i64::try_from(v).map_err(|_| LinalgError::Overflow)?);
+    }
+    let mut v = IVec(out);
+    v.normalize();
+    Ok(v)
+}
+
+impl std::ops::Index<(usize, usize)> for IMat {
+    type Output = i64;
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_indexing() {
+        let id = IMat::identity(3);
+        assert_eq!(id[(0, 0)], 1);
+        assert_eq!(id[(0, 1)], 0);
+        assert_eq!(id.rows(), 3);
+        assert_eq!(id.cols(), 3);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = IMat::from_rows(&[&[1, 2], &[3, 4]]);
+        let b = IMat::from_rows(&[&[5, 6], &[7, 8]]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c, IMat::from_rows(&[&[19, 22], &[43, 50]]));
+        assert!(a.mul(&IMat::zeros(3, 2)).is_err());
+        let x = IVec::from_slice(&[1, -1]);
+        assert_eq!(a.mul_vec(&x).unwrap().0, vec![-1, -1]);
+    }
+
+    #[test]
+    fn transpose_and_stacking() {
+        let a = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.transpose(), IMat::from_rows(&[&[1, 4], &[2, 5], &[3, 6]]));
+        let h = a.hstack(&IMat::identity(2)).unwrap();
+        assert_eq!(h.row(0), &[1, 2, 3, 1, 0]);
+        let v = a.vstack(&IMat::from_rows(&[&[7, 8, 9]])).unwrap();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.row(2), &[7, 8, 9]);
+        assert!(a.hstack(&IMat::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn selection() {
+        let a = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.select_cols(&[2, 0]), IMat::from_rows(&[&[3, 1], &[6, 4]]));
+        assert_eq!(a.select_rows(&[1]), IMat::from_rows(&[&[4, 5, 6]]));
+        assert_eq!(a.col_vec(1).0, vec![2, 5]);
+    }
+
+    #[test]
+    fn rank_computation() {
+        assert_eq!(IMat::identity(4).rank().unwrap(), 4);
+        // Rank-deficient: row3 = row1 + row2.
+        let a = IMat::from_rows(&[&[1, 0, 1], &[0, 1, 1], &[1, 1, 2]]);
+        assert_eq!(a.rank().unwrap(), 2);
+        assert_eq!(IMat::zeros(3, 3).rank().unwrap(), 0);
+        // Wide matrix: A[i][k] access in a 3-deep (i,j,k) nest reads
+        // F = [[1,0,0],[0,0,1]] with rank 2 < 3 => reuse.
+        let f = IMat::from_rows(&[&[1, 0, 0], &[0, 0, 1]]);
+        assert_eq!(f.rank().unwrap(), 2);
+    }
+
+    #[test]
+    fn nullspace_basis() {
+        // x + y + z = 0 has a 2-dimensional nullspace.
+        let a = IMat::from_rows(&[&[1, 1, 1]]);
+        let ns = a.nullspace().unwrap();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert_eq!(a.mul_vec(v).unwrap().0, vec![0]);
+            assert!(!v.is_zero());
+        }
+        // Full-rank square matrix: trivial nullspace.
+        assert!(IMat::identity(3).nullspace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn solve_consistent_and_inconsistent() {
+        let a = IMat::from_rows(&[&[2, 1], &[1, -1]]);
+        let b = vec![Rat::int(5), Rat::int(1)];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, vec![Rat::int(2), Rat::int(1)]);
+
+        // Inconsistent: x + y = 1 and x + y = 2.
+        let a = IMat::from_rows(&[&[1, 1], &[1, 1]]);
+        let b = vec![Rat::int(1), Rat::int(2)];
+        assert_eq!(a.solve(&b).unwrap_err(), LinalgError::Inconsistent);
+
+        // Underdetermined: free variable gets zero.
+        let a = IMat::from_rows(&[&[1, 1]]);
+        let x = a.solve(&[Rat::int(3)]).unwrap();
+        assert_eq!(x, vec![Rat::int(3), Rat::ZERO]);
+
+        // Rational solution.
+        let a = IMat::from_rows(&[&[2]]);
+        let x = a.solve(&[Rat::int(3)]).unwrap();
+        assert_eq!(x, vec![Rat::new(3, 2).unwrap()]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = IMat::zeros(0, 0);
+        m.push_row(&[1, 2]);
+        m.push_row(&[3, 4]);
+        assert_eq!(m, IMat::from_rows(&[&[1, 2], &[3, 4]]));
+    }
+}

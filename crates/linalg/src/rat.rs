@@ -1,0 +1,348 @@
+//! Reduced rational numbers over checked `i128`.
+//!
+//! [`Rat`] is the scalar type of every exact computation that cannot stay
+//! integral: Fourier–Motzkin combination coefficients, parametric bound
+//! evaluation, cost-model ratios cross-checked against the float solver.
+//! Every operation is checked; overflow surfaces as
+//! [`LinalgError::Overflow`](crate::LinalgError) through the
+//! fallible `checked_*` API, while the `std::ops` implementations panic
+//! (they are used in tests and small-coefficient contexts only).
+
+use crate::gcd::gcd_i128;
+use crate::{LinalgError, Result};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Build a reduced rational; fails on a zero denominator.
+    pub fn new(num: i128, den: i128) -> Result<Rat> {
+        if den == 0 {
+            return Err(LinalgError::DivisionByZero);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let num = num.checked_mul(sign).ok_or(LinalgError::Overflow)?;
+        let den = den.checked_mul(sign).ok_or(LinalgError::Overflow)?;
+        let g = gcd_i128(num, den);
+        if g == 0 {
+            return Ok(Rat { num: 0, den: 1 });
+        }
+        Ok(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// An integer as a rational.
+    pub fn int(n: i64) -> Rat {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign of the value: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        match self.num.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Rat) -> Result<Rat> {
+        let a = self
+            .num
+            .checked_mul(rhs.den)
+            .ok_or(LinalgError::Overflow)?;
+        let b = rhs
+            .num
+            .checked_mul(self.den)
+            .ok_or(LinalgError::Overflow)?;
+        let num = a.checked_add(b).ok_or(LinalgError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .ok_or(LinalgError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Rat) -> Result<Rat> {
+        self.checked_add(&rhs.checked_neg()?)
+    }
+
+    /// Checked negation.
+    pub fn checked_neg(&self) -> Result<Rat> {
+        Ok(Rat {
+            num: self.num.checked_neg().ok_or(LinalgError::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// Checked multiplication (cross-reduces before multiplying to keep
+    /// intermediates small).
+    pub fn checked_mul(&self, rhs: &Rat) -> Result<Rat> {
+        let g1 = gcd_i128(self.num, rhs.den);
+        let g2 = gcd_i128(rhs.num, self.den);
+        let (n1, d2) = if g1 != 0 {
+            (self.num / g1, rhs.den / g1)
+        } else {
+            (self.num, rhs.den)
+        };
+        let (n2, d1) = if g2 != 0 {
+            (rhs.num / g2, self.den / g2)
+        } else {
+            (rhs.num, self.den)
+        };
+        let num = n1.checked_mul(n2).ok_or(LinalgError::Overflow)?;
+        let den = d1.checked_mul(d2).ok_or(LinalgError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, rhs: &Rat) -> Result<Rat> {
+        if rhs.num == 0 {
+            return Err(LinalgError::DivisionByZero);
+        }
+        self.checked_mul(&Rat::new(rhs.den, rhs.num)?)
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 || self.num % self.den == 0 {
+            self.num / self.den
+        } else {
+            self.num / self.den - 1
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        if self.num <= 0 || self.num % self.den == 0 {
+            self.num / self.den
+        } else {
+            self.num / self.den + 1
+        }
+    }
+
+    /// Nearest integer (ties round away from zero).
+    pub fn round(&self) -> i128 {
+        let twice = self.num * 2;
+        if self.num >= 0 {
+            (twice + self.den) / (2 * self.den)
+        } else {
+            (twice - self.den) / (2 * self.den)
+        }
+    }
+
+    /// Lossy conversion to `f64` (for reporting and the float solver only;
+    /// never used in exactness-critical paths).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d as a*d vs c*b; both denominators positive.
+        // Overflow in comparison would need |num|,|den| near 2^127
+        // simultaneously; values that large have already errored out of
+        // the checked constructors upstream.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(n)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        self.checked_add(&rhs).expect("Rat add overflow")
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self.checked_sub(&rhs).expect("Rat sub overflow")
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        self.checked_mul(&rhs).expect("Rat mul overflow")
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self.checked_div(&rhs).expect("Rat div by zero/overflow")
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.checked_neg().expect("Rat neg overflow")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rat::new(4, 8).unwrap();
+        assert_eq!((r.num(), r.den()), (1, 2));
+        let r = Rat::new(-4, -8).unwrap();
+        assert_eq!((r.num(), r.den()), (1, 2));
+        let r = Rat::new(4, -8).unwrap();
+        assert_eq!((r.num(), r.den()), (-1, 2));
+        let r = Rat::new(0, -5).unwrap();
+        assert_eq!((r.num(), r.den()), (0, 1));
+        assert!(Rat::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2).unwrap();
+        let b = Rat::new(1, 3).unwrap();
+        assert_eq!(a + b, Rat::new(5, 6).unwrap());
+        assert_eq!(a - b, Rat::new(1, 6).unwrap());
+        assert_eq!(a * b, Rat::new(1, 6).unwrap());
+        assert_eq!(a / b, Rat::new(3, 2).unwrap());
+        assert_eq!(-a, Rat::new(-1, 2).unwrap());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let a = Rat::int(1);
+        assert_eq!(
+            a.checked_div(&Rat::ZERO).unwrap_err(),
+            LinalgError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let big = Rat::new(i128::MAX, 1).unwrap();
+        assert_eq!(big.checked_add(&Rat::ONE).unwrap_err(), LinalgError::Overflow);
+        assert_eq!(big.checked_mul(&big).unwrap_err(), LinalgError::Overflow);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        let c = Rat::new(-1, 2).unwrap();
+        assert!(a < b);
+        assert!(c < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(Rat::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rat::new(7, 2).unwrap().ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Rat::new(-7, 2).unwrap().ceil(), -3);
+        assert_eq!(Rat::new(6, 2).unwrap().floor(), 3);
+        assert_eq!(Rat::new(6, 2).unwrap().ceil(), 3);
+        assert_eq!(Rat::new(5, 2).unwrap().round(), 3);
+        assert_eq!(Rat::new(-5, 2).unwrap().round(), -3);
+        assert_eq!(Rat::new(1, 3).unwrap().round(), 0);
+        assert_eq!(Rat::new(2, 3).unwrap().round(), 1);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(Rat::int(5).is_integer());
+        assert!(!Rat::new(5, 2).unwrap().is_integer());
+        assert!(Rat::ZERO.is_zero());
+        assert_eq!(Rat::int(-3).signum(), -1);
+        assert_eq!(Rat::ZERO.signum(), 0);
+        assert_eq!(Rat::int(3).signum(), 1);
+        assert_eq!(Rat::new(-1, 2).unwrap().abs(), Rat::new(1, 2).unwrap());
+        assert!((Rat::new(1, 4).unwrap().to_f64() - 0.25).abs() < 1e-12);
+        assert_eq!(format!("{}", Rat::new(3, 4).unwrap()), "3/4");
+        assert_eq!(format!("{}", Rat::int(7)), "7");
+    }
+}

@@ -1,0 +1,243 @@
+//! Integer vectors with checked arithmetic.
+//!
+//! [`IVec`] is a thin wrapper over `Vec<i64>` used for iteration vectors,
+//! constraint rows and affine-form coefficient lists. Arithmetic is
+//! checked: any overflow yields [`LinalgError::Overflow`](crate::LinalgError).
+
+use crate::gcd::gcd_slice;
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Deref, Index, IndexMut};
+
+/// A dense integer vector.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IVec(pub Vec<i64>);
+
+impl IVec {
+    /// The zero vector of length `n`.
+    pub fn zeros(n: usize) -> IVec {
+        IVec(vec![0; n])
+    }
+
+    /// The `i`-th standard basis vector of length `n`.
+    pub fn unit(n: usize, i: usize) -> IVec {
+        let mut v = vec![0; n];
+        v[i] = 1;
+        IVec(v)
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(xs: &[i64]) -> IVec {
+        IVec(xs.to_vec())
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True iff every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&x| x == 0)
+    }
+
+    /// Checked dot product.
+    pub fn dot(&self, rhs: &IVec) -> Result<i64> {
+        if self.len() != rhs.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "dot",
+                left: (1, self.len()),
+                right: (1, rhs.len()),
+            });
+        }
+        let mut acc: i128 = 0;
+        for (a, b) in self.0.iter().zip(rhs.0.iter()) {
+            acc = acc
+                .checked_add((*a as i128) * (*b as i128))
+                .ok_or(LinalgError::Overflow)?;
+        }
+        i64::try_from(acc).map_err(|_| LinalgError::Overflow)
+    }
+
+    /// Checked elementwise addition.
+    pub fn checked_add(&self, rhs: &IVec) -> Result<IVec> {
+        if self.len() != rhs.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                left: (1, self.len()),
+                right: (1, rhs.len()),
+            });
+        }
+        self.0
+            .iter()
+            .zip(rhs.0.iter())
+            .map(|(a, b)| a.checked_add(*b).ok_or(LinalgError::Overflow))
+            .collect::<Result<Vec<_>>>()
+            .map(IVec)
+    }
+
+    /// Checked elementwise subtraction.
+    pub fn checked_sub(&self, rhs: &IVec) -> Result<IVec> {
+        if self.len() != rhs.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                left: (1, self.len()),
+                right: (1, rhs.len()),
+            });
+        }
+        self.0
+            .iter()
+            .zip(rhs.0.iter())
+            .map(|(a, b)| a.checked_sub(*b).ok_or(LinalgError::Overflow))
+            .collect::<Result<Vec<_>>>()
+            .map(IVec)
+    }
+
+    /// Checked scalar multiplication.
+    pub fn checked_scale(&self, k: i64) -> Result<IVec> {
+        self.0
+            .iter()
+            .map(|a| a.checked_mul(k).ok_or(LinalgError::Overflow))
+            .collect::<Result<Vec<_>>>()
+            .map(IVec)
+    }
+
+    /// Divide all entries by their (positive) gcd; the zero vector is
+    /// returned unchanged. Returns the gcd used (0 for the zero vector).
+    pub fn normalize(&mut self) -> i64 {
+        let g = gcd_slice(&self.0);
+        if g > 1 {
+            for x in &mut self.0 {
+                *x /= g;
+            }
+        }
+        g
+    }
+
+    /// Lexicographic comparison helper: sign of the first nonzero entry
+    /// (0 if the vector is zero).
+    pub fn lex_sign(&self) -> i32 {
+        for &x in &self.0 {
+            if x > 0 {
+                return 1;
+            }
+            if x < 0 {
+                return -1;
+            }
+        }
+        0
+    }
+
+    /// Concatenate two vectors.
+    pub fn concat(&self, rhs: &IVec) -> IVec {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&rhs.0);
+        IVec(v)
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, i64> {
+        self.0.iter()
+    }
+}
+
+impl Deref for IVec {
+    type Target = [i64];
+    fn deref(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl<I: std::slice::SliceIndex<[i64]>> Index<I> for IVec {
+    type Output = I::Output;
+    fn index(&self, i: I) -> &I::Output {
+        &self.0[i]
+    }
+}
+
+impl<I: std::slice::SliceIndex<[i64]>> IndexMut<I> for IVec {
+    fn index_mut(&mut self, i: I) -> &mut I::Output {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<i64>> for IVec {
+    fn from(v: Vec<i64>) -> IVec {
+        IVec(v)
+    }
+}
+
+impl FromIterator<i64> for IVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> IVec {
+        IVec(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(IVec::zeros(3).0, vec![0, 0, 0]);
+        assert_eq!(IVec::unit(3, 1).0, vec![0, 1, 0]);
+        assert!(IVec::zeros(2).is_zero());
+        assert!(!IVec::from_slice(&[0, 1]).is_zero());
+        assert!(IVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = IVec::from_slice(&[1, 2, 3]);
+        let b = IVec::from_slice(&[4, 5, 6]);
+        assert_eq!(a.dot(&b).unwrap(), 32);
+        assert!(a.dot(&IVec::zeros(2)).is_err());
+        let big = IVec::from_slice(&[i64::MAX, i64::MAX]);
+        assert_eq!(big.dot(&big).unwrap_err(), LinalgError::Overflow);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = IVec::from_slice(&[1, 2]);
+        let b = IVec::from_slice(&[3, -4]);
+        assert_eq!(a.checked_add(&b).unwrap().0, vec![4, -2]);
+        assert_eq!(a.checked_sub(&b).unwrap().0, vec![-2, 6]);
+        assert_eq!(a.checked_scale(-3).unwrap().0, vec![-3, -6]);
+        assert!(IVec::from_slice(&[i64::MAX])
+            .checked_add(&IVec::from_slice(&[1]))
+            .is_err());
+        assert!(a.checked_add(&IVec::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn normalize_divides_by_gcd() {
+        let mut v = IVec::from_slice(&[4, -8, 12]);
+        assert_eq!(v.normalize(), 4);
+        assert_eq!(v.0, vec![1, -2, 3]);
+        let mut z = IVec::zeros(2);
+        assert_eq!(z.normalize(), 0);
+        assert_eq!(z.0, vec![0, 0]);
+    }
+
+    #[test]
+    fn lex_sign_and_concat() {
+        assert_eq!(IVec::from_slice(&[0, 0, 2, -1]).lex_sign(), 1);
+        assert_eq!(IVec::from_slice(&[0, -2, 1]).lex_sign(), -1);
+        assert_eq!(IVec::zeros(3).lex_sign(), 0);
+        assert_eq!(
+            IVec::from_slice(&[1]).concat(&IVec::from_slice(&[2, 3])).0,
+            vec![1, 2, 3]
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Machine descriptions.
+//!
+//! The [`MachineConfig`] fields are the architecture parameters of the
+//! paper's §4/§5 machine abstraction. The `geforce_8800_gtx` preset is
+//! calibrated to the paper's testbed (16 multiprocessors × 8 SIMD
+//! units at 1.35 GHz, 16 KB scratchpad per multiprocessor, warp 32,
+//! 768 MB DRAM behind a high-latency bus); `cell_like` models an
+//! architecture whose local store is *mandatory* (data cannot be
+//! touched from global memory during compute, §3); `host_cpu` is the
+//! paper's Core2-Duo-class baseline.
+
+/// Which preset family a config came from (drives a few behavioural
+/// switches in the executors).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineKind {
+    /// GPU-like: scratchpad optional, occupancy limited by its use.
+    Gpu,
+    /// Cell-like: every accessed element must be staged into the
+    /// local store first.
+    CellLike,
+    /// A host CPU (no explicit scratchpad; hardware cache).
+    Cpu,
+}
+
+/// A two-level explicitly-managed-memory machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Behavioural family.
+    pub kind: MachineKind,
+    /// Outer-level parallel units (multiprocessors / MIMD units).
+    pub n_outer: u64,
+    /// Inner-level SIMD units per outer unit.
+    pub n_inner: u64,
+    /// Scheduling granularity of inner-level processes (warp size);
+    /// the paper fixes `P_low` to this.
+    pub warp_size: u64,
+    /// Scratchpad bytes per outer-level unit (the 8800's 16 KB).
+    pub smem_bytes: u64,
+    /// Bytes per data word (the paper's kernels use 4-byte words).
+    pub word_bytes: u64,
+    /// Core clock in GHz (times are reported in ms).
+    pub clock_ghz: f64,
+    /// Cycles for one arithmetic op on an inner unit.
+    pub cycles_per_op: f64,
+    /// Cycles of latency for one *global* memory element access.
+    pub global_latency: f64,
+    /// Sustainable global-memory parallelism: how many outstanding
+    /// global accesses one outer unit can overlap (memory-level
+    /// parallelism from multithreading warps).
+    pub global_overlap: f64,
+    /// Cycles for one scratchpad access.
+    pub smem_latency: f64,
+    /// Cycles of synchronisation cost per inner process per data
+    /// movement occurrence (the cost model's `S`).
+    pub sync_cycles: f64,
+    /// Fixed cycles for a device-wide barrier (inter-block sync)...
+    pub device_sync_base: f64,
+    /// ...plus this many cycles per active thread block.
+    pub device_sync_per_block: f64,
+    /// Upper bound on thread blocks resident per outer unit even when
+    /// scratchpad use would allow more (hardware scheduler limit).
+    pub max_blocks_per_outer: u64,
+}
+
+impl MachineConfig {
+    /// The paper's testbed: NVIDIA GeForce 8800 GTX.
+    pub fn geforce_8800_gtx() -> MachineConfig {
+        MachineConfig {
+            kind: MachineKind::Gpu,
+            n_outer: 16,
+            n_inner: 8,
+            warp_size: 32,
+            smem_bytes: 16 * 1024,
+            word_bytes: 4,
+            clock_ghz: 1.35,
+            cycles_per_op: 1.0,
+            // ~500-cycle DRAM latency, heavily overlapped by warps.
+            global_latency: 500.0,
+            global_overlap: 32.0,
+            smem_latency: 2.0,
+            sync_cycles: 20.0,
+            device_sync_base: 2_000.0,
+            device_sync_per_block: 50.0,
+            max_blocks_per_outer: 8,
+        }
+    }
+
+    /// A Cell-BE-like machine: local store is mandatory.
+    pub fn cell_like() -> MachineConfig {
+        MachineConfig {
+            kind: MachineKind::CellLike,
+            n_outer: 8,
+            n_inner: 1,
+            warp_size: 1,
+            smem_bytes: 256 * 1024,
+            word_bytes: 4,
+            clock_ghz: 3.2,
+            cycles_per_op: 1.0,
+            global_latency: 400.0,
+            global_overlap: 4.0,
+            smem_latency: 4.0,
+            sync_cycles: 100.0,
+            device_sync_base: 10_000.0,
+            device_sync_per_block: 1_000.0,
+            max_blocks_per_outer: 1,
+        }
+    }
+
+    /// The host CPU baseline (Core2-Duo class, 2.13 GHz, 2 MB L2).
+    pub fn host_cpu() -> MachineConfig {
+        MachineConfig {
+            kind: MachineKind::Cpu,
+            n_outer: 1,
+            n_inner: 1,
+            warp_size: 1,
+            smem_bytes: 0,
+            word_bytes: 4,
+            clock_ghz: 2.13,
+            cycles_per_op: 1.0,
+            // Cache-filtered average memory cost per element access.
+            global_latency: 8.0,
+            global_overlap: 1.0,
+            smem_latency: 0.0,
+            sync_cycles: 0.0,
+            device_sync_base: 0.0,
+            device_sync_per_block: 0.0,
+            max_blocks_per_outer: 1,
+        }
+    }
+
+    /// Total scratchpad bytes across the device (the paper's `X`).
+    pub fn total_smem_bytes(&self) -> u64 {
+        self.smem_bytes * self.n_outer
+    }
+
+    /// Maximum concurrently resident thread blocks for a given
+    /// per-block scratchpad use (the §5 occupancy rule:
+    /// `min(X / M, hw limit)`).
+    pub fn concurrent_blocks(&self, smem_per_block: u64) -> u64 {
+        let by_hw = self.n_outer * self.max_blocks_per_outer;
+        if smem_per_block == 0 {
+            return by_hw;
+        }
+        let per_outer = (self.smem_bytes / smem_per_block).min(self.max_blocks_per_outer);
+        (per_outer * self.n_outer).max(1).min(by_hw.max(1))
+    }
+
+    /// Convert cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9) * 1e3
+    }
+
+    /// The cost-model constants (`P` supplied by the kernel mapping).
+    pub fn cost_params(&self, p: f64) -> polymem_core::tiling::CostParams {
+        polymem_core::tiling::CostParams {
+            p,
+            s: self.sync_cycles,
+            l: self.global_latency / self.global_overlap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_parameters() {
+        let g = MachineConfig::geforce_8800_gtx();
+        assert_eq!(g.n_outer, 16);
+        assert_eq!(g.n_inner, 8);
+        assert_eq!(g.warp_size, 32);
+        assert_eq!(g.smem_bytes, 16 * 1024);
+        assert_eq!(g.total_smem_bytes(), 256 * 1024); // the paper's 2^18
+        assert_eq!(g.kind, MachineKind::Gpu);
+        assert_eq!(MachineConfig::cell_like().kind, MachineKind::CellLike);
+        assert_eq!(MachineConfig::host_cpu().kind, MachineKind::Cpu);
+    }
+
+    #[test]
+    fn occupancy_follows_smem_use() {
+        let g = MachineConfig::geforce_8800_gtx();
+        // No smem: hardware limit only.
+        assert_eq!(g.concurrent_blocks(0), 16 * 8);
+        // 16 KB per block: one block per SM.
+        assert_eq!(g.concurrent_blocks(16 * 1024), 16);
+        // 4 KB per block: 4 per SM.
+        assert_eq!(g.concurrent_blocks(4 * 1024), 64);
+        // 100 B per block: capped by the hardware limit.
+        assert_eq!(g.concurrent_blocks(100), 16 * 8);
+        // Oversized block still reports at least one (the caller
+        // checks the overflow separately).
+        assert_eq!(g.concurrent_blocks(64 * 1024), 1);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let g = MachineConfig::geforce_8800_gtx();
+        let ms = g.cycles_to_ms(1.35e9);
+        assert!((ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_params_derive_from_machine() {
+        let g = MachineConfig::geforce_8800_gtx();
+        let cp = g.cost_params(64.0);
+        assert_eq!(cp.p, 64.0);
+        assert_eq!(cp.s, g.sync_cycles);
+        assert!(cp.l > 0.0);
+    }
+}

@@ -1,0 +1,818 @@
+//! Functional block-parallel execution of mapped kernels.
+//!
+//! [`execute_blocked`] runs a tiled program the way the paper's GPU
+//! runs it: an outer sequence of *rounds* (values of the round dims,
+//! with a device-wide barrier between consecutive rounds — the
+//! inter-thread-block synchronisation of the Jacobi kernel), each
+//! round launching a grid of *blocks* (values of the block dims) that
+//! execute independently. Blocks may run on real parallel threads
+//! (crossbeam scoped threads, one pool slot per simulated
+//! multiprocessor); determinism is preserved by buffering each block's
+//! global writes in an overlay that is merged in block order at the
+//! end of its round — exactly the visibility rule of the hardware
+//! (writes are not guaranteed visible to other blocks until the
+//! barrier).
+//!
+//! With `use_scratchpad`, each block stages data through local buffers
+//! using the full §3 pipeline — `analyze_program` on the block's
+//! restricted view, generated move-in code, rewritten accesses,
+//! generated move-out code — so the executor is an end-to-end test of
+//! the compiler: the test-suite compares final array contents
+//! bit-exactly against the reference interpreter.
+
+use crate::config::{MachineConfig, MachineKind};
+use crate::{MachineError, Result};
+use polymem_core::smem::{analyze_program, SmemConfig, SmemPlan};
+use polymem_core::tiling::transform::fix_dims;
+use polymem_ir::{ArrayStore, Program};
+use polymem_poly::count::enumerate_points;
+use std::collections::HashMap;
+
+/// A tiled program mapped onto the two-level machine.
+#[derive(Clone, Debug)]
+pub struct BlockedKernel {
+    /// The tiled program.
+    pub program: Program,
+    /// Sequential dims with a device-wide barrier between values
+    /// (outermost first). Empty for sync-free kernels like ME.
+    pub round_dims: Vec<String>,
+    /// Dims enumerated across thread blocks.
+    pub block_dims: Vec<String>,
+    /// Sequential sub-tile dims *inside* a block (the paper's middle
+    /// tiling level, executed one sub-tile at a time to respect the
+    /// scratchpad limit). Scratchpad staging then happens per
+    /// sub-tile, with §4.2 hoisting: buffers none of whose references
+    /// depend on these dims are staged once per block and written back
+    /// once at the end.
+    pub seq_dims: Vec<String>,
+    /// Stage per-block data through scratchpad buffers (§3 pipeline).
+    pub use_scratchpad: bool,
+}
+
+/// Counters collected by the functional executor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Statement instances executed.
+    pub instances: u64,
+    /// Global-memory element reads (incl. move-in traffic).
+    pub global_reads: u64,
+    /// Global-memory element writes (incl. move-out traffic).
+    pub global_writes: u64,
+    /// Scratchpad element reads.
+    pub smem_reads: u64,
+    /// Scratchpad element writes.
+    pub smem_writes: u64,
+    /// Elements moved global → scratchpad.
+    pub moved_in: u64,
+    /// Elements moved scratchpad → global.
+    pub moved_out: u64,
+    /// Rounds executed (device-wide barriers = rounds - 1).
+    pub rounds: u64,
+    /// Peak scratchpad words used by any single block.
+    pub max_smem_words: u64,
+}
+
+impl ExecStats {
+    fn absorb(&mut self, o: &ExecStats) {
+        self.blocks += o.blocks;
+        self.instances += o.instances;
+        self.global_reads += o.global_reads;
+        self.global_writes += o.global_writes;
+        self.smem_reads += o.smem_reads;
+        self.smem_writes += o.smem_writes;
+        self.moved_in += o.moved_in;
+        self.moved_out += o.moved_out;
+        self.max_smem_words = self.max_smem_words.max(o.max_smem_words);
+    }
+}
+
+/// One block's buffered global writes, applied after its round.
+type Overlay = HashMap<(usize, Vec<i64>), i64>;
+
+/// Execute a mapped kernel functionally.
+///
+/// `parallel` runs each round's blocks on up to `config.n_outer`
+/// worker threads; results are bit-identical to sequential execution.
+pub fn execute_blocked(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    store: &mut ArrayStore,
+    config: &MachineConfig,
+    parallel: bool,
+) -> Result<ExecStats> {
+    kernel.program.validate()?;
+    let program = &kernel.program;
+
+    // Enumerate round values from the first statement that has all
+    // round dims (programs with no statements do nothing).
+    let mut stats = ExecStats::default();
+    let Some(lead) = program.stmts.first() else {
+        return Ok(stats);
+    };
+    let round_vals = enumerate_named(lead, &kernel.round_dims, params, &HashMap::new())?;
+    let rounds = if round_vals.is_empty() {
+        vec![Vec::new()]
+    } else {
+        round_vals
+    };
+
+    for round in &rounds {
+        let mut fixed_round: HashMap<String, i64> = HashMap::new();
+        for (n, v) in kernel.round_dims.iter().zip(round) {
+            fixed_round.insert(n.clone(), *v);
+        }
+        let block_vals = enumerate_named(lead, &kernel.block_dims, params, &fixed_round)?;
+        let blocks = if block_vals.is_empty() {
+            vec![Vec::new()]
+        } else {
+            block_vals
+        };
+
+        // Execute every block of this round against the same store
+        // snapshot, buffering writes.
+        let run_block = |bv: &Vec<i64>| -> Result<(Overlay, ExecStats)> {
+            let mut fixed = fixed_round.clone();
+            for (n, v) in kernel.block_dims.iter().zip(bv) {
+                fixed.insert(n.clone(), *v);
+            }
+            execute_one_block(kernel, &fixed, params, store, config)
+        };
+
+        let results: Vec<(Overlay, ExecStats)> = if parallel && blocks.len() > 1 {
+            let workers = config.n_outer.max(1) as usize;
+            let mut out: Vec<Option<(Overlay, ExecStats)>> = vec![None; blocks.len()];
+            let err = std::sync::Mutex::new(None::<MachineError>);
+            crossbeam::thread::scope(|scope| {
+                let chunk = blocks.len().div_ceil(workers);
+                for (ci, (bchunk, ochunk)) in blocks
+                    .chunks(chunk)
+                    .zip(out.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let err = &err;
+                    let _ = ci;
+                    scope.spawn(move |_| {
+                        for (b, o) in bchunk.iter().zip(ochunk.iter_mut()) {
+                            match run_block(b) {
+                                Ok(r) => *o = Some(r),
+                                Err(e) => {
+                                    *err.lock().unwrap() = Some(e);
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("block worker panicked");
+            if let Some(e) = err.into_inner().unwrap() {
+                return Err(e);
+            }
+            out.into_iter().map(|o| o.expect("block completed")).collect()
+        } else {
+            let mut v = Vec::with_capacity(blocks.len());
+            for b in &blocks {
+                v.push(run_block(b)?);
+            }
+            v
+        };
+
+        // Merge overlays deterministically, in block order.
+        for (overlay, bstats) in &results {
+            let mut keys: Vec<&(usize, Vec<i64>)> = overlay.keys().collect();
+            keys.sort();
+            for k in keys {
+                let name = &program.arrays[k.0].name;
+                store.set(name, &k.1, overlay[k])?;
+            }
+            stats.absorb(bstats);
+        }
+        stats.rounds += 1;
+    }
+    Ok(stats)
+}
+
+/// Enumerate the values of the named dims of a statement's domain
+/// (projected), with some dims already fixed.
+fn enumerate_named(
+    stmt: &polymem_ir::Statement,
+    names: &[String],
+    params: &[i64],
+    fixed: &HashMap<String, i64>,
+) -> Result<Vec<Vec<i64>>> {
+    if names.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dom = fix_dims(&stmt.domain, fixed);
+    let keep: Vec<usize> = names
+        .iter()
+        .filter_map(|n| dom.space().find_dim(n))
+        .collect();
+    if keep.len() != names.len() {
+        return Ok(Vec::new());
+    }
+    let proj = dom.project_onto(&keep)?;
+    let concrete = proj.substitute_params(params)?;
+    let mut out = Vec::new();
+    enumerate_points(&concrete, u64::MAX, &mut |p| out.push(p.to_vec()))?;
+    Ok(out)
+}
+
+/// Local scratchpad storage for one block.
+struct LocalStore {
+    /// Per buffer id: (flat data, extents, offsets).
+    bufs: Vec<(Vec<i64>, Vec<i64>, Vec<i64>)>,
+}
+
+impl LocalStore {
+    fn flat(&self, buf: usize, idx: &[i64]) -> Option<usize> {
+        let (_, extents, _) = &self.bufs[buf];
+        let mut off: i64 = 0;
+        for (&i, &e) in idx.iter().zip(extents) {
+            if i < 0 || i >= e {
+                return None;
+            }
+            off = off * e + i;
+        }
+        Some(off as usize)
+    }
+
+    fn get(&self, buf: usize, idx: &[i64]) -> Result<i64> {
+        let f = self.flat(buf, idx).ok_or_else(|| {
+            MachineError::Ir(polymem_ir::IrError::OutOfBounds {
+                array: format!("local buffer {buf}"),
+                index: idx.to_vec(),
+            })
+        })?;
+        Ok(self.bufs[buf].0[f])
+    }
+
+    fn set(&mut self, buf: usize, idx: &[i64], v: i64) -> Result<()> {
+        let f = self.flat(buf, idx).ok_or_else(|| {
+            MachineError::Ir(polymem_ir::IrError::OutOfBounds {
+                array: format!("local buffer {buf}"),
+                index: idx.to_vec(),
+            })
+        })?;
+        self.bufs[buf].0[f] = v;
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+/// A buffer kept alive across a block's sequential sub-tiles because
+/// none of its references depend on the sub-tile dims (§4.2 hoisting).
+struct Persistent {
+    buffer: polymem_core::smem::LocalBuffer,
+    mc: polymem_core::smem::MovementCode,
+    data: Vec<i64>,
+    extents: Vec<i64>,
+    offsets: Vec<i64>,
+    dirty: bool,
+}
+
+/// Write a persistent buffer's contents back to the (overlay of)
+/// global memory, once, at the end of the block.
+fn writeback_persistent(
+    p: &Persistent,
+    params: &[i64],
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    let flat = |idx: &[i64]| -> Option<usize> {
+        let mut off: i64 = 0;
+        for (&i, &e) in idx.iter().zip(&p.extents) {
+            if i < 0 || i >= e {
+                return None;
+            }
+            off = off * e + i;
+        }
+        Some(off as usize)
+    };
+    let mut err = None;
+    polymem_core::smem::movement::for_each_move_out(&p.mc, &p.buffer, params, &mut |g, l| {
+        if err.is_some() {
+            return;
+        }
+        match flat(l) {
+            Some(off) => {
+                overlay.insert((p.buffer.array, g.to_vec()), p.data[off]);
+            }
+            None => {
+                err = Some(MachineError::Ir(polymem_ir::IrError::OutOfBounds {
+                    array: format!("persistent L{}", p.buffer.array_name),
+                    index: l.to_vec(),
+                }))
+            }
+        }
+        stats.global_writes += 1;
+        stats.moved_out += 1;
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Arrays none of whose accesses depend on the kernel's seq dims:
+/// their staged buffers are identical across sub-tiles and hoist.
+fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usize> {
+    let program = &kernel.program;
+    (0..program.arrays.len())
+        .filter(|&a| {
+            program.stmts.iter().all(|s| {
+                let dims = s.domain.space().dims();
+                let seq_idx: Vec<usize> = kernel
+                    .seq_dims
+                    .iter()
+                    .filter_map(|n| dims.iter().position(|d| d == n))
+                    .collect();
+                let clean = |acc: &polymem_ir::Access| {
+                    acc.array != a
+                        || seq_idx.iter().all(|&j| {
+                            (0..acc.map.matrix().rows())
+                                .all(|r| acc.map.matrix()[(r, j)] == 0)
+                        })
+                };
+                clean(&s.write) && s.reads.iter().all(clean)
+            })
+        })
+        .collect()
+}
+
+fn execute_one_block(
+    kernel: &BlockedKernel,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+) -> Result<(Overlay, ExecStats)> {
+    let mut overlay: Overlay = HashMap::new();
+    let mut stats = ExecStats {
+        blocks: 1,
+        ..ExecStats::default()
+    };
+    if kernel.use_scratchpad && !kernel.seq_dims.is_empty() {
+        // Sequential sub-tiles with §4.2 hoisting.
+        let Some(lead) = kernel.program.stmts.first() else {
+            return Ok((overlay, stats));
+        };
+        let seq_vals = enumerate_named(lead, &kernel.seq_dims, params, fixed)?;
+        let seqs = if seq_vals.is_empty() {
+            vec![Vec::new()]
+        } else {
+            seq_vals
+        };
+        let hoistable = seq_redundant_arrays(kernel);
+        let mut persistent: HashMap<usize, Persistent> = HashMap::new();
+        for sv in &seqs {
+            let mut f2 = fixed.clone();
+            for (n, v) in kernel.seq_dims.iter().zip(sv) {
+                f2.insert(n.clone(), *v);
+            }
+            run_sub_block(
+                kernel,
+                &f2,
+                params,
+                store,
+                config,
+                &mut overlay,
+                &mut stats,
+                Some((&hoistable, &mut persistent)),
+            )?;
+        }
+        for p in persistent.values() {
+            if p.dirty {
+                writeback_persistent(p, params, &mut overlay, &mut stats)?;
+            }
+        }
+    } else {
+        run_sub_block(
+            kernel, fixed, params, store, config, &mut overlay, &mut stats, None,
+        )?;
+    }
+    Ok((overlay, stats))
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_sub_block(
+    kernel: &BlockedKernel,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    mut hoist: Option<(
+        &std::collections::HashSet<usize>,
+        &mut HashMap<usize, Persistent>,
+    )>,
+) -> Result<()> {
+    let program = &kernel.program;
+
+    // Restrict every statement to this (sub-)block.
+    let mut view = program.clone();
+    for s in &mut view.stmts {
+        s.domain = fix_dims(&s.domain, fixed);
+    }
+
+    // Optional scratchpad staging via the §3 pipeline.
+    let staging: Option<(SmemPlan, LocalStore)> = if kernel.use_scratchpad {
+        let cfg = SmemConfig {
+            sample_params: params.to_vec(),
+            must_copy_all: config.kind == MachineKind::CellLike,
+            ..SmemConfig::default()
+        };
+        let plan = analyze_program(&view, &cfg)?;
+        // A hoisted buffer whose array this sub-tile does not stage
+        // would become invisible to the tile's global accesses: flush
+        // it first.
+        if let Some((_, persistent)) = &mut hoist {
+            // Flush entries whose array this sub-tile does not stage as
+            // exactly one buffer (absent, or split into partitions).
+            let stale: Vec<usize> = persistent
+                .keys()
+                .filter(|a| plan.buffers.iter().filter(|b| b.array == **a).count() != 1)
+                .copied()
+                .collect();
+            for a in stale {
+                let p = persistent.remove(&a).expect("key listed");
+                if p.dirty {
+                    writeback_persistent(&p, params, overlay, stats)?;
+                }
+            }
+        }
+        let mut bufs = Vec::with_capacity(plan.buffers.len());
+        let mut words = 0u64;
+        for b in &plan.buffers {
+            let extents = b.extents(params)?;
+            let offsets = b.offsets(params)?;
+            let size: i64 = extents.iter().product::<i64>().max(0);
+            words += size as u64;
+            bufs.push((vec![0i64; size as usize], extents, offsets));
+        }
+        stats.max_smem_words = stats.max_smem_words.max(words);
+        if config.smem_bytes > 0 && words * config.word_bytes > config.smem_bytes {
+            return Err(MachineError::ScratchpadOverflow {
+                requested: words * config.word_bytes,
+                available: config.smem_bytes,
+            });
+        }
+        let mut local = LocalStore { bufs };
+        // Move-in (hoisted buffers reuse the persistent copy for free).
+        for mc in &plan.movement {
+            let buf = &plan.buffers[mc.buffer];
+            let name = &program.arrays[buf.array].name;
+            if let Some((hoistable, persistent)) = &mut hoist {
+                if hoistable.contains(&buf.array) {
+                    let shape_matches = persistent.get(&buf.array).is_some_and(|p| {
+                        p.extents == local.bufs[mc.buffer].1
+                            && p.offsets == local.bufs[mc.buffer].2
+                    });
+                    if shape_matches {
+                        let p = persistent.get(&buf.array).expect("checked");
+                        local.bufs[mc.buffer].0.copy_from_slice(&p.data);
+                        continue;
+                    }
+                    // A stale differently-shaped copy must reach global
+                    // memory before this sub-tile stages fresh data.
+                    if let Some(p) = persistent.remove(&buf.array) {
+                        if p.dirty {
+                            writeback_persistent(&p, params, overlay, stats)?;
+                        }
+                    }
+                }
+            }
+            let mut err = None;
+            polymem_core::smem::movement::for_each_move_in(
+                mc,
+                buf,
+                params,
+                &mut |g, l| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match read_global(store, overlay, program, buf.array, name, g) {
+                        Ok(v) => {
+                            if let Err(e) = local.set(mc.buffer, l, v) {
+                                err = Some(e);
+                            }
+                        }
+                        Err(e) => err = Some(e),
+                    }
+                    stats.global_reads += 1;
+                    stats.moved_in += 1;
+                },
+            )?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Some((plan, local))
+    } else {
+        None
+    };
+    let (plan, mut local) = match staging {
+        Some((p, l)) => (Some(p), Some(l)),
+        None => (None, None),
+    };
+
+    // Enumerate and execute instances in source order (as the
+    // reference interpreter does, restricted to this block).
+    let mut instances: Vec<(usize, Vec<i64>)> = Vec::new();
+    for (si, s) in view.stmts.iter().enumerate() {
+        let dom = s.domain.substitute_params(params)?;
+        enumerate_points(&dom, u64::MAX, &mut |p| instances.push((si, p.to_vec())))?;
+    }
+    let n = view.stmts.len();
+    let mut common = vec![vec![0usize; n]; n];
+    for a in 0..n {
+        for b in 0..n {
+            common[a][b] = view.common_depth(a, b);
+        }
+    }
+    instances.sort_by(|(sa, pa), (sb, pb)| {
+        let c = common[*sa][*sb];
+        for k in 0..c {
+            match pa[k].cmp(&pb[k]) {
+                std::cmp::Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        match sa.cmp(sb) {
+            std::cmp::Ordering::Equal => pa[c..].cmp(&pb[c..]),
+            o => o,
+        }
+    });
+
+    for (si, point) in &instances {
+        let stmt = &view.stmts[*si];
+        let mut reads = Vec::with_capacity(stmt.reads.len());
+        for (k, r) in stmt.reads.iter().enumerate() {
+            let id = polymem_core::smem::AccessId::read(*si, k);
+            let rewrite = plan.as_ref().and_then(|p| p.rewrites.get(&id));
+            let v = match (rewrite, &local, &plan) {
+                (Some(la), Some(ls), Some(p)) => {
+                    let buf = &p.buffers[la.buffer];
+                    let idx = la.local_index(buf, point, params)?;
+                    stats.smem_reads += 1;
+                    ls.get(la.buffer, &idx)?
+                }
+                _ => {
+                    let idx = r.map.apply(point, params)?;
+                    let name = &program.arrays[r.array].name;
+                    stats.global_reads += 1;
+                    read_global(store, &overlay, program, r.array, name, &idx)?
+                }
+            };
+            reads.push(v);
+        }
+        let value = stmt.body.eval(&reads, point, params)?;
+        let wid = polymem_core::smem::AccessId::write(*si);
+        let rewrite = plan.as_ref().and_then(|p| p.rewrites.get(&wid));
+        match (rewrite, &mut local, &plan) {
+            (Some(la), Some(ls), Some(p)) => {
+                let buf = &p.buffers[la.buffer];
+                let idx = la.local_index(buf, point, params)?;
+                stats.smem_writes += 1;
+                ls.set(la.buffer, &idx, value)?;
+            }
+            _ => {
+                let idx = stmt.write.map.apply(point, params)?;
+                stats.global_writes += 1;
+                overlay.insert((stmt.write.array, idx), value);
+            }
+        }
+        stats.instances += 1;
+    }
+
+    // Move-out; hoisted buffers park in `persistent` instead (one
+    // writeback at the end of the block).
+    if let (Some(p), Some(ls)) = (&plan, &local) {
+        for mc in &p.movement {
+            let buf = &p.buffers[mc.buffer];
+            if let Some((hoistable, persistent)) = &mut hoist {
+                if hoistable.contains(&buf.array) {
+                    let dirty = !mc.write_spaces.is_empty();
+                    let prev_dirty = persistent
+                        .get(&buf.array)
+                        .map(|q| q.dirty)
+                        .unwrap_or(false);
+                    persistent.insert(
+                        buf.array,
+                        Persistent {
+                            buffer: buf.clone(),
+                            mc: mc.clone(),
+                            data: ls.bufs[mc.buffer].0.clone(),
+                            extents: ls.bufs[mc.buffer].1.clone(),
+                            offsets: ls.bufs[mc.buffer].2.clone(),
+                            dirty: dirty || prev_dirty,
+                        },
+                    );
+                    continue;
+                }
+            }
+            let mut err = None;
+            polymem_core::smem::movement::for_each_move_out(mc, buf, params, &mut |g, l| {
+                if err.is_some() {
+                    return;
+                }
+                match ls.get(mc.buffer, l) {
+                    Ok(v) => {
+                        overlay.insert((buf.array, g.to_vec()), v);
+                    }
+                    Err(e) => err = Some(e),
+                }
+                stats.global_writes += 1;
+                stats.moved_out += 1;
+            })?;
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn read_global(
+    store: &ArrayStore,
+    overlay: &Overlay,
+    program: &Program,
+    array: usize,
+    name: &str,
+    idx: &[i64],
+) -> Result<i64> {
+    let _ = program;
+    if let Some(v) = overlay.get(&(array, idx.to_vec())) {
+        return Ok(*v);
+    }
+    Ok(store.get(name, idx)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_core::tiling::transform::{tile_program, TileSpec};
+    use polymem_ir::expr::v;
+    use polymem_ir::{exec_program, Expr, LinExpr, ProgramBuilder};
+
+    /// C[i][j] = A[i][j] + A[i][j+1], tiled 2-D.
+    fn window2d() -> Program {
+        let mut b = ProgramBuilder::new("w", ["N"]);
+        b.array("A", &[v("N"), v("N") + 1]);
+        b.array("C", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("C", &[v("i"), v("j")])
+            .read("A", &[v("i"), v("j")])
+            .read("A", &[v("i"), v("j") + 1])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        b.build().unwrap()
+    }
+
+    fn blocked(use_scratchpad: bool) -> BlockedKernel {
+        let p = window2d();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4), ("j", 4)], "T")).unwrap();
+        BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into(), "jT".into()],
+            seq_dims: vec![],
+            use_scratchpad,
+        }
+    }
+
+    fn reference(params: &[i64]) -> ArrayStore {
+        let p = window2d();
+        let mut st = ArrayStore::for_program(&p, params).unwrap();
+        st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+        exec_program(&p, params, &mut st).unwrap();
+        st
+    }
+
+    fn run(kernel: &BlockedKernel, params: &[i64], parallel: bool) -> (ArrayStore, ExecStats) {
+        let p = window2d();
+        let mut st = ArrayStore::for_program(&p, params).unwrap();
+        st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+        let cfg = MachineConfig::geforce_8800_gtx();
+        let stats = execute_blocked(kernel, params, &mut st, &cfg, parallel).unwrap();
+        (st, stats)
+    }
+
+    #[test]
+    fn blocked_matches_reference_without_scratchpad() {
+        let k = blocked(false);
+        let (st, stats) = run(&k, &[10], false);
+        assert_eq!(st.data("C").unwrap(), reference(&[10]).data("C").unwrap());
+        assert_eq!(stats.blocks, 9); // ceil(10/4)^2
+        assert_eq!(stats.instances, 100);
+        assert_eq!(stats.smem_reads, 0);
+        assert_eq!(stats.moved_in, 0);
+    }
+
+    #[test]
+    fn blocked_matches_reference_with_scratchpad() {
+        let k = blocked(true);
+        let (st, stats) = run(&k, &[10], false);
+        assert_eq!(st.data("C").unwrap(), reference(&[10]).data("C").unwrap());
+        assert!(stats.moved_in > 0);
+        assert!(stats.moved_out > 0);
+        assert!(stats.smem_reads > 0);
+        assert!(stats.max_smem_words > 0);
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let k = blocked(true);
+        let (seq, s1) = run(&k, &[13], false);
+        let (par, s2) = run(&k, &[13], true);
+        assert_eq!(seq.data("C").unwrap(), par.data("C").unwrap());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn scratchpad_reduces_global_traffic() {
+        let k_no = blocked(false);
+        let k_yes = blocked(true);
+        let (_, dram) = run(&k_no, &[16], false);
+        let (_, smem) = run(&k_yes, &[16], false);
+        // DRAM-only: 2 global reads per instance (512 total). With
+        // staging each A element is read once per block (overlap
+        // column read twice across neighbouring blocks only).
+        assert!(
+            smem.global_reads < dram.global_reads,
+            "{} vs {}",
+            smem.global_reads,
+            dram.global_reads
+        );
+    }
+
+    #[test]
+    fn rounds_with_device_sync() {
+        // A 1-D recurrence over rounds: for r in [1,3], i in [0,N-1]:
+        // B[r][i] = B[r-1][i] + 1 — each round reads the previous
+        // round's output, so round_dims = [r] is required and the
+        // executor must produce the sequential result.
+        let mut b = ProgramBuilder::new("r", ["N"]);
+        b.array("B", &[LinExpr::c(4), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("r", LinExpr::c(1), LinExpr::c(3)),
+                ("i", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("B", &[v("r"), v("i")])
+            .read("B", &[v("r") - 1, v("i")])
+            .body(Expr::add(Expr::Read(0), Expr::Const(1)))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+        let k = BlockedKernel {
+            program: t,
+            round_dims: vec!["r".into()],
+            block_dims: vec!["iT".into()],
+            seq_dims: vec![],
+            use_scratchpad: false,
+        };
+        let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+        let cfg = MachineConfig::geforce_8800_gtx();
+        let stats = execute_blocked(&k, &[8], &mut st, &cfg, true).unwrap();
+        assert_eq!(stats.rounds, 3);
+        for i in 0..8 {
+            assert_eq!(st.get("B", &[3, i]).unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn cell_mode_copies_everything() {
+        let p = window2d();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4), ("j", 4)], "T")).unwrap();
+        let k = BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into(), "jT".into()],
+            seq_dims: vec![],
+            use_scratchpad: true,
+        };
+        let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+        st.fill_with("A", |ix| ix[0] + ix[1]).unwrap();
+        let cfg = MachineConfig::cell_like();
+        let stats = execute_blocked(&k, &[8], &mut st, &cfg, false).unwrap();
+        // In Cell mode no compute access touches global memory: all
+        // global traffic is movement.
+        assert_eq!(stats.global_reads, stats.moved_in);
+        assert_eq!(stats.global_writes, stats.moved_out);
+        assert_eq!(st.data("C").unwrap(), {
+            let mut r = ArrayStore::for_program(&p, &[8]).unwrap();
+            r.fill_with("A", |ix| ix[0] + ix[1]).unwrap();
+            exec_program(&p, &[8], &mut r).unwrap();
+            r.data("C").unwrap().to_vec()
+        });
+    }
+}

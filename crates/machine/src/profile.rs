@@ -1,0 +1,289 @@
+//! The analytic timing model.
+//!
+//! A [`KernelProfile`] summarises what one kernel launch does — how
+//! many blocks, threads, statement instances, arithmetic ops, global /
+//! scratchpad accesses, data-movement occurrences and volumes, and
+//! device-wide synchronisations. [`KernelProfile::estimate`] turns it
+//! into milliseconds on a [`MachineConfig`]:
+//!
+//! * blocks execute in **waves** of at most `concurrent_blocks`
+//!   (the §5 occupancy rule driven by per-block scratchpad use);
+//! * within a block, compute proceeds at warp granularity on the
+//!   inner SIMD units while global accesses cost
+//!   `latency / overlap` cycles each (the overlap models warp
+//!   multithreading);
+//! * each data-movement occurrence pays the §4.3 model
+//!   `P·S + V·L/P` with `P` = threads per block;
+//! * device-wide synchronisation (needed by kernels like time-tiled
+//!   Jacobi) costs `base + per_block · active_blocks` per round —
+//!   which is what produces the U-shape of the paper's Fig. 7.
+
+use crate::config::MachineConfig;
+use crate::{MachineError, Result};
+
+/// What one kernel launch does, summarised for the timing model.
+#[derive(Clone, Debug, Default)]
+pub struct KernelProfile {
+    /// Number of thread blocks launched.
+    pub n_blocks: u64,
+    /// Threads per block (`P` of the cost model).
+    pub threads_per_block: u64,
+    /// Total statement instances across all blocks.
+    pub instances: u64,
+    /// Arithmetic ops per instance.
+    pub ops_per_instance: u64,
+    /// Global-memory element accesses per instance (DRAM-only mode;
+    /// zero when scratchpad staging serves the references).
+    pub global_accesses_per_instance: u64,
+    /// Scratchpad element accesses per instance.
+    pub smem_accesses_per_instance: u64,
+    /// Data-movement occurrences per block over the whole launch.
+    pub movement_occurrences_per_block: u64,
+    /// Elements moved (in + out) per occurrence per block.
+    pub movement_volume_per_occurrence: u64,
+    /// Scratchpad bytes used per block (drives occupancy).
+    pub smem_bytes_per_block: u64,
+    /// Device-wide synchronisations over the launch (e.g. one per
+    /// time-tile round in Jacobi).
+    pub device_syncs: u64,
+}
+
+/// Where the estimated time goes (for reporting and tests).
+#[derive(Clone, Debug, Default)]
+pub struct TimeBreakdown {
+    /// Total milliseconds.
+    pub total_ms: f64,
+    /// Compute component.
+    pub compute_ms: f64,
+    /// Global-memory access component.
+    pub global_ms: f64,
+    /// Scratchpad access component.
+    pub smem_ms: f64,
+    /// Data-movement component (including per-occurrence syncs).
+    pub movement_ms: f64,
+    /// Device-wide synchronisation component.
+    pub device_sync_ms: f64,
+    /// Number of block waves the launch serialised into.
+    pub waves: u64,
+}
+
+impl KernelProfile {
+    /// Estimate execution time on a machine.
+    ///
+    /// The model is throughput-based: each outer unit (SM) processes
+    /// its assigned blocks back-to-back, so the launch takes
+    /// `per-block-time × ceil(blocks / SMs)`. Scratchpad-driven
+    /// occupancy (§5's `X/M` rule) enters through *latency hiding*:
+    /// when fewer than two blocks fit per active SM, the machine
+    /// cannot overlap global accesses across blocks and their
+    /// effective cost doubles.
+    pub fn estimate(&self, m: &MachineConfig) -> Result<TimeBreakdown> {
+        if self.smem_bytes_per_block > m.smem_bytes && m.smem_bytes > 0 {
+            return Err(MachineError::ScratchpadOverflow {
+                requested: self.smem_bytes_per_block,
+                available: m.smem_bytes,
+            });
+        }
+        let n_blocks = self.n_blocks.max(1);
+        let parallel_units = m.n_outer.min(n_blocks).max(1);
+        // Load-imbalance-aware serialisation: the slowest SM runs this
+        // many blocks.
+        let serial = n_blocks.div_ceil(parallel_units);
+        let resident = m
+            .concurrent_blocks(self.smem_bytes_per_block)
+            .min(n_blocks)
+            .max(1);
+        // Latency hiding by warp occupancy: an SM needs ~8 resident
+        // warps to keep its pipelines and the memory system busy.
+        // Fewer resident blocks (scratchpad-limited occupancy, §5's
+        // X/M rule, or simply a small grid) expose latency; the
+        // effective cost of memory operations scales by 1/hiding.
+        let warps_per_block =
+            (self.threads_per_block.max(1) as f64 / m.warp_size.max(1) as f64).ceil();
+        let resident_per_unit = resident as f64 / parallel_units as f64;
+        let hiding = (resident_per_unit * warps_per_block / 8.0).clamp(0.25, 1.0);
+        let instances_per_block = self.instances as f64 / n_blocks as f64;
+
+        // Effective arithmetic throughput of one block: the inner SIMD
+        // units, but never more than the threads the block runs.
+        let lanes = (m.n_inner as f64).min(self.threads_per_block.max(1) as f64);
+        let compute_cycles_block =
+            instances_per_block * self.ops_per_instance as f64 * m.cycles_per_op / lanes;
+
+        // Global accesses: latency amortised by warp-level overlap,
+        // scaled by the occupancy-driven hiding factor.
+        let global_cost = m.global_latency / (m.global_overlap * hiding);
+        let global_cycles_block =
+            instances_per_block * self.global_accesses_per_instance as f64 * global_cost;
+
+        // Scratchpad accesses: cheap, throughput-limited by the lanes,
+        // and pipeline bubbles appear at low warp occupancy too.
+        let smem_cycles_block = instances_per_block
+            * self.smem_accesses_per_instance as f64
+            * m.smem_latency
+            / lanes
+            / hiding;
+
+        // §4.3 data movement: per occurrence P·S + V·L/P.
+        let p = self.threads_per_block.max(1) as f64;
+        let movement_cycles_block = self.movement_occurrences_per_block as f64
+            * (p * m.sync_cycles
+                + self.movement_volume_per_occurrence as f64 * global_cost / p);
+
+        let per_block =
+            compute_cycles_block + global_cycles_block + smem_cycles_block + movement_cycles_block;
+        // Every launched block participates in a device-wide barrier.
+        let device_sync_cycles = self.device_syncs as f64
+            * (m.device_sync_base + m.device_sync_per_block * n_blocks as f64);
+        let total_cycles = per_block * serial as f64 + device_sync_cycles;
+
+        Ok(TimeBreakdown {
+            total_ms: m.cycles_to_ms(total_cycles),
+            compute_ms: m.cycles_to_ms(compute_cycles_block * serial as f64),
+            global_ms: m.cycles_to_ms(global_cycles_block * serial as f64),
+            smem_ms: m.cycles_to_ms(smem_cycles_block * serial as f64),
+            movement_ms: m.cycles_to_ms(movement_cycles_block * serial as f64),
+            device_sync_ms: m.cycles_to_ms(device_sync_cycles),
+            waves: serial,
+        })
+    }
+
+    /// Estimate on the CPU baseline: a single sequential unit whose
+    /// every access costs the (cache-filtered) memory latency.
+    pub fn estimate_cpu(&self, m: &MachineConfig) -> TimeBreakdown {
+        let ops = self.instances as f64 * self.ops_per_instance as f64 * m.cycles_per_op;
+        let mem = self.instances as f64
+            * (self.global_accesses_per_instance + self.smem_accesses_per_instance) as f64
+            * m.global_latency;
+        TimeBreakdown {
+            total_ms: m.cycles_to_ms(ops + mem),
+            compute_ms: m.cycles_to_ms(ops),
+            global_ms: m.cycles_to_ms(mem),
+            ..TimeBreakdown::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_profile() -> KernelProfile {
+        KernelProfile {
+            n_blocks: 32,
+            threads_per_block: 256,
+            instances: 1 << 22,
+            ops_per_instance: 4,
+            global_accesses_per_instance: 3,
+            ..KernelProfile::default()
+        }
+    }
+
+    #[test]
+    fn scratchpad_variant_beats_dram_only() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let dram = base_profile();
+        // Same kernel with staging: global traffic becomes movement
+        // volume (touched once), per-instance accesses hit smem.
+        let smem = KernelProfile {
+            global_accesses_per_instance: 0,
+            smem_accesses_per_instance: 3,
+            movement_occurrences_per_block: 64,
+            movement_volume_per_occurrence: 4096,
+            smem_bytes_per_block: 8 * 1024,
+            ..dram.clone()
+        };
+        let t_dram = dram.estimate(&m).unwrap().total_ms;
+        let t_smem = smem.estimate(&m).unwrap().total_ms;
+        assert!(
+            t_smem * 3.0 < t_dram,
+            "expected >3x gap, got {t_smem} vs {t_dram}"
+        );
+    }
+
+    #[test]
+    fn gpu_beats_cpu_by_orders_of_magnitude() {
+        let g = MachineConfig::geforce_8800_gtx();
+        let c = MachineConfig::host_cpu();
+        let p = base_profile();
+        let t_gpu = p.estimate(&g).unwrap().total_ms;
+        let t_cpu = p.estimate_cpu(&c).total_ms;
+        // Even the DRAM-only GPU variant beats the CPU severalfold
+        // (the paper's staged variant wins by far more; see Figure 4).
+        assert!(t_cpu > 5.0 * t_gpu, "cpu {t_cpu} vs gpu {t_gpu}");
+    }
+
+    #[test]
+    fn occupancy_penalises_fat_blocks() {
+        // A block monopolising the scratchpad leaves no co-resident
+        // block to hide global latency behind: movement and residual
+        // global traffic get more expensive (§5's X/M occupancy rule).
+        let m = MachineConfig::geforce_8800_gtx();
+        let slim = KernelProfile {
+            smem_bytes_per_block: 2 * 1024,
+            smem_accesses_per_instance: 2,
+            global_accesses_per_instance: 0,
+            movement_occurrences_per_block: 128,
+            movement_volume_per_occurrence: 100_000,
+            threads_per_block: 64,
+            ..base_profile()
+        };
+        let fat = KernelProfile {
+            smem_bytes_per_block: 16 * 1024,
+            ..slim.clone()
+        };
+        let t_slim = slim.estimate(&m).unwrap();
+        let t_fat = fat.estimate(&m).unwrap();
+        assert!(t_fat.movement_ms > t_slim.movement_ms);
+        assert!(t_fat.total_ms > t_slim.total_ms);
+    }
+
+    #[test]
+    fn device_sync_grows_with_active_blocks() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let few = KernelProfile {
+            n_blocks: 16,
+            device_syncs: 1000,
+            smem_accesses_per_instance: 1,
+            global_accesses_per_instance: 0,
+            ..base_profile()
+        };
+        let many = KernelProfile {
+            n_blocks: 128,
+            ..few.clone()
+        };
+        let t_few = few.estimate(&m).unwrap();
+        let t_many = many.estimate(&m).unwrap();
+        assert!(t_many.device_sync_ms > t_few.device_sync_ms);
+    }
+
+    #[test]
+    fn scratchpad_overflow_is_an_error() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let p = KernelProfile {
+            smem_bytes_per_block: 64 * 1024,
+            ..base_profile()
+        };
+        assert!(matches!(
+            p.estimate(&m),
+            Err(MachineError::ScratchpadOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let p = KernelProfile {
+            smem_accesses_per_instance: 2,
+            movement_occurrences_per_block: 10,
+            movement_volume_per_occurrence: 100,
+            smem_bytes_per_block: 1024,
+            device_syncs: 5,
+            ..base_profile()
+        };
+        let t = p.estimate(&m).unwrap();
+        let parts =
+            t.compute_ms + t.global_ms + t.smem_ms + t.movement_ms + t.device_sync_ms;
+        assert!((parts - t.total_ms).abs() < 1e-9 * t.total_ms.max(1.0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Execution timelines: where a launch's simulated time goes.
+//!
+//! [`Timeline::from_profile`] expands an analytic [`KernelProfile`]
+//! estimate into per-phase segments (move-in, compute, scratchpad
+//! traffic, move-out, device barriers) laid out over rounds, and
+//! renders them as a text Gantt chart — the quickest way to *see* why
+//! a configuration is slow (barrier-bound vs movement-bound vs
+//! compute-bound), mirroring the discussion around the paper's
+//! Figs. 7/8.
+
+use crate::config::MachineConfig;
+use crate::profile::KernelProfile;
+use crate::Result;
+
+/// One segment of simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Phase label.
+    pub phase: Phase,
+    /// Duration in milliseconds.
+    pub ms: f64,
+}
+
+/// The phases a launch's time divides into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Data movement between global memory and scratchpad
+    /// (move-in + move-out, §4.3 cost).
+    Movement,
+    /// Arithmetic on the inner SIMD units.
+    Compute,
+    /// Scratchpad access time during compute.
+    Scratchpad,
+    /// Residual global-memory access time during compute.
+    Global,
+    /// Device-wide synchronisation (inter-block barriers).
+    Barrier,
+}
+
+impl Phase {
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Movement => "movement",
+            Phase::Compute => "compute",
+            Phase::Scratchpad => "smem",
+            Phase::Global => "global",
+            Phase::Barrier => "barrier",
+        }
+    }
+
+    fn glyph(&self) -> char {
+        match self {
+            Phase::Movement => '▒',
+            Phase::Compute => '█',
+            Phase::Scratchpad => '▓',
+            Phase::Global => '░',
+            Phase::Barrier => '|',
+        }
+    }
+}
+
+/// A launch timeline: phase segments summing to the estimated time.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Segments in schedule order.
+    pub segments: Vec<Segment>,
+    /// Total estimated milliseconds.
+    pub total_ms: f64,
+}
+
+impl Timeline {
+    /// Expand a profile's estimate into a per-phase timeline.
+    pub fn from_profile(profile: &KernelProfile, machine: &MachineConfig) -> Result<Timeline> {
+        let t = profile.estimate(machine)?;
+        let mut segments = Vec::new();
+        let mut push = |phase: Phase, ms: f64| {
+            if ms > 0.0 {
+                segments.push(Segment { phase, ms });
+            }
+        };
+        push(Phase::Movement, t.movement_ms);
+        push(Phase::Global, t.global_ms);
+        push(Phase::Compute, t.compute_ms);
+        push(Phase::Scratchpad, t.smem_ms);
+        push(Phase::Barrier, t.device_sync_ms);
+        Ok(Timeline {
+            segments,
+            total_ms: t.total_ms,
+        })
+    }
+
+    /// Fraction of total time spent in a phase.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        if self.total_ms <= 0.0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.ms)
+            .sum::<f64>()
+            / self.total_ms
+    }
+
+    /// The phase consuming the most time.
+    pub fn dominant(&self) -> Option<Phase> {
+        self.segments
+            .iter()
+            .max_by(|a, b| a.ms.total_cmp(&b.ms))
+            .map(|s| s.phase)
+    }
+
+    /// Render as a `width`-column text bar plus a legend.
+    pub fn render(&self, width: usize) -> String {
+        let mut bar = String::new();
+        if self.total_ms > 0.0 {
+            let mut used = 0usize;
+            for (k, s) in self.segments.iter().enumerate() {
+                let mut cols = ((s.ms / self.total_ms) * width as f64).round() as usize;
+                if k + 1 == self.segments.len() {
+                    cols = width.saturating_sub(used);
+                }
+                bar.extend(std::iter::repeat_n(s.phase.glyph(), cols));
+                used += cols;
+            }
+        }
+        let mut legend = String::new();
+        for s in &self.segments {
+            legend.push_str(&format!(
+                "  {} {:<9} {:>9.3} ms ({:>4.1}%)\n",
+                s.phase.glyph(),
+                s.phase.label(),
+                s.ms,
+                100.0 * s.ms / self.total_ms.max(1e-12)
+            ));
+        }
+        format!("[{bar}] {:.3} ms total\n{legend}", self.total_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            n_blocks: 32,
+            threads_per_block: 64,
+            instances: 1 << 20,
+            ops_per_instance: 3,
+            smem_accesses_per_instance: 4,
+            movement_occurrences_per_block: 64,
+            movement_volume_per_occurrence: 1024,
+            smem_bytes_per_block: 2048,
+            device_syncs: 128,
+            ..KernelProfile::default()
+        }
+    }
+
+    #[test]
+    fn segments_sum_to_total() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let tl = Timeline::from_profile(&profile(), &m).unwrap();
+        let sum: f64 = tl.segments.iter().map(|s| s.ms).sum();
+        assert!((sum - tl.total_ms).abs() < 1e-9 * tl.total_ms);
+        assert!(!tl.segments.is_empty());
+    }
+
+    #[test]
+    fn fractions_are_normalised() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let tl = Timeline::from_profile(&profile(), &m).unwrap();
+        let total: f64 = [
+            Phase::Movement,
+            Phase::Compute,
+            Phase::Scratchpad,
+            Phase::Global,
+            Phase::Barrier,
+        ]
+        .iter()
+        .map(|&p| tl.fraction(p))
+        .sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn dominant_phase_tracks_the_bottleneck() {
+        let m = MachineConfig::geforce_8800_gtx();
+        // Barrier-heavy profile: many device syncs, tiny work.
+        let barrier_bound = KernelProfile {
+            instances: 1024,
+            device_syncs: 100_000,
+            ..profile()
+        };
+        let tl = Timeline::from_profile(&barrier_bound, &m).unwrap();
+        assert_eq!(tl.dominant(), Some(Phase::Barrier));
+        // Movement-heavy profile.
+        let movement_bound = KernelProfile {
+            movement_occurrences_per_block: 1 << 16,
+            device_syncs: 0,
+            instances: 1024,
+            ..profile()
+        };
+        let tl = Timeline::from_profile(&movement_bound, &m).unwrap();
+        assert_eq!(tl.dominant(), Some(Phase::Movement));
+    }
+
+    #[test]
+    fn rendering_is_width_stable() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let tl = Timeline::from_profile(&profile(), &m).unwrap();
+        let text = tl.render(60);
+        let bar = text.lines().next().unwrap();
+        let bar_chars = bar.chars().take_while(|&c| c != ']').count() - 1;
+        assert_eq!(bar_chars, 60, "{text}");
+        assert!(text.contains("ms total"));
+        assert!(text.contains("movement"));
+    }
+
+    #[test]
+    fn zero_profile_is_handled() {
+        let m = MachineConfig::geforce_8800_gtx();
+        let tl = Timeline::from_profile(&KernelProfile::default(), &m).unwrap();
+        assert_eq!(tl.fraction(Phase::Compute), 0.0);
+        let _ = tl.render(10);
+    }
+}

@@ -1,0 +1,323 @@
+//! Parametric bound extraction — polymem's stand-in for PIP.
+//!
+//! The paper uses Parametric Integer Programming to find, for each
+//! dimension of a convex union of data spaces, lower/upper bounds as
+//! affine functions of the program parameters (Algorithm 2, step 8).
+//! Here the same bounds fall out of Fourier–Motzkin projection: project
+//! the polyhedron onto one dimension (plus parameters, plus optionally
+//! an outer-dimension context for code generation), then read each row
+//! with a nonzero coefficient on that dimension as a `max`-of-affine
+//! lower bound or `min`-of-affine upper bound with an integer divisor
+//! (floor/ceil semantics).
+
+use crate::set::Polyhedron;
+use crate::{PolyError, Result};
+use polymem_linalg::gcd::{div_ceil, div_floor};
+use polymem_linalg::IVec;
+use std::fmt;
+
+/// An affine form with a positive divisor: `(coeffs · (ctx, q, 1)) / div`,
+/// where `ctx` are the context dimensions the form may reference (outer
+/// loop iterators during codegen; empty for pure parametric bounds).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffineForm {
+    /// Coefficients over `[context dims..., params..., 1]`.
+    pub coeffs: IVec,
+    /// Positive divisor; lower bounds take `ceil`, upper bounds `floor`.
+    pub div: i64,
+}
+
+impl AffineForm {
+    /// A constant form.
+    pub fn constant(n_ctx: usize, n_params: usize, value: i64) -> AffineForm {
+        let mut coeffs = vec![0; n_ctx + n_params + 1];
+        coeffs[n_ctx + n_params] = value;
+        AffineForm {
+            coeffs: coeffs.into(),
+            div: 1,
+        }
+    }
+
+    /// Evaluate as a lower bound (`ceil` of the rational value).
+    pub fn eval_lower(&self, ctx: &[i64], params: &[i64]) -> i64 {
+        div_ceil(self.raw(ctx, params), self.div)
+    }
+
+    /// Evaluate as an upper bound (`floor` of the rational value).
+    pub fn eval_upper(&self, ctx: &[i64], params: &[i64]) -> i64 {
+        div_floor(self.raw(ctx, params), self.div)
+    }
+
+    /// The undivided numerator value at a concrete point.
+    fn raw(&self, ctx: &[i64], params: &[i64]) -> i64 {
+        let n = self.coeffs.len();
+        debug_assert_eq!(ctx.len() + params.len() + 1, n);
+        let mut acc: i128 = self.coeffs[n - 1] as i128;
+        for (c, v) in self.coeffs[..ctx.len()].iter().zip(ctx) {
+            acc += (*c as i128) * (*v as i128);
+        }
+        for (c, v) in self.coeffs[ctx.len()..n - 1].iter().zip(params) {
+            acc += (*c as i128) * (*v as i128);
+        }
+        acc as i64
+    }
+
+    /// Render with names (divisor shown as `floord`/`ceild` by the
+    /// caller; this prints just the numerator and `/div`).
+    pub fn display(&self, ctx_names: &[String], param_names: &[String]) -> String {
+        let names: Vec<&str> = ctx_names
+            .iter()
+            .map(String::as_str)
+            .chain(param_names.iter().map(String::as_str))
+            .collect();
+        let mut s = String::new();
+        for (idx, &c) in self.coeffs[..self.coeffs.len() - 1].iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if s.is_empty() {
+                if c == -1 {
+                    s.push('-');
+                } else if c != 1 {
+                    s.push_str(&format!("{c}*"));
+                }
+            } else if c > 0 {
+                s.push_str(" + ");
+                if c != 1 {
+                    s.push_str(&format!("{c}*"));
+                }
+            } else {
+                s.push_str(" - ");
+                if c != -1 {
+                    s.push_str(&format!("{}*", -c));
+                }
+            }
+            s.push_str(names[idx]);
+        }
+        let k = self.coeffs[self.coeffs.len() - 1];
+        if s.is_empty() {
+            s.push_str(&k.to_string());
+        } else if k > 0 {
+            s.push_str(&format!(" + {k}"));
+        } else if k < 0 {
+            s.push_str(&format!(" - {}", -k));
+        }
+        if self.div != 1 {
+            s = format!("({s})/{}", self.div);
+        }
+        s
+    }
+
+    /// True iff the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs[..self.coeffs.len() - 1].iter().all(|&c| c == 0) && self.div == 1
+    }
+}
+
+impl fmt::Debug for AffineForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{}", self.coeffs, self.div)
+    }
+}
+
+/// A bound given by combining several affine forms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BoundList {
+    /// The candidate forms; the effective bound is their max (lower
+    /// bounds) or min (upper bounds).
+    pub terms: Vec<AffineForm>,
+}
+
+impl BoundList {
+    /// Evaluate as a lower bound: max over `ceil` of each term.
+    pub fn eval_lower(&self, ctx: &[i64], params: &[i64]) -> Option<i64> {
+        self.terms
+            .iter()
+            .map(|t| t.eval_lower(ctx, params))
+            .max()
+    }
+
+    /// Evaluate as an upper bound: min over `floor` of each term.
+    pub fn eval_upper(&self, ctx: &[i64], params: &[i64]) -> Option<i64> {
+        self.terms
+            .iter()
+            .map(|t| t.eval_upper(ctx, params))
+            .min()
+    }
+
+    /// True iff there are no candidate terms (unbounded direction).
+    pub fn is_unbounded(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Lower and upper bound lists for one dimension.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DimBounds {
+    /// Lower bound: `max` of these forms (ceil semantics).
+    pub lower: BoundList,
+    /// Upper bound: `min` of these forms (floor semantics).
+    pub upper: BoundList,
+}
+
+impl DimBounds {
+    /// Evaluate both ends; `None` if either direction is unbounded or
+    /// the range is empty at this point.
+    pub fn eval_range(&self, ctx: &[i64], params: &[i64]) -> Option<(i64, i64)> {
+        let lo = self.lower.eval_lower(ctx, params)?;
+        let hi = self.upper.eval_upper(ctx, params)?;
+        Some((lo, hi))
+    }
+}
+
+/// Extract bounds of dimension `dim` of `poly` in terms of the first
+/// `n_ctx` dims (the "outer" context) and the parameters. All dims
+/// other than `dim` and the context are eliminated first.
+///
+/// With `n_ctx == 0` this yields the **parametric bounds** of
+/// Algorithm 2 (the PIP role); with `n_ctx == dim` it yields the loop
+/// bounds used when scanning dimensions in order (the CLooG role).
+pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBounds> {
+    let n = poly.n_dims();
+    if dim >= n {
+        return Err(PolyError::BadDim { dim, n_dims: n });
+    }
+    assert!(n_ctx <= dim, "context dims must precede the bounded dim");
+    // Keep dims 0..n_ctx and `dim`; eliminate the rest.
+    let drop: Vec<usize> = (0..n)
+        .filter(|&d| d != dim && d >= n_ctx)
+        .collect();
+    let projected = poly.eliminate_dims(&drop)?;
+    // In `projected`, the target dim now sits at index n_ctx.
+    let t = n_ctx;
+    let n_params = poly.n_params();
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    for c in projected.as_ineq_rows() {
+        let a = c.coeff(t);
+        if a == 0 {
+            continue;
+        }
+        // a·dim + rest >= 0. For a > 0: dim >= ceil(-rest / a);
+        // for a < 0: dim <= floor(rest / (-a)).
+        let mut coeffs: Vec<i64> = Vec::with_capacity(n_ctx + n_params + 1);
+        for j in 0..c.len() {
+            if j == t {
+                continue;
+            }
+            coeffs.push(if a > 0 { -c.coeff(j) } else { c.coeff(j) });
+        }
+        let form = AffineForm {
+            coeffs: coeffs.into(),
+            div: a.abs(),
+        };
+        if a > 0 {
+            lower.push(form);
+        } else {
+            upper.push(form);
+        }
+    }
+    lower.sort_by(|a, b| (&a.coeffs, a.div).cmp(&(&b.coeffs, b.div)));
+    lower.dedup();
+    upper.sort_by(|a, b| (&a.coeffs, a.div).cmp(&(&b.coeffs, b.div)));
+    upper.dedup();
+    Ok(DimBounds {
+        lower: BoundList { terms: lower },
+        upper: BoundList { terms: upper },
+    })
+}
+
+/// Parametric bounds of every dimension (context-free): the Algorithm 2
+/// per-dimension `lb_k`/`ub_k` of the paper.
+pub fn all_param_bounds(poly: &Polyhedron) -> Result<Vec<DimBounds>> {
+    (0..poly.n_dims()).map(|d| dim_bounds(poly, d, 0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::space::Space;
+
+    fn triangle() -> Polyhedron {
+        // { (i, j) : 0 <= i <= N-1, 0 <= j <= i }
+        Polyhedron::new(
+            Space::new(["i", "j"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 1, -1]),
+                Constraint::ineq(vec![0, 1, 0, 0]),
+                Constraint::ineq(vec![1, -1, 0, 0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn parametric_bounds_of_triangle() {
+        let t = triangle();
+        let bi = dim_bounds(&t, 0, 0).unwrap();
+        assert_eq!(bi.eval_range(&[], &[10]), Some((0, 9)));
+        // j projected over all i: 0 <= j <= N-1.
+        let bj = dim_bounds(&t, 1, 0).unwrap();
+        assert_eq!(bj.eval_range(&[], &[10]), Some((0, 9)));
+    }
+
+    #[test]
+    fn context_bounds_depend_on_outer_dims() {
+        let t = triangle();
+        // Bounds of j with i as context: 0 <= j <= i.
+        let bj = dim_bounds(&t, 1, 1).unwrap();
+        assert_eq!(bj.eval_range(&[5], &[10]), Some((0, 5)));
+        assert_eq!(bj.eval_range(&[0], &[10]), Some((0, 0)));
+    }
+
+    #[test]
+    fn divisor_bounds_use_floor_and_ceil() {
+        // { i : 2i >= 3, 3i <= 10 } -> i in [ceil(3/2), floor(10/3)] = [2, 3].
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![2, -3]),
+                Constraint::ineq(vec![-3, 10]),
+            ],
+        );
+        let b = dim_bounds(&p, 0, 0).unwrap();
+        assert_eq!(b.eval_range(&[], &[]), Some((2, 3)));
+    }
+
+    #[test]
+    fn unbounded_direction_reports_empty_terms() {
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![Constraint::ineq(vec![1, 0])], // i >= 0, no upper bound
+        );
+        let b = dim_bounds(&p, 0, 0).unwrap();
+        assert!(!b.lower.is_unbounded());
+        assert!(b.upper.is_unbounded());
+        assert_eq!(b.eval_range(&[], &[]), None);
+    }
+
+    #[test]
+    fn affine_form_display() {
+        let f = AffineForm {
+            coeffs: vec![1, -2, 3].into(),
+            div: 1,
+        };
+        assert_eq!(f.display(&["i".into()], &["N".into()]), "i - 2*N + 3");
+        let g = AffineForm {
+            coeffs: vec![1, 0, -1].into(),
+            div: 2,
+        };
+        assert_eq!(g.display(&["i".into()], &["N".into()]), "(i - 1)/2");
+        assert!(AffineForm::constant(1, 1, 7).is_constant());
+        assert!(!f.is_constant());
+    }
+
+    #[test]
+    fn all_param_bounds_matches_per_dim() {
+        let t = triangle();
+        let all = all_param_bounds(&t).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].eval_range(&[], &[4]), Some((0, 3)));
+    }
+}

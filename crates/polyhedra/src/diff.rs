@@ -1,0 +1,148 @@
+//! Polyhedral difference: `A \ B` as a union of disjoint polyhedra.
+//!
+//! Used to make overlapping data spaces disjoint before scanning, so
+//! that generated move-in/move-out code loads/stores each element
+//! exactly once (the single-transfer guarantee of §3.1.3), and to
+//! decompose a union of data spaces into disjoint pieces for exact
+//! counting.
+//!
+//! The construction is the classic one: writing `B`'s constraints as
+//! inequalities `b_1, …, b_m`, the difference is the disjoint union of
+//! `A ∩ b_1 ∩ … ∩ b_{i-1} ∩ ¬b_i` for `i = 1..m`, where `¬(e >= 0)` is
+//! the integer-exact `e <= -1`.
+
+use crate::set::Polyhedron;
+use crate::{PolyError, Result};
+
+/// Compute `a \ b` as a vector of pairwise-disjoint polyhedra
+/// (possibly empty). Both operands must share a space shape.
+pub fn difference(a: &Polyhedron, b: &Polyhedron) -> Result<Vec<Polyhedron>> {
+    if !a.space().same_shape(b.space()) {
+        return Err(PolyError::SpaceMismatch { op: "difference" });
+    }
+    let b_rows = b.as_ineq_rows();
+    let mut pieces = Vec::new();
+    let mut accum = a.clone();
+    for (i, row) in b_rows.iter().enumerate() {
+        // piece_i = a ∩ b_0..b_{i-1} ∩ ¬b_i
+        let mut piece = accum.clone();
+        piece.add_constraint(row.negate_ineq());
+        if !piece.is_empty()? {
+            pieces.push(piece);
+        }
+        if i + 1 < b_rows.len() {
+            accum.add_constraint(row.clone());
+            if accum.is_obviously_empty() {
+                break;
+            }
+        }
+    }
+    Ok(pieces)
+}
+
+/// Subtract a whole list of polyhedra from `a`, returning disjoint
+/// pieces covering exactly `a \ (b_1 ∪ … ∪ b_k)`.
+pub fn difference_all(a: &Polyhedron, bs: &[Polyhedron]) -> Result<Vec<Polyhedron>> {
+    let mut pieces = vec![a.clone()];
+    for b in bs {
+        let mut next = Vec::new();
+        for p in &pieces {
+            next.extend(difference(p, b)?);
+        }
+        pieces = next;
+        if pieces.is_empty() {
+            break;
+        }
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::space::Space;
+
+    fn interval(lo: i64, hi: i64) -> Polyhedron {
+        Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, -lo]),
+                Constraint::ineq(vec![-1, hi]),
+            ],
+        )
+    }
+
+    fn box2(lo: (i64, i64), hi: (i64, i64)) -> Polyhedron {
+        Polyhedron::new(
+            Space::new(["x", "y"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, 0, -lo.0]),
+                Constraint::ineq(vec![-1, 0, hi.0]),
+                Constraint::ineq(vec![0, 1, -lo.1]),
+                Constraint::ineq(vec![0, -1, hi.1]),
+            ],
+        )
+    }
+
+    fn members_1d(pieces: &[Polyhedron], range: std::ops::RangeInclusive<i64>) -> Vec<i64> {
+        let mut out = Vec::new();
+        for v in range {
+            let n = pieces.iter().filter(|p| p.contains(&[v], &[])).count();
+            assert!(n <= 1, "pieces overlap at {v}");
+            if n == 1 {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interval_difference() {
+        // [0,10] \ [3,5] = [0,2] ∪ [6,10]
+        let d = difference(&interval(0, 10), &interval(3, 5)).unwrap();
+        assert_eq!(members_1d(&d, -2..=12), vec![0, 1, 2, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn difference_with_disjoint_subtrahend_is_identity() {
+        let d = difference(&interval(0, 4), &interval(10, 20)).unwrap();
+        assert_eq!(members_1d(&d, -1..=21), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn difference_with_superset_is_empty() {
+        let d = difference(&interval(3, 5), &interval(0, 10)).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_l_shape() {
+        // [0,3]^2 \ [2,3]^2 leaves an L of 16 - 4 = 12 points, disjoint.
+        let d = difference(&box2((0, 0), (3, 3)), &box2((2, 2), (3, 3))).unwrap();
+        let mut count = 0;
+        for x in 0..=3 {
+            for y in 0..=3 {
+                let n = d.iter().filter(|p| p.contains(&[x, y], &[])).count();
+                assert!(n <= 1, "overlap at ({x},{y})");
+                count += n;
+            }
+        }
+        assert_eq!(count, 12);
+        // Nothing outside the original box.
+        assert!(d.iter().all(|p| !p.contains(&[4, 0], &[])));
+    }
+
+    #[test]
+    fn difference_all_subtracts_union() {
+        // [0,10] \ ([2,3] ∪ [6,8]) = {0,1,4,5,9,10}
+        let d = difference_all(&interval(0, 10), &[interval(2, 3), interval(6, 8)]).unwrap();
+        assert_eq!(members_1d(&d, -1..=11), vec![0, 1, 4, 5, 9, 10]);
+    }
+
+    #[test]
+    fn difference_all_with_empty_list_is_identity() {
+        let d = difference_all(&interval(1, 2), &[]).unwrap();
+        assert_eq!(members_1d(&d, 0..=3), vec![1, 2]);
+    }
+}

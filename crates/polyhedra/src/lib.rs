@@ -1,0 +1,105 @@
+//! Polyhedral sets and operations for the polymem framework.
+//!
+//! This crate is polymem's replacement for the Polylib + PIP toolchain
+//! used by the paper (Baskaran et al., PPoPP 2008): it provides exact
+//! integer/rational polyhedra over named spaces and every operation the
+//! data-management and tiling pipelines need:
+//!
+//! * [`Polyhedron`] — conjunctions of affine equalities/inequalities
+//!   over `n_dims` set dimensions and `n_params` symbolic parameters;
+//! * **Fourier–Motzkin elimination** ([`Polyhedron::eliminate_dim`],
+//!   [`Polyhedron::project_onto`]) with redundancy pruning;
+//! * **affine images** ([`map::AffineMap::image`]) — the data space
+//!   `F·I` of an iteration polytope under an access function;
+//! * **parametric bounds** ([`bounds`]) — per-dimension lower/upper
+//!   bounds as max/min of affine forms of parameters (the role PIP
+//!   plays in the paper);
+//! * **set algebra** — intersection, union containers ([`union::PolyUnion`]),
+//!   polyhedral difference ([`diff`]) used for single-visit scanning;
+//! * **integer point enumeration & counting** ([`count`]) used for the
+//!   overlap-volume test of Algorithm 1;
+//! * **dependence polyhedra** ([`dep`]) for tiling legality and the
+//!   §3.1.4 copy-in/copy-out minimisation.
+//!
+//! ## Exactness notes
+//!
+//! Projection uses rational Fourier–Motzkin: the result is the rational
+//! shadow, which for the affine programs in scope (access coefficients
+//! on eliminated variables being 0/±1 after equality substitution) is
+//! exactly the integer projection. For more exotic coefficients the
+//! shadow is a safe *over-approximation*: data movement may copy a few
+//! extra elements, never too few — the same containment guarantee the
+//! paper's bounding-box allocation provides.
+
+pub mod bounds;
+pub mod constraint;
+pub mod count;
+pub mod dep;
+pub mod diff;
+pub mod map;
+pub mod set;
+pub mod space;
+pub mod union;
+
+pub use bounds::{AffineForm, BoundList, DimBounds};
+pub use constraint::{Constraint, ConstraintKind};
+pub use dep::{DepKind, Dependence, DirSign};
+pub use map::AffineMap;
+pub use set::Polyhedron;
+pub use space::Space;
+pub use union::PolyUnion;
+
+use std::fmt;
+
+/// Errors surfaced by polyhedral operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyError {
+    /// Exact arithmetic overflowed.
+    Linalg(polymem_linalg::LinalgError),
+    /// Operands live in incompatible spaces.
+    SpaceMismatch {
+        /// What was being attempted.
+        op: &'static str,
+    },
+    /// A dimension index was out of range.
+    BadDim {
+        /// The offending index.
+        dim: usize,
+        /// The number of dimensions available.
+        n_dims: usize,
+    },
+    /// Enumeration was asked for an unbounded (or parametric) set.
+    Unbounded,
+    /// Enumeration exceeded the caller-supplied point budget.
+    TooManyPoints {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            PolyError::SpaceMismatch { op } => write!(f, "space mismatch in {op}"),
+            PolyError::BadDim { dim, n_dims } => {
+                write!(f, "dimension {dim} out of range (n_dims = {n_dims})")
+            }
+            PolyError::Unbounded => write!(f, "set is unbounded or still parametric"),
+            PolyError::TooManyPoints { budget } => {
+                write!(f, "integer point enumeration exceeded budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+impl From<polymem_linalg::LinalgError> for PolyError {
+    fn from(e: polymem_linalg::LinalgError) -> Self {
+        PolyError::Linalg(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PolyError>;

@@ -1,0 +1,365 @@
+//! Affine maps between spaces: array access functions and transforms.
+//!
+//! An [`AffineMap`] is the matrix `F` of the paper: each row maps an
+//! iteration vector (plus parameters and a constant) to one dimension
+//! of a data space, `F(i) = F · (i, p, 1)ᵀ`. The key operation is
+//! [`AffineMap::image`], which computes the data space `F·I` accessed
+//! by a reference over an iteration polytope `I` — step 3 of
+//! Algorithm 2.
+
+use crate::constraint::Constraint;
+use crate::set::Polyhedron;
+use crate::space::Space;
+use crate::{PolyError, Result};
+use polymem_linalg::{IMat, IVec};
+use std::fmt;
+
+/// An affine map `in -> out` with rows over `[in dims, params, 1]`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AffineMap {
+    in_space: Space,
+    out_space: Space,
+    /// One row per output dimension; width = in_space.n_cols().
+    matrix: IMat,
+}
+
+impl AffineMap {
+    /// Build from row data. Each row has `in_space.n_cols()` entries.
+    pub fn new(in_space: Space, out_space: Space, matrix: IMat) -> AffineMap {
+        assert_eq!(matrix.rows(), out_space.n_dims(), "one row per out dim");
+        assert_eq!(matrix.cols(), in_space.n_cols(), "row width = in cols");
+        assert_eq!(
+            in_space.n_params(),
+            out_space.n_params(),
+            "in/out spaces share parameters"
+        );
+        AffineMap {
+            in_space,
+            out_space,
+            matrix,
+        }
+    }
+
+    /// Build from slices of rows.
+    pub fn from_rows(in_space: Space, out_space: Space, rows: &[&[i64]]) -> AffineMap {
+        AffineMap::new(in_space, out_space, IMat::from_rows(rows))
+    }
+
+    /// The identity map on a space.
+    pub fn identity(space: Space) -> AffineMap {
+        let n = space.n_dims();
+        let mut m = IMat::zeros(n, space.n_cols());
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        AffineMap::new(space.clone(), space, m)
+    }
+
+    /// Input space.
+    pub fn in_space(&self) -> &Space {
+        &self.in_space
+    }
+
+    /// Output space.
+    pub fn out_space(&self) -> &Space {
+        &self.out_space
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &IMat {
+        &self.matrix
+    }
+
+    /// Number of output dimensions.
+    pub fn n_out(&self) -> usize {
+        self.out_space.n_dims()
+    }
+
+    /// Number of input dimensions.
+    pub fn n_in(&self) -> usize {
+        self.in_space.n_dims()
+    }
+
+    /// Apply to a concrete point.
+    pub fn apply(&self, x: &[i64], q: &[i64]) -> Result<Vec<i64>> {
+        if x.len() != self.n_in() || q.len() != self.in_space.n_params() {
+            return Err(PolyError::SpaceMismatch { op: "apply" });
+        }
+        let mut v: Vec<i64> = x.to_vec();
+        v.extend_from_slice(q);
+        v.push(1);
+        Ok(self.matrix.mul_vec(&IVec(v))?.0)
+    }
+
+    /// Rank of the map restricted to the **input-dimension columns**
+    /// (parameters and constants excluded). This is the `rank(F)` of
+    /// the paper's Algorithm 1 reuse test.
+    pub fn dim_rank(&self) -> Result<usize> {
+        let cols: Vec<usize> = (0..self.n_in()).collect();
+        Ok(self.matrix.select_cols(&cols).rank()?)
+    }
+
+    /// The image `F·I` of a domain polytope under this map.
+    ///
+    /// Constructs the graph polytope over `[out dims, in dims]`
+    /// (equalities `out_r = F_r(in, q)` plus the domain constraints)
+    /// and eliminates the input dims. Exact when elimination pivots on
+    /// ±1 coefficients (the common case); otherwise a safe
+    /// over-approximation (see crate-level notes).
+    pub fn image(&self, domain: &Polyhedron) -> Result<Polyhedron> {
+        if !domain.space().same_shape(&self.in_space) {
+            return Err(PolyError::SpaceMismatch { op: "image" });
+        }
+        let n_out = self.n_out();
+        let n_in = self.n_in();
+        let n_params = self.in_space.n_params();
+        let combined_space = self.out_space.product(&self.in_space);
+        let ncols = combined_space.n_cols();
+        let mut rows: Vec<Constraint> = Vec::new();
+        // out_r - F_r(in, q, 1) = 0
+        for r in 0..n_out {
+            let mut row = vec![0i64; ncols];
+            row[r] = 1;
+            for j in 0..n_in {
+                row[n_out + j] = -self.matrix[(r, j)];
+            }
+            for j in 0..n_params {
+                row[n_out + n_in + j] = -self.matrix[(r, n_in + j)];
+            }
+            row[ncols - 1] = -self.matrix[(r, n_in + n_params)];
+            rows.push(Constraint::eq(row));
+        }
+        // Domain constraints, shifted right by n_out dims.
+        for c in domain.constraints() {
+            let mut row = vec![0i64; ncols];
+            for j in 0..n_in {
+                row[n_out + j] = c.coeff(j);
+            }
+            for j in 0..(n_params + 1) {
+                row[n_out + n_in + j] = c.coeff(n_in + j);
+            }
+            rows.push(Constraint {
+                coeffs: row.into(),
+                kind: c.kind,
+            });
+        }
+        let combined = Polyhedron::new(combined_space, rows);
+        let drop: Vec<usize> = (n_out..n_out + n_in).collect();
+        combined.eliminate_dims(&drop)
+    }
+
+    /// The preimage `{ x in domain-space : F(x) in set }`.
+    pub fn preimage(&self, set: &Polyhedron) -> Result<Polyhedron> {
+        if !set.space().same_shape(&self.out_space) {
+            return Err(PolyError::SpaceMismatch { op: "preimage" });
+        }
+        let n_in = self.n_in();
+        let n_params = self.in_space.n_params();
+        let ncols = self.in_space.n_cols();
+        let rows = set
+            .constraints()
+            .iter()
+            .map(|c| {
+                // Substitute out_r := F_r(in): row' = sum_r c_r * F_r + tail.
+                let mut row = vec![0i128; ncols];
+                for r in 0..self.n_out() {
+                    let cr = c.coeff(r) as i128;
+                    if cr == 0 {
+                        continue;
+                    }
+                    for j in 0..self.matrix.cols() {
+                        // Matrix column layout equals in-space layout.
+                        row[j] += cr * (self.matrix[(r, j)] as i128);
+                    }
+                }
+                for j in 0..(n_params + 1) {
+                    row[n_in + j] += c.coeff(self.n_out() + j) as i128;
+                }
+                let row: Vec<i64> = row
+                    .into_iter()
+                    .map(|v| i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow))
+                    .collect::<std::result::Result<_, _>>()?;
+                Ok(Constraint {
+                    coeffs: row.into(),
+                    kind: c.kind,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Polyhedron::new(self.in_space.clone(), rows))
+    }
+
+    /// A new map whose input space has `names` inserted as fresh dims
+    /// at position `pos`; all rows get zero coefficients there. Used
+    /// when tiling adds tile iterators the accesses do not reference.
+    pub fn insert_input_dims(&self, pos: usize, names: &[String]) -> AffineMap {
+        assert!(pos <= self.n_in());
+        let mut dims = self.in_space.dims().to_vec();
+        for (k, n) in names.iter().enumerate() {
+            dims.insert(pos + k, n.clone());
+        }
+        let in_space = Space::new(dims, self.in_space.params().to_vec());
+        let mut m = IMat::zeros(0, 0);
+        for r in 0..self.matrix.rows() {
+            let mut row = self.matrix.row(r).to_vec();
+            for k in 0..names.len() {
+                row.insert(pos + k, 0);
+            }
+            m.push_row(&row);
+        }
+        AffineMap::new(in_space, self.out_space.clone(), m)
+    }
+
+    /// A new map whose input dims are permuted: new input dim `i` is
+    /// old input dim `order[i]` (parameters and constants untouched).
+    pub fn permute_input_dims(&self, order: &[usize]) -> AffineMap {
+        assert_eq!(order.len(), self.n_in());
+        let in_space = self.in_space.keep_dims(order);
+        let mut m = IMat::zeros(0, 0);
+        for r in 0..self.matrix.rows() {
+            let old = self.matrix.row(r);
+            let mut row: Vec<i64> = order.iter().map(|&o| old[o]).collect();
+            row.extend_from_slice(&old[self.n_in()..]);
+            m.push_row(&row);
+        }
+        AffineMap::new(in_space, self.out_space.clone(), m)
+    }
+
+    /// A new map keeping only the listed output rows (in order).
+    pub fn select_outputs(&self, rows: &[usize], out_space: Space) -> AffineMap {
+        AffineMap::new(
+            self.in_space.clone(),
+            out_space,
+            self.matrix.select_rows(rows),
+        )
+    }
+}
+
+impl fmt::Debug for AffineMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AffineMap {:?} -> {:?} {:?}",
+            self.in_space, self.out_space, self.matrix
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Iteration space { (i, j) : 0 <= i, j <= N-1 }.
+    fn square() -> Polyhedron {
+        Polyhedron::new(
+            Space::new(["i", "j"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 1, -1]),
+                Constraint::ineq(vec![0, 1, 0, 0]),
+                Constraint::ineq(vec![0, -1, 1, -1]),
+            ],
+        )
+    }
+
+    #[test]
+    fn apply_evaluates_rows() {
+        // A[i + j][j + 1] over params (N).
+        let m = AffineMap::from_rows(
+            Space::new(["i", "j"], ["N"]),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 1, 0, 0], &[0, 1, 0, 1]],
+        );
+        assert_eq!(m.apply(&[2, 3], &[10]).unwrap(), vec![5, 4]);
+    }
+
+    #[test]
+    fn rank_ignores_params_and_constants() {
+        // A[i][k] in an (i,j,k) nest: rank 2 < 3 (reuse along j).
+        let m = AffineMap::from_rows(
+            Space::new(["i", "j", "k"], ["N"]),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 0, 0, 0, 0], &[0, 0, 1, 0, 0]],
+        );
+        assert_eq!(m.dim_rank().unwrap(), 2);
+        // A[i][N] — the parameter column must not raise the rank.
+        let m = AffineMap::from_rows(
+            Space::new(["i", "j"], ["N"]),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 0, 0, 0], &[0, 0, 1, 0]],
+        );
+        assert_eq!(m.dim_rank().unwrap(), 1);
+    }
+
+    #[test]
+    fn image_of_identity_is_domain() {
+        let s = square();
+        let id = AffineMap::identity(s.space().clone());
+        let img = id.image(&s).unwrap();
+        for (x, q) in [([0, 0], [5]), ([4, 4], [5]), ([2, 3], [5])] {
+            assert_eq!(img.contains(&x, &q), s.contains(&x, &q));
+        }
+        assert!(!img.contains(&[5, 0], &[5]));
+    }
+
+    #[test]
+    fn image_of_shifted_access() {
+        // A[i + 2][j - 1] over the square: image is the shifted square.
+        let s = square();
+        let m = AffineMap::from_rows(
+            s.space().clone(),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 0, 0, 2], &[0, 1, 0, -1]],
+        );
+        let img = m.image(&s).unwrap();
+        assert!(img.contains(&[2, -1], &[5]));
+        assert!(img.contains(&[6, 3], &[5]));
+        assert!(!img.contains(&[1, 0], &[5]));
+        assert!(!img.contains(&[7, 0], &[5]));
+    }
+
+    #[test]
+    fn image_of_rank_deficient_access_is_lower_dimensional() {
+        // A[i][i]: the image is the diagonal, captured by an equality.
+        let s = square();
+        let m = AffineMap::from_rows(
+            s.space().clone(),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 0, 0, 0], &[1, 0, 0, 0]],
+        );
+        let img = m.image(&s).unwrap();
+        assert!(img.contains(&[3, 3], &[5]));
+        assert!(!img.contains(&[3, 4], &[5]));
+        assert_eq!(img.equalities().len(), 1);
+    }
+
+    #[test]
+    fn preimage_inverts_membership() {
+        let s = square();
+        let m = AffineMap::from_rows(
+            s.space().clone(),
+            Space::new(["a0"], ["N"]),
+            &[&[1, 1, 0, 0]], // a0 = i + j
+        );
+        // set { a0 : a0 = 4 }
+        let set = Polyhedron::new(
+            Space::new(["a0"], ["N"]),
+            vec![Constraint::eq(vec![1, 0, -4])],
+        );
+        let pre = m.preimage(&set).unwrap();
+        assert!(pre.contains(&[1, 3], &[10]));
+        assert!(pre.contains(&[4, 0], &[10]));
+        assert!(!pre.contains(&[1, 2], &[10]));
+    }
+
+    #[test]
+    fn select_outputs_drops_rows() {
+        let m = AffineMap::from_rows(
+            Space::new(["i", "j"], ["N"]),
+            Space::new(["a0", "a1"], ["N"]),
+            &[&[1, 0, 0, 0], &[0, 1, 0, 0]],
+        );
+        let sel = m.select_outputs(&[1], Space::new(["a1"], ["N"]));
+        assert_eq!(sel.n_out(), 1);
+        assert_eq!(sel.apply(&[2, 7], &[0]).unwrap(), vec![7]);
+    }
+}

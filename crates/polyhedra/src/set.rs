@@ -1,0 +1,850 @@
+//! [`Polyhedron`]: a conjunction of affine constraints over a named
+//! space, with exact Fourier–Motzkin elimination.
+//!
+//! This is the workhorse type of the crate. Elimination substitutes
+//! through equalities where possible (exact over the integers when the
+//! pivot coefficient is ±1) and falls back to classic Fourier–Motzkin
+//! pairing on inequalities (the rational shadow; see the crate-level
+//! exactness notes).
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::space::Space;
+use crate::{PolyError, Result};
+use polymem_linalg::gcd::gcd_i64;
+use std::fmt;
+
+/// A polyhedron: `{ x : A(x, q, 1) >= 0, B(x, q, 1) = 0 }` over the
+/// dims `x` and parameters `q` of its [`Space`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    space: Space,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universe (no constraints) over a space.
+    pub fn universe(space: Space) -> Polyhedron {
+        Polyhedron {
+            space,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Build from a space and constraint rows. Rows must have
+    /// `space.n_cols()` columns.
+    pub fn new(space: Space, constraints: Vec<Constraint>) -> Polyhedron {
+        for c in &constraints {
+            assert_eq!(
+                c.len(),
+                space.n_cols(),
+                "constraint width {} does not match space {:?}",
+                c.len(),
+                space
+            );
+        }
+        let mut p = Polyhedron { space, constraints };
+        p.simplify();
+        p
+    }
+
+    /// An explicitly empty polyhedron over a space.
+    pub fn empty(space: Space) -> Polyhedron {
+        let n = space.n_cols();
+        let mut row = vec![0i64; n];
+        row[n - 1] = -1; // -1 >= 0 : unsatisfiable
+        Polyhedron {
+            space,
+            constraints: vec![Constraint::ineq(row)],
+        }
+    }
+
+    /// The space this polyhedron lives in.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of set dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.space.n_dims()
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.space.n_params()
+    }
+
+    /// Add one constraint (re-simplifies).
+    pub fn add_constraint(&mut self, c: Constraint) {
+        assert_eq!(c.len(), self.space.n_cols());
+        self.constraints.push(c);
+        self.simplify();
+    }
+
+    /// Intersection of two polyhedra over same-shape spaces (names from
+    /// `self` win).
+    pub fn intersect(&self, other: &Polyhedron) -> Result<Polyhedron> {
+        if !self.space.same_shape(&other.space) {
+            return Err(PolyError::SpaceMismatch { op: "intersect" });
+        }
+        let mut cs = self.constraints.clone();
+        cs.extend(other.constraints.iter().cloned());
+        Ok(Polyhedron::new(self.space.clone(), cs))
+    }
+
+    /// Membership test for a concrete point.
+    pub fn contains(&self, x: &[i64], q: &[i64]) -> bool {
+        debug_assert_eq!(x.len(), self.n_dims());
+        debug_assert_eq!(q.len(), self.n_params());
+        self.constraints.iter().all(|c| c.satisfied(x, q))
+    }
+
+    /// Syntactic + local-semantic cleanup: normalise rows, drop
+    /// duplicates and trivially-true rows, fold opposite inequality
+    /// pairs into equalities, keep only the tightest of rows sharing a
+    /// variable part, and detect trivial unsatisfiability.
+    fn simplify(&mut self) {
+        use std::collections::HashMap;
+        let ncols = self.space.n_cols();
+        let mut eqs: Vec<Constraint> = Vec::new();
+        // Tightest constant per inequality variable-part.
+        let mut ineqs: HashMap<Vec<i64>, i64> = HashMap::new();
+        let mut unsat = false;
+        for c in &mut self.constraints {
+            c.normalize();
+        }
+        for c in &self.constraints {
+            match c.constant_verdict() {
+                Some(true) => continue,
+                Some(false) => {
+                    unsat = true;
+                    break;
+                }
+                None => {}
+            }
+            match c.kind {
+                ConstraintKind::Eq => {
+                    if !eqs.contains(c) {
+                        eqs.push(c.clone());
+                    }
+                }
+                ConstraintKind::Ineq => {
+                    let var_part: Vec<i64> = c.coeffs[..ncols - 1].to_vec();
+                    let k = c.constant();
+                    ineqs
+                        .entry(var_part)
+                        .and_modify(|old| *old = (*old).min(k))
+                        .or_insert(k);
+                }
+            }
+        }
+        if unsat {
+            *self = Polyhedron::empty(self.space.clone());
+            return;
+        }
+        // Fold e >= 0 and -e >= 0 (allowing the tightened constants to
+        // meet exactly) into equalities; detect e >= a, -e >= -b with
+        // a > b as unsatisfiable.
+        let mut out: Vec<Constraint> = eqs;
+        let mut consumed: Vec<Vec<i64>> = Vec::new();
+        let keys: Vec<Vec<i64>> = ineqs.keys().cloned().collect();
+        for vp in &keys {
+            if consumed.contains(vp) {
+                continue;
+            }
+            let neg: Vec<i64> = vp.iter().map(|&c| -c).collect();
+            if let (Some(&k), Some(&nk)) = (ineqs.get(vp), ineqs.get(&neg)) {
+                if vp != &neg {
+                    // vp·x >= -k and vp·x <= nk ; empty if -k > nk.
+                    if -k > nk {
+                        *self = Polyhedron::empty(self.space.clone());
+                        return;
+                    }
+                    if -k == nk {
+                        let mut row = vp.clone();
+                        row.push(k);
+                        out.push(Constraint::eq(row));
+                        consumed.push(vp.clone());
+                        consumed.push(neg);
+                        continue;
+                    }
+                }
+            }
+        }
+        for (vp, k) in ineqs {
+            if consumed.contains(&vp) {
+                continue;
+            }
+            let mut row = vp;
+            row.push(k);
+            out.push(Constraint::ineq(row));
+        }
+        // Deterministic order keeps Debug output and tests stable.
+        out.sort_by(|a, b| (a.kind as u8, &a.coeffs).cmp(&(b.kind as u8, &b.coeffs)));
+        self.constraints = out;
+    }
+
+    /// True iff the polyhedron is syntactically the canonical empty set
+    /// (cheap check; for a semantic test use [`Polyhedron::is_empty`]).
+    pub fn is_obviously_empty(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.constant_verdict() == Some(false))
+    }
+
+    /// Eliminate one set dimension (Fourier–Motzkin with equality
+    /// substitution). The resulting polyhedron has `n_dims - 1` dims.
+    pub fn eliminate_dim(&self, dim: usize) -> Result<Polyhedron> {
+        let n = self.n_dims();
+        if dim >= n {
+            return Err(PolyError::BadDim { dim, n_dims: n });
+        }
+        let new_space = self.space.drop_dims(&[dim]);
+        if self.is_obviously_empty() {
+            return Ok(Polyhedron::empty(new_space));
+        }
+
+        // Prefer substitution through an equality with the smallest
+        // |coefficient| on `dim` (|1| is exact over the integers).
+        let pivot = self
+            .constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Eq && c.coeff(dim) != 0)
+            .min_by_key(|c| c.coeff(dim).abs());
+        if let Some(e) = pivot {
+            let a = e.coeff(dim);
+            let mut rows = Vec::with_capacity(self.constraints.len());
+            for c in &self.constraints {
+                if std::ptr::eq(c, e) {
+                    continue;
+                }
+                let b = c.coeff(dim);
+                let combined = if b == 0 {
+                    c.clone()
+                } else {
+                    // |a|*c - sign(a)*b*e has zero coefficient on dim.
+                    // Multiplying an inequality by |a| > 0 is sound.
+                    let g = gcd_i64(a, b);
+                    let (ca, cb) = ((a / g).abs(), b / g * (a / g).signum());
+                    let mut row = Vec::with_capacity(c.len());
+                    for j in 0..c.len() {
+                        let v = (c.coeff(j) as i128) * (ca as i128)
+                            - (e.coeff(j) as i128) * (cb as i128);
+                        row.push(
+                            i64::try_from(v)
+                                .map_err(|_| polymem_linalg::LinalgError::Overflow)?,
+                        );
+                    }
+                    match c.kind {
+                        ConstraintKind::Ineq => Constraint::ineq(row),
+                        ConstraintKind::Eq => Constraint::eq(row),
+                    }
+                };
+                rows.push(drop_col(&combined, dim));
+            }
+            return Ok(Polyhedron::new(new_space, rows));
+        }
+
+        // Classic FM pairing on inequalities. Equalities without the
+        // dim pass through unchanged (any equality *with* the dim would
+        // have been a pivot above).
+        let mut lower: Vec<&Constraint> = Vec::new();
+        let mut upper: Vec<&Constraint> = Vec::new();
+        let mut rest: Vec<Constraint> = Vec::new();
+        for c in &self.constraints {
+            let a = c.coeff(dim);
+            if a == 0 {
+                rest.push(drop_col(c, dim));
+            } else if a > 0 {
+                lower.push(c); // a·dim >= -(rest) : lower bound
+            } else {
+                upper.push(c); // (-a)·dim <= rest : upper bound
+            }
+        }
+        for lo in &lower {
+            for up in &upper {
+                let a = lo.coeff(dim); // > 0
+                let b = -up.coeff(dim); // > 0
+                let g = gcd_i64(a, b);
+                let (ma, mb) = (b / g, a / g);
+                let mut row = Vec::with_capacity(lo.len());
+                for j in 0..lo.len() {
+                    let v = (lo.coeff(j) as i128) * (ma as i128)
+                        + (up.coeff(j) as i128) * (mb as i128);
+                    row.push(
+                        i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?,
+                    );
+                }
+                rest.push(drop_col(&Constraint::ineq(row), dim));
+            }
+        }
+        Ok(Polyhedron::new(new_space, rest))
+    }
+
+    /// Eliminate several dims (highest index first so indices stay valid).
+    pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron> {
+        let mut sorted = dims.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut p = self.clone();
+        for &d in sorted.iter().rev() {
+            p = p.eliminate_dim(d)?;
+        }
+        Ok(p)
+    }
+
+    /// Project onto the given dims (kept in their current relative
+    /// order); all other dims are eliminated.
+    pub fn project_onto(&self, keep: &[usize]) -> Result<Polyhedron> {
+        let drop: Vec<usize> = (0..self.n_dims()).filter(|d| !keep.contains(d)).collect();
+        self.eliminate_dims(&drop)
+    }
+
+    /// Eliminate every dim **and** every parameter, leaving only
+    /// constant rows: used as the final step of emptiness testing.
+    fn eliminate_everything(&self) -> Result<Polyhedron> {
+        // Temporarily view params as dims so FM can eliminate them.
+        let total = self.n_dims() + self.n_params();
+        let wide = Space::anon(total, 0);
+        let mut p = Polyhedron {
+            space: wide,
+            constraints: self.constraints.clone(),
+        };
+        for d in (0..total).rev() {
+            p = p.eliminate_dim(d)?;
+        }
+        Ok(p)
+    }
+
+    /// Semantic emptiness over the *rationals*, existentially in the
+    /// parameters: returns `true` iff no rational `(x, q)` satisfies
+    /// the system. (Combined with the per-equality gcd test this is
+    /// exact for the program class in scope; see crate docs.)
+    pub fn is_empty(&self) -> Result<bool> {
+        if self.is_obviously_empty() {
+            return Ok(true);
+        }
+        // Integer infeasibility shortcut: an equality whose variable
+        // gcd does not divide its constant has no integer solution.
+        for c in &self.constraints {
+            if c.kind == ConstraintKind::Eq {
+                let n = c.len();
+                let g = polymem_linalg::gcd::gcd_slice(&c.coeffs[..n - 1]);
+                if g != 0 && c.constant() % g != 0 {
+                    return Ok(true);
+                }
+            }
+        }
+        let residue = self.eliminate_everything()?;
+        Ok(residue.is_obviously_empty())
+    }
+
+    /// Emptiness given a *context* polyhedron over the parameters
+    /// (a 0-dim polyhedron whose params match): `true` iff no point
+    /// exists for any parameter value admitted by the context.
+    pub fn is_empty_in(&self, context: &Polyhedron) -> Result<Polyhedron> {
+        // Returns the residual param-only system for reuse; see
+        // `is_empty_in_context` for the boolean wrapper.
+        if context.n_dims() != 0 || context.n_params() != self.n_params() {
+            return Err(PolyError::SpaceMismatch { op: "is_empty_in" });
+        }
+        let dims: Vec<usize> = (0..self.n_dims()).collect();
+        let shadow = self.eliminate_dims(&dims)?;
+        let mut cs = shadow.constraints;
+        cs.extend(context.constraints.iter().cloned());
+        Ok(Polyhedron::new(
+            Space::new(Vec::<String>::new(), self.space.params().to_vec()),
+            cs,
+        ))
+    }
+
+    /// Boolean form of [`Polyhedron::is_empty_in`].
+    pub fn is_empty_in_context(&self, context: &Polyhedron) -> Result<bool> {
+        self.is_empty_in(context)?.is_empty()
+    }
+
+    /// Substitute concrete parameter values, producing a parameter-free
+    /// polyhedron over the same dims.
+    pub fn substitute_params(&self, values: &[i64]) -> Result<Polyhedron> {
+        if values.len() != self.n_params() {
+            return Err(PolyError::SpaceMismatch {
+                op: "substitute_params",
+            });
+        }
+        let n = self.n_dims();
+        let space = Space::new(self.space.dims().to_vec(), Vec::<String>::new());
+        let rows = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut row: Vec<i64> = c.coeffs[..n].to_vec();
+                let mut k = c.constant() as i128;
+                for (j, &v) in values.iter().enumerate() {
+                    k += (c.coeff(n + j) as i128) * (v as i128);
+                }
+                row.push(i64::try_from(k).map_err(|_| polymem_linalg::LinalgError::Overflow)?);
+                Ok(match c.kind {
+                    ConstraintKind::Ineq => Constraint::ineq(row),
+                    ConstraintKind::Eq => Constraint::eq(row),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Polyhedron::new(space, rows))
+    }
+
+    /// Explicit equalities plus equalities implied by opposite
+    /// inequality pairs (`simplify` already folds the latter, so this
+    /// just filters).
+    pub fn equalities(&self) -> Vec<&Constraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Eq)
+            .collect()
+    }
+
+    /// All constraints as inequalities (equalities split in two).
+    pub fn as_ineq_rows(&self) -> Vec<Constraint> {
+        self.constraints
+            .iter()
+            .flat_map(|c| c.as_ineqs())
+            .collect()
+    }
+
+    /// Insert a fresh dimension at position `pos` (coefficient 0 in all
+    /// existing rows), named `name`.
+    pub fn insert_dim(&self, pos: usize, name: &str) -> Polyhedron {
+        assert!(pos <= self.n_dims());
+        let mut dims = self.space.dims().to_vec();
+        dims.insert(pos, name.to_string());
+        let space = Space::new(dims, self.space.params().to_vec());
+        let rows = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut row = c.coeffs.0.clone();
+                row.insert(pos, 0);
+                Constraint {
+                    coeffs: row.into(),
+                    kind: c.kind,
+                }
+            })
+            .collect();
+        Polyhedron {
+            space,
+            constraints: rows,
+        }
+    }
+
+    /// Rename the space (shape must match).
+    pub fn with_space(&self, space: Space) -> Polyhedron {
+        assert!(self.space.same_shape(&space));
+        Polyhedron {
+            space,
+            constraints: self.constraints.clone(),
+        }
+    }
+
+    /// The lexicographically smallest integer point of a
+    /// non-parametric bounded polytope, or `None` if empty.
+    pub fn sample_point(&self) -> Result<Option<Vec<i64>>> {
+        if self.n_params() != 0 {
+            return Err(PolyError::Unbounded);
+        }
+        if self.is_empty()? {
+            return Ok(None);
+        }
+        let n = self.n_dims();
+        let mut point = Vec::with_capacity(n);
+        let mut ctx = self.clone();
+        for d in 0..n {
+            // Bounds of dim d with dims 0..d already fixed: fix them
+            // via equalities and project.
+            let b = crate::bounds::dim_bounds(&ctx, d, d)?;
+            let Some((lo, hi)) = b.eval_range(&point, &[]) else {
+                return Err(PolyError::Unbounded);
+            };
+            // The rational shadow can overshoot; scan for the first
+            // integer-feasible value (certified by a non-empty rest).
+            let mut found = None;
+            for v in lo..=hi {
+                let mut c = ctx.clone();
+                let mut row = vec![0i64; c.space().n_cols()];
+                row[d] = 1;
+                row[c.space().n_cols() - 1] = -v;
+                c.add_constraint(Constraint::eq(row));
+                if !c.is_empty()? {
+                    found = Some((v, c));
+                    break;
+                }
+            }
+            match found {
+                Some((v, c)) => {
+                    point.push(v);
+                    ctx = c;
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(point))
+    }
+
+    /// Remove constraints implied by the others (exact, via rational
+    /// feasibility): a row `c >= 0` is redundant iff the system with
+    /// `c` replaced by its negation `c <= -1` is empty. Quadratic in
+    /// the constraint count — use after eliminations that are known to
+    /// pile up rows (`simplify` alone is only syntactic).
+    pub fn remove_redundant(&self) -> Result<Polyhedron> {
+        let mut rows = self.as_ineq_rows();
+        // Re-fold equalities afterwards via Polyhedron::new/simplify.
+        let mut k = 0;
+        while k < rows.len() {
+            if rows.len() == 1 {
+                break;
+            }
+            let mut probe: Vec<Constraint> = rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != k)
+                .map(|(_, c)| c.clone())
+                .collect();
+            probe.push(rows[k].negate_ineq());
+            let test = Polyhedron {
+                space: self.space.clone(),
+                constraints: probe,
+            };
+            if test.is_empty()? {
+                rows.remove(k);
+            } else {
+                k += 1;
+            }
+        }
+        Ok(Polyhedron::new(self.space.clone(), rows))
+    }
+
+    /// Reorder dims according to `order` (new dim `i` = old dim
+    /// `order[i]`); `order` must be a permutation of `0..n_dims`.
+    pub fn permute_dims(&self, order: &[usize]) -> Polyhedron {
+        assert_eq!(order.len(), self.n_dims());
+        let space = self.space.keep_dims(order);
+        let n = self.n_dims();
+        let rows = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut row: Vec<i64> = Vec::with_capacity(c.len());
+                for &o in order {
+                    row.push(c.coeff(o));
+                }
+                row.extend_from_slice(&c.coeffs[n..]);
+                Constraint {
+                    coeffs: row.into(),
+                    kind: c.kind,
+                }
+            })
+            .collect();
+        Polyhedron {
+            space,
+            constraints: rows,
+        }
+    }
+}
+
+/// Remove column `dim` from a constraint row.
+fn drop_col(c: &Constraint, dim: usize) -> Constraint {
+    let mut row = c.coeffs.0.clone();
+    row.remove(dim);
+    match c.kind {
+        ConstraintKind::Ineq => Constraint::ineq(row),
+        ConstraintKind::Eq => Constraint::eq(row),
+    }
+}
+
+impl fmt::Debug for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:?} : {{", self.space)?;
+        for c in &self.constraints {
+            writeln!(
+                f,
+                "  {}",
+                c.display(self.space.dims(), self.space.params())
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `{ (i, j) : 0 <= i <= N-1, 0 <= j <= i }` over param N.
+    fn triangle() -> Polyhedron {
+        let space = Space::new(["i", "j"], ["N"]);
+        Polyhedron::new(
+            space,
+            vec![
+                Constraint::ineq(vec![1, 0, 0, 0]),   // i >= 0
+                Constraint::ineq(vec![-1, 0, 1, -1]), // i <= N-1
+                Constraint::ineq(vec![0, 1, 0, 0]),   // j >= 0
+                Constraint::ineq(vec![1, -1, 0, 0]),  // j <= i
+            ],
+        )
+    }
+
+    #[test]
+    fn membership() {
+        let t = triangle();
+        assert!(t.contains(&[3, 2], &[10]));
+        assert!(t.contains(&[0, 0], &[1]));
+        assert!(!t.contains(&[3, 4], &[10]));
+        assert!(!t.contains(&[10, 0], &[10]));
+    }
+
+    #[test]
+    fn eliminate_inner_dim_gives_outer_bounds() {
+        let t = triangle();
+        // Eliminating j leaves 0 <= i <= N-1.
+        let p = t.eliminate_dim(1).unwrap();
+        assert_eq!(p.n_dims(), 1);
+        assert!(p.contains(&[0], &[5]));
+        assert!(p.contains(&[4], &[5]));
+        assert!(!p.contains(&[5], &[5]));
+        assert!(!p.contains(&[-1], &[5]));
+    }
+
+    #[test]
+    fn eliminate_outer_dim_gives_inner_shadow() {
+        let t = triangle();
+        // Eliminating i: j >= 0 and j <= i <= N-1 so j <= N-1.
+        let p = t.eliminate_dim(0).unwrap();
+        assert!(p.contains(&[0], &[5]));
+        assert!(p.contains(&[4], &[5]));
+        assert!(!p.contains(&[5], &[5]));
+    }
+
+    #[test]
+    fn equality_substitution_is_used() {
+        // { (i, j) : j = 2i + 1, 0 <= i <= 4 }; eliminating j leaves
+        // 0 <= i <= 4 exactly, via the equality pivot.
+        let space = Space::new(["i", "j"], Vec::<String>::new());
+        let p = Polyhedron::new(
+            space,
+            vec![
+                Constraint::eq(vec![2, -1, 1]),
+                Constraint::ineq(vec![1, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 4]),
+            ],
+        );
+        let q = p.eliminate_dim(1).unwrap();
+        for i in 0..=4 {
+            assert!(q.contains(&[i], &[]));
+        }
+        assert!(!q.contains(&[5], &[]));
+        // Eliminating i through the equality (coefficient 2) produces
+        // the rational shadow of j: 1 <= j <= 9.
+        let r = p.eliminate_dim(0).unwrap();
+        assert!(r.contains(&[1], &[]));
+        assert!(r.contains(&[9], &[]));
+        assert!(!r.contains(&[0], &[]));
+        assert!(!r.contains(&[10], &[]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = triangle();
+        assert!(!t.is_empty().unwrap());
+        // Adding j >= i + 1 contradicts j <= i.
+        let mut e = t.clone();
+        e.add_constraint(Constraint::ineq(vec![-1, 1, 0, -1]));
+        assert!(e.is_empty().unwrap());
+        // Explicitly empty.
+        assert!(Polyhedron::empty(Space::anon(2, 0)).is_empty().unwrap());
+        // Universe is non-empty.
+        assert!(!Polyhedron::universe(Space::anon(2, 1)).is_empty().unwrap());
+    }
+
+    #[test]
+    fn gcd_integer_emptiness() {
+        // 2i = 1 has no integer solution (but has a rational one).
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![Constraint::eq(vec![2, -1])],
+        );
+        assert!(p.is_empty().unwrap());
+    }
+
+    #[test]
+    fn opposite_ineqs_fold_to_equality() {
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, -3]),  // i >= 3
+                Constraint::ineq(vec![-1, 3]),  // i <= 3
+            ],
+        );
+        assert_eq!(p.equalities().len(), 1);
+        assert!(p.contains(&[3], &[]));
+        assert!(!p.contains(&[2], &[]));
+    }
+
+    #[test]
+    fn contradictory_bounds_detected_in_simplify() {
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, -5]), // i >= 5
+                Constraint::ineq(vec![-1, 3]), // i <= 3
+            ],
+        );
+        assert!(p.is_obviously_empty());
+    }
+
+    #[test]
+    fn duplicate_and_dominated_rows_are_merged() {
+        let p = Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, 0]),
+                Constraint::ineq(vec![1, 0]),
+                Constraint::ineq(vec![1, 5]), // weaker than i >= 0
+                Constraint::ineq(vec![-1, 9]),
+            ],
+        );
+        assert_eq!(p.constraints().len(), 2);
+    }
+
+    #[test]
+    fn substitute_params_closes_the_set() {
+        let t = triangle();
+        let c = t.substitute_params(&[4]).unwrap();
+        assert_eq!(c.n_params(), 0);
+        assert!(c.contains(&[3, 3], &[]));
+        assert!(!c.contains(&[4, 0], &[]));
+    }
+
+    #[test]
+    fn context_emptiness() {
+        // { i : 0 <= i <= N - 10 } is empty when N <= 9.
+        let p = Polyhedron::new(
+            Space::new(["i"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0]),
+                Constraint::ineq(vec![-1, 1, -10]),
+            ],
+        );
+        let ctx_small = Polyhedron::new(
+            Space::new(Vec::<String>::new(), vec!["N".to_string()]),
+            vec![Constraint::ineq(vec![-1, 9])], // N <= 9
+        );
+        let ctx_big = Polyhedron::new(
+            Space::new(Vec::<String>::new(), vec!["N".to_string()]),
+            vec![Constraint::ineq(vec![1, -100])], // N >= 100
+        );
+        assert!(p.is_empty_in_context(&ctx_small).unwrap());
+        assert!(!p.is_empty_in_context(&ctx_big).unwrap());
+    }
+
+    #[test]
+    fn insert_and_permute_dims() {
+        let t = triangle();
+        let w = t.insert_dim(1, "k");
+        assert_eq!(w.n_dims(), 3);
+        assert!(w.contains(&[3, 99, 2], &[10])); // k unconstrained
+        let p = t.permute_dims(&[1, 0]);
+        assert!(p.contains(&[2, 3], &[10])); // (j, i) order now
+        assert!(!p.contains(&[3, 2], &[10]));
+    }
+
+    #[test]
+    fn sample_point_is_lexmin() {
+        let t = triangle().substitute_params(&[5]).unwrap();
+        assert_eq!(t.sample_point().unwrap(), Some(vec![0, 0]));
+        // Shifted: { i in [3, 7], j in [i-1, i] } -> (3, 2).
+        let p = Polyhedron::new(
+            Space::new(["i", "j"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, 0, -3]),
+                Constraint::ineq(vec![-1, 0, 7]),
+                Constraint::ineq(vec![-1, 1, 1]),
+                Constraint::ineq(vec![1, -1, 0]),
+            ],
+        );
+        assert_eq!(p.sample_point().unwrap(), Some(vec![3, 2]));
+        // Empty sets yield None; parametric sets error.
+        assert_eq!(
+            Polyhedron::empty(Space::anon(2, 0)).sample_point().unwrap(),
+            None
+        );
+        assert!(triangle().sample_point().is_err());
+    }
+
+    #[test]
+    fn redundancy_removal_is_exact() {
+        // x >= 0, x >= -5 (implied), x <= 10, x + y <= 20 with
+        // y <= 5 making x + y <= 15 stricter... construct:
+        let p = Polyhedron::new(
+            Space::new(["x", "y"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, 0, 0]),    // x >= 0
+                Constraint::ineq(vec![1, 0, 5]),    // x >= -5 (implied)
+                Constraint::ineq(vec![-1, 0, 10]),  // x <= 10
+                Constraint::ineq(vec![0, 1, 0]),    // y >= 0
+                Constraint::ineq(vec![0, -1, 5]),   // y <= 5
+                Constraint::ineq(vec![-1, -1, 20]), // x + y <= 20 (implied)
+            ],
+        );
+        // `simplify` already merges the two x lower bounds (same var
+        // part); the diagonal row needs the semantic test.
+        let r = p.remove_redundant().unwrap();
+        assert!(r.constraints().len() < p.constraints().len());
+        // Same integer set on a grid.
+        for x in -2..13 {
+            for y in -2..8 {
+                assert_eq!(
+                    p.contains(&[x, y], &[]),
+                    r.contains(&[x, y], &[]),
+                    "({x},{y})"
+                );
+            }
+        }
+        // The diagonal constraint is gone.
+        assert!(r
+            .constraints()
+            .iter()
+            .all(|c| !(c.coeff(0) == -1 && c.coeff(1) == -1)));
+    }
+
+    #[test]
+    fn redundancy_removal_preserves_triangle_semantics() {
+        let t = triangle();
+        let r = t.remove_redundant().unwrap();
+        // `i >= 0` is implied by `j >= 0 ∧ j <= i` and gets dropped;
+        // everything else binds.
+        assert_eq!(r.constraints().len(), 3);
+        for n in [1i64, 4, 7] {
+            for i in -2..(n + 2) {
+                for j in -2..(n + 2) {
+                    assert_eq!(
+                        t.contains(&[i, j], &[n]),
+                        r.contains(&[i, j], &[n]),
+                        "({i},{j}) N={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn project_onto_keeps_selected_dims() {
+        let t = triangle();
+        let p = t.project_onto(&[1]).unwrap();
+        assert_eq!(p.n_dims(), 1);
+        assert_eq!(p.space().dim_name(0), "j");
+        assert!(p.contains(&[0], &[5]));
+        assert!(!p.contains(&[5], &[5]));
+    }
+}

@@ -1,0 +1,209 @@
+//! Named spaces: the dimension/parameter layout shared by polyhedra,
+//! affine maps and generated code.
+//!
+//! A [`Space`] fixes the column layout used by every constraint row in
+//! this crate: first the set dimensions, then the symbolic parameters,
+//! then a trailing constant column — i.e. a row `c` encodes
+//! `c[0..n]·x + c[n..n+p]·q + c[n+p] (>= | =) 0`.
+
+use std::fmt;
+
+/// A named space of set dimensions and parameters.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Space {
+    dims: Vec<String>,
+    params: Vec<String>,
+}
+
+impl Space {
+    /// Build a space from dimension and parameter names.
+    pub fn new<D: Into<String>, P: Into<String>>(
+        dims: impl IntoIterator<Item = D>,
+        params: impl IntoIterator<Item = P>,
+    ) -> Space {
+        Space {
+            dims: dims.into_iter().map(Into::into).collect(),
+            params: params.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// An anonymous space with `n` dims (`d0..`) and `p` params (`p0..`).
+    pub fn anon(n: usize, p: usize) -> Space {
+        Space {
+            dims: (0..n).map(|i| format!("d{i}")).collect(),
+            params: (0..p).map(|i| format!("p{i}")).collect(),
+        }
+    }
+
+    /// Number of set dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of symbolic parameters.
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of columns of a constraint row in this space
+    /// (dims + params + constant).
+    pub fn n_cols(&self) -> usize {
+        self.dims.len() + self.params.len() + 1
+    }
+
+    /// Dimension names.
+    pub fn dims(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// Parameter names.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Name of dimension `i`.
+    pub fn dim_name(&self, i: usize) -> &str {
+        &self.dims[i]
+    }
+
+    /// Name of parameter `i`.
+    pub fn param_name(&self, i: usize) -> &str {
+        &self.params[i]
+    }
+
+    /// Column index of dimension `i`.
+    pub fn dim_col(&self, i: usize) -> usize {
+        debug_assert!(i < self.dims.len());
+        i
+    }
+
+    /// Column index of parameter `i`.
+    pub fn param_col(&self, i: usize) -> usize {
+        debug_assert!(i < self.params.len());
+        self.dims.len() + i
+    }
+
+    /// Column index of the constant term.
+    pub fn const_col(&self) -> usize {
+        self.dims.len() + self.params.len()
+    }
+
+    /// Index of a dimension by name.
+    pub fn find_dim(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d == name)
+    }
+
+    /// Index of a parameter by name.
+    pub fn find_param(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p == name)
+    }
+
+    /// A new space with the given dims removed (params preserved).
+    pub fn drop_dims(&self, remove: &[usize]) -> Space {
+        Space {
+            dims: self
+                .dims
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !remove.contains(i))
+                .map(|(_, d)| d.clone())
+                .collect(),
+            params: self.params.clone(),
+        }
+    }
+
+    /// A new space keeping only the listed dims, in the listed order.
+    pub fn keep_dims(&self, keep: &[usize]) -> Space {
+        Space {
+            dims: keep.iter().map(|&i| self.dims[i].clone()).collect(),
+            params: self.params.clone(),
+        }
+    }
+
+    /// Concatenate the dims of two spaces that share parameters:
+    /// `[self.dims, other.dims]`. Panics if parameters differ.
+    pub fn product(&self, other: &Space) -> Space {
+        assert_eq!(
+            self.params, other.params,
+            "Space::product requires identical parameters"
+        );
+        let mut dims = self.dims.clone();
+        dims.extend(other.dims.iter().cloned());
+        Space {
+            dims,
+            params: self.params.clone(),
+        }
+    }
+
+    /// True iff the two spaces have the same shape (names ignored).
+    pub fn same_shape(&self, other: &Space) -> bool {
+        self.n_dims() == other.n_dims() && self.n_params() == other.n_params()
+    }
+
+    /// A space with a prefix attached to every dim name (used when
+    /// building product spaces for dependence analysis).
+    pub fn with_dim_prefix(&self, prefix: &str) -> Space {
+        Space {
+            dims: self.dims.iter().map(|d| format!("{prefix}{d}")).collect(),
+            params: self.params.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] -> {{ [{}] }}",
+            self.params.join(", "),
+            self.dims.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout() {
+        let s = Space::new(["i", "j"], ["N"]);
+        assert_eq!(s.n_dims(), 2);
+        assert_eq!(s.n_params(), 1);
+        assert_eq!(s.n_cols(), 4);
+        assert_eq!(s.dim_col(1), 1);
+        assert_eq!(s.param_col(0), 2);
+        assert_eq!(s.const_col(), 3);
+        assert_eq!(s.find_dim("j"), Some(1));
+        assert_eq!(s.find_dim("k"), None);
+        assert_eq!(s.find_param("N"), Some(0));
+    }
+
+    #[test]
+    fn drop_and_keep() {
+        let s = Space::new(["i", "j", "k"], ["N"]);
+        let d = s.drop_dims(&[1]);
+        assert_eq!(d.dims(), &["i".to_string(), "k".to_string()]);
+        let k = s.keep_dims(&[2, 0]);
+        assert_eq!(k.dims(), &["k".to_string(), "i".to_string()]);
+        assert_eq!(k.n_params(), 1);
+    }
+
+    #[test]
+    fn product_and_prefix() {
+        let a = Space::new(["i"], ["N"]);
+        let b = Space::new(["j"], ["N"]);
+        let p = a.product(&b);
+        assert_eq!(p.dims(), &["i".to_string(), "j".to_string()]);
+        let pre = a.with_dim_prefix("s_");
+        assert_eq!(pre.dims(), &["s_i".to_string()]);
+    }
+
+    #[test]
+    fn anon_space() {
+        let s = Space::anon(2, 1);
+        assert_eq!(s.dims(), &["d0".to_string(), "d1".to_string()]);
+        assert_eq!(s.params(), &["p0".to_string()]);
+        assert!(s.same_shape(&Space::new(["x", "y"], ["M"])));
+    }
+}

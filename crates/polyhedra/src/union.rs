@@ -1,0 +1,374 @@
+//! Unions of polyhedra over a common space.
+//!
+//! The set of data spaces accessed by an array's references in a block
+//! (`DS^A_rw` in the paper) is such a union. [`PolyUnion`] keeps the
+//! members explicit (the framework partitions and scans them
+//! individually) and provides the derived forms the pipeline needs:
+//! a disjoint decomposition for single-visit scanning and exact
+//! counting, and membership/emptiness tests.
+
+use crate::count::{count_points, count_or_estimate};
+use crate::diff::difference_all;
+use crate::set::Polyhedron;
+use crate::{PolyError, Result};
+
+/// A finite union of polyhedra over a shared space shape.
+#[derive(Clone, Debug)]
+pub struct PolyUnion {
+    members: Vec<Polyhedron>,
+}
+
+impl PolyUnion {
+    /// An empty union (no members).
+    pub fn new() -> PolyUnion {
+        PolyUnion {
+            members: Vec::new(),
+        }
+    }
+
+    /// Build from members; all must share a space shape.
+    pub fn from_members(members: Vec<Polyhedron>) -> Result<PolyUnion> {
+        if let Some(first) = members.first() {
+            if !members
+                .iter()
+                .all(|m| m.space().same_shape(first.space()))
+            {
+                return Err(PolyError::SpaceMismatch { op: "PolyUnion" });
+            }
+        }
+        Ok(PolyUnion { members })
+    }
+
+    /// Add one member.
+    pub fn push(&mut self, p: Polyhedron) -> Result<()> {
+        if let Some(first) = self.members.first() {
+            if !first.space().same_shape(p.space()) {
+                return Err(PolyError::SpaceMismatch { op: "PolyUnion::push" });
+            }
+        }
+        self.members.push(p);
+        Ok(())
+    }
+
+    /// The member polyhedra.
+    pub fn members(&self) -> &[Polyhedron] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff there are no members.
+    pub fn is_empty_union(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership in any member.
+    pub fn contains(&self, x: &[i64], q: &[i64]) -> bool {
+        self.members.iter().any(|m| m.contains(x, q))
+    }
+
+    /// Semantic emptiness (all members empty).
+    pub fn is_empty(&self) -> Result<bool> {
+        for m in &self.members {
+            if !m.is_empty()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Decompose into pairwise-disjoint polyhedra covering exactly the
+    /// union: `D_1 = P_1`, `D_k = P_k \ (P_1 ∪ … ∪ P_{k-1})`.
+    ///
+    /// This is what makes generated move-in/move-out code load/store
+    /// each element exactly once even when reference data spaces
+    /// overlap (§3.1.3 of the paper).
+    pub fn disjoint_pieces(&self) -> Result<Vec<Polyhedron>> {
+        let mut out: Vec<Polyhedron> = Vec::new();
+        let mut seen: Vec<Polyhedron> = Vec::new();
+        for m in &self.members {
+            if m.is_empty()? {
+                continue;
+            }
+            if seen.is_empty() {
+                out.push(m.clone());
+            } else {
+                out.extend(difference_all(m, &seen)?);
+            }
+            seen.push(m.clone());
+        }
+        Ok(out)
+    }
+
+    /// Exact number of integer points in the union (non-parametric).
+    pub fn count(&self, budget: u64) -> Result<u64> {
+        let mut total = 0u64;
+        for piece in self.disjoint_pieces()? {
+            total = total.saturating_add(count_points(&piece, budget)?);
+        }
+        Ok(total)
+    }
+
+    /// Count with bounding-box fallback per piece; the boolean reports
+    /// whether every piece was counted exactly.
+    pub fn count_or_estimate(&self, budget: u64) -> Result<(u64, bool)> {
+        let mut total = 0u64;
+        let mut all_exact = true;
+        for piece in self.disjoint_pieces()? {
+            let (n, exact) = count_or_estimate(&piece, budget)?;
+            total = total.saturating_add(n);
+            all_exact &= exact;
+        }
+        Ok((total, all_exact))
+    }
+
+    /// A convex polyhedron enclosing the union, tighter than the
+    /// bounding box: for every constraint direction `d` appearing in
+    /// any member (plus the axis directions), the result keeps
+    /// `d·x ≥ min over members` of that direction's support. This is
+    /// the template-polyhedra approximation of the paper's
+    /// `ConvexHull(DS)` — exact whenever the true hull's facet normals
+    /// all occur among the members' constraint normals (e.g. unions of
+    /// translates of one shape, which is what tiled data spaces are).
+    ///
+    /// Parametric members are supported: supports are affine forms of
+    /// the parameters when the projection yields a single bound term;
+    /// directions without such a bound in some member are dropped
+    /// (they would be unbounded for the union).
+    pub fn convex_approx(&self) -> Result<Option<Polyhedron>> {
+        use crate::constraint::Constraint;
+        let members: Vec<&Polyhedron> = {
+            let mut v = Vec::new();
+            for m in &self.members {
+                if !m.is_empty()? {
+                    v.push(m);
+                }
+            }
+            v
+        };
+        let Some(first) = members.first() else {
+            return Ok(None);
+        };
+        let n = first.n_dims();
+        let n_params = first.n_params();
+        // Collect candidate directions (dim coefficients only).
+        let mut dirs: Vec<Vec<i64>> = Vec::new();
+        let mut add_dir = |d: Vec<i64>| {
+            if d.iter().any(|&x| x != 0) && !dirs.contains(&d) {
+                dirs.push(d);
+            }
+        };
+        for m in &members {
+            for c in m.as_ineq_rows() {
+                add_dir(c.coeffs[..n].to_vec());
+            }
+        }
+        for k in 0..n {
+            let mut e = vec![0i64; n];
+            e[k] = 1;
+            add_dir(e.clone());
+            e[k] = -1;
+            add_dir(e);
+        }
+        // For each direction d, find per member the best affine lower
+        // bound of d·x (introduce t = d·x, project onto t).
+        let mut rows: Vec<Constraint> = Vec::new();
+        'dirs: for d in &dirs {
+            let mut worst: Option<Vec<i64>> = None; // over [params..., 1]
+            for m in &members {
+                // Augment with t as a new leading dim: t - d·x = 0.
+                let aug = m.insert_dim(0, "_t");
+                let mut eq = vec![0i64; aug.space().n_cols()];
+                eq[0] = 1;
+                for (k, &dk) in d.iter().enumerate() {
+                    eq[1 + k] = -dk;
+                }
+                let mut aug = aug;
+                aug.add_constraint(Constraint::eq(eq));
+                let b = crate::bounds::dim_bounds(&aug, 0, 0)?;
+                // Lower bound of t as a single affine form of params.
+                if b.lower.terms.len() != 1 || b.lower.terms[0].div != 1 {
+                    continue 'dirs;
+                }
+                let cand: Vec<i64> = b.lower.terms[0].coeffs.to_vec();
+                worst = Some(match worst {
+                    None => cand,
+                    Some(w) => {
+                        // Keep the weaker (smaller) bound; comparable
+                        // only when linear parts match — otherwise we
+                        // cannot order them symbolically, drop the dir.
+                        if w[..n_params] != cand[..n_params] {
+                            continue 'dirs;
+                        }
+                        if cand[n_params] < w[n_params] {
+                            cand
+                        } else {
+                            w
+                        }
+                    }
+                });
+            }
+            if let Some(w) = worst {
+                // d·x - w(params) >= 0.
+                let mut row = vec![0i64; n + n_params + 1];
+                row[..n].copy_from_slice(d);
+                for (k, &c) in w.iter().enumerate() {
+                    row[n + k] = -c;
+                }
+                rows.push(Constraint::ineq(row));
+            }
+        }
+        Ok(Some(Polyhedron::new(first.space().clone(), rows)))
+    }
+
+    /// Sum of pairwise intersection volumes between distinct members —
+    /// the "overlapped regions" volume of Algorithm 1's constant-reuse
+    /// test. (Non-parametric members only.)
+    pub fn pairwise_overlap_volume(&self, budget: u64) -> Result<u64> {
+        let mut total = 0u64;
+        for i in 0..self.members.len() {
+            for j in (i + 1)..self.members.len() {
+                let inter = self.members[i].intersect(&self.members[j])?;
+                let (n, _) = count_or_estimate(&inter, budget)?;
+                total = total.saturating_add(n);
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Default for PolyUnion {
+    fn default() -> Self {
+        PolyUnion::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::space::Space;
+
+    fn interval(lo: i64, hi: i64) -> Polyhedron {
+        Polyhedron::new(
+            Space::new(["i"], Vec::<String>::new()),
+            vec![
+                Constraint::ineq(vec![1, -lo]),
+                Constraint::ineq(vec![-1, hi]),
+            ],
+        )
+    }
+
+    #[test]
+    fn union_membership_and_count() {
+        let u =
+            PolyUnion::from_members(vec![interval(0, 4), interval(3, 8)]).unwrap();
+        assert!(u.contains(&[0], &[]));
+        assert!(u.contains(&[8], &[]));
+        assert!(!u.contains(&[9], &[]));
+        // |[0,8]| = 9 despite the overlap [3,4].
+        assert_eq!(u.count(1000).unwrap(), 9);
+    }
+
+    #[test]
+    fn disjoint_pieces_cover_without_overlap() {
+        let u = PolyUnion::from_members(vec![
+            interval(0, 5),
+            interval(3, 9),
+            interval(20, 21),
+        ])
+        .unwrap();
+        let pieces = u.disjoint_pieces().unwrap();
+        for v in -2..25 {
+            let n = pieces.iter().filter(|p| p.contains(&[v], &[])).count();
+            assert_eq!(n as i64, i64::from(u.contains(&[v], &[])), "at {v}");
+        }
+    }
+
+    #[test]
+    fn pairwise_overlap_volume_counts_intersections() {
+        let u =
+            PolyUnion::from_members(vec![interval(0, 5), interval(4, 9)]).unwrap();
+        // Intersection [4,5] has 2 points.
+        assert_eq!(u.pairwise_overlap_volume(100).unwrap(), 2);
+        let d =
+            PolyUnion::from_members(vec![interval(0, 2), interval(5, 9)]).unwrap();
+        assert_eq!(d.pairwise_overlap_volume(100).unwrap(), 0);
+    }
+
+    #[test]
+    fn convex_approx_encloses_and_tightens() {
+        // Two diagonal segments: the box would admit the whole square;
+        // the template approximation keeps the diagonal band.
+        let strip = |c: i64| {
+            Polyhedron::new(
+                Space::new(["x", "y"], Vec::<String>::new()),
+                vec![
+                    Constraint::ineq(vec![1, 0, 0]),
+                    Constraint::ineq(vec![-1, 0, 6]),
+                    Constraint::eq(vec![1, -1, c]), // y = x + c
+                ],
+            )
+        };
+        let u = PolyUnion::from_members(vec![strip(0), strip(2)]).unwrap();
+        let hull = u.convex_approx().unwrap().unwrap();
+        // Contains both members.
+        for m in u.members() {
+            let mut pts = Vec::new();
+            crate::count::enumerate_points(m, 1000, &mut |p| pts.push(p.to_vec())).unwrap();
+            for p in pts {
+                assert!(hull.contains(&p, &[]), "{p:?} lost");
+            }
+        }
+        // Tighter than the box: (6, 0) is in the bounding box of the
+        // union (x in [0,6], y in [0,8]) but not in the diagonal band.
+        assert!(!hull.contains(&[6, 0], &[]));
+        // Band interior points between the strips are included (it is
+        // a convex over-approximation of the union).
+        assert!(hull.contains(&[3, 4], &[]));
+    }
+
+    #[test]
+    fn convex_approx_of_translated_boxes_is_exact_hull_box() {
+        let u = PolyUnion::from_members(vec![interval(0, 3), interval(10, 12)]).unwrap();
+        let hull = u.convex_approx().unwrap().unwrap();
+        for v in -2..15 {
+            assert_eq!(hull.contains(&[v], &[]), (0..=12).contains(&v), "{v}");
+        }
+        // Empty unions yield None.
+        assert!(PolyUnion::new().convex_approx().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_union_behaviour() {
+        let u = PolyUnion::new();
+        assert!(u.is_empty_union());
+        assert!(u.is_empty().unwrap());
+        assert_eq!(u.count(10).unwrap(), 0);
+        assert!(u.disjoint_pieces().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_spaces_rejected() {
+        let a = interval(0, 1);
+        let b = Polyhedron::universe(Space::new(["x", "y"], Vec::<String>::new()));
+        assert!(PolyUnion::from_members(vec![a.clone(), b.clone()]).is_err());
+        let mut u = PolyUnion::from_members(vec![a]).unwrap();
+        assert!(u.push(b).is_err());
+    }
+
+    #[test]
+    fn empty_members_are_skipped_in_decomposition() {
+        let u = PolyUnion::from_members(vec![
+            Polyhedron::empty(Space::new(["i"], Vec::<String>::new())),
+            interval(1, 2),
+        ])
+        .unwrap();
+        let pieces = u.disjoint_pieces().unwrap();
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(u.count(10).unwrap(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! The polymem command-line driver.
+//!
+//! ```text
+//! polymem figures [4|5|6|7|8]        reproduce the paper's figures
+//! polymem analyze <kernel>           print the §3 scratchpad plan
+//! polymem emit <kernel> [--cuda]     print transformed code
+//! polymem search <me|jacobi>         run the §4.3 tile-size search
+//! polymem run <kernel> [--size N]    functional run on the simulator
+//! polymem trace <me|jacobi>          phase timeline of a launch
+//! ```
+//!
+//! `<kernel>` is a built-in name (`me`, `jacobi`, `jacobi2d`,
+//! `matmul`, `conv2d`) or a path to a `.poly` source file (see
+//! `examples/kernels/*.poly` and `polymem_ir::parse`); for files,
+//! `--params a,b,c` supplies the representative parameter values
+//! (default: 64 per parameter).
+
+use polymem::core::emit::{emit_staged, EmitOptions};
+use polymem::core::smem::{analyze_program, SmemConfig};
+use polymem::ir::{exec_program, ArrayStore, Program};
+use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me};
+use polymem::machine::{execute_blocked, BlockedKernel, MachineConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("figures") => figures(it.next()),
+        Some("analyze") => with_kernel(it.next(), analyze),
+        Some("emit") => {
+            let k = it.next();
+            let cuda = args.iter().any(|a| a == "--cuda");
+            with_kernel(k, |name| emit(name, cuda))
+        }
+        Some("search") => match it.next() {
+            Some("me") => {
+                let gpu = MachineConfig::geforce_8800_gtx();
+                let size = me::MeSize::square(1 << 22, 16);
+                let out = me::search_tiles(&size, &gpu, 256);
+                println!(
+                    "ME tile search (4M positions): (ti, tj, tk, tl) = {:?}, cost {:.0}",
+                    out.sizes, out.cost
+                );
+                ExitCode::SUCCESS
+            }
+            Some("jacobi") => {
+                let gpu = MachineConfig::geforce_8800_gtx();
+                let s = jacobi::JacobiSize {
+                    n: 512 * 1024,
+                    t: 4096,
+                };
+                let (tt, si, ms) = jacobi::search_tiles(&s, 128, 64, 512, &gpu);
+                println!(
+                    "Jacobi tile search (N = 512k, M_up = 512 words): (time, space) = ({tt}, {si}), {ms:.1} ms"
+                );
+                ExitCode::SUCCESS
+            }
+            other => usage(&format!("unknown search target {other:?}")),
+        },
+        Some("trace") => match it.next() {
+            Some("me") => {
+                let gpu = MachineConfig::geforce_8800_gtx();
+                let s = me::MeSize::square(16 << 20, 16);
+                let p = me::profile(&s, (32, 16), 32, 256, true, &gpu);
+                let tl = polymem::machine::Timeline::from_profile(&p, &gpu)
+                    .expect("profile fits the machine");
+                println!("ME, 16M positions, tiles (32,16,16,16):");
+                print!("{}", tl.render(64));
+                ExitCode::SUCCESS
+            }
+            Some("jacobi") => {
+                let gpu = MachineConfig::geforce_8800_gtx();
+                let s = jacobi::JacobiSize { n: 512 * 1024, t: 4096 };
+                let p = jacobi::profile_tiled(&s, 32, 256, 128, 64, true, &gpu);
+                let tl = polymem::machine::Timeline::from_profile(&p, &gpu)
+                    .expect("profile fits the machine");
+                println!("Jacobi, N = 512k, tiles (32, 256):");
+                print!("{}", tl.render(64));
+                ExitCode::SUCCESS
+            }
+            other => usage(&format!("unknown trace target {other:?}")),
+        },
+        Some("run") => {
+            let k = it.next().map(str::to_string);
+            let size = args
+                .iter()
+                .position(|a| a == "--size")
+                .and_then(|p| args.get(p + 1))
+                .and_then(|s| s.parse::<i64>().ok())
+                .unwrap_or(16);
+            with_kernel(k.as_deref(), |name| run(name, size))
+        }
+        _ => usage(""),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: polymem <command>\n\
+         \n\
+         commands:\n\
+         \x20 figures [4|5|6|7|8]      reproduce the paper's evaluation figures\n\
+         \x20 analyze <kernel>         print the scratchpad data-management plan\n\
+         \x20 emit <kernel> [--cuda]   print the transformed (staged) code\n\
+         \x20 search <me|jacobi>       run the paper's tile-size search\n\
+         \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
+         \x20 trace <me|jacobi>        phase timeline of a launch\n\
+         \n\
+         kernels: me, jacobi, jacobi2d, matmul, conv2d"
+    );
+    ExitCode::FAILURE
+}
+
+fn figures(which: Option<&str>) -> ExitCode {
+    let all = [
+        polymem_bench::figure4 as fn() -> polymem_bench::Figure,
+        polymem_bench::figure5,
+        polymem_bench::figure6,
+        polymem_bench::figure7,
+        polymem_bench::figure8,
+    ];
+    match which.and_then(|w| w.parse::<usize>().ok()) {
+        Some(n) if (4..=8).contains(&n) => print!("{}", all[n - 4]().to_table()),
+        None => {
+            for f in all {
+                println!("{}", f().to_table());
+            }
+        }
+        Some(n) => return usage(&format!("no figure {n} (the paper has 4..8)")),
+    }
+    ExitCode::SUCCESS
+}
+
+/// A kernel instance small enough for interactive analysis/emission:
+/// a built-in name or a `.poly` file path.
+fn kernel_program(name: &str) -> Option<(Program, Vec<i64>)> {
+    Some(match name {
+        "me" => (me::program(), vec![64, 64, 16]),
+        "jacobi" => (jacobi::program(), vec![16, 256]),
+        "jacobi2d" => (jacobi2d::program(), vec![4, 32]),
+        "matmul" => (matmul::program(), vec![64]),
+        "conv2d" => (conv2d::program(), vec![64, 5]),
+        path if path.ends_with(".poly") => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read `{path}`: {e}");
+                    return None;
+                }
+            };
+            let program = match polymem::ir::parse_program(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return None;
+                }
+            };
+            let params = cli_params().unwrap_or_else(|| vec![64; program.params.len()]);
+            if params.len() != program.params.len() {
+                eprintln!(
+                    "--params needs {} values for {:?}",
+                    program.params.len(),
+                    program.params
+                );
+                return None;
+            }
+            (program, params)
+        }
+        _ => return None,
+    })
+}
+
+/// `--params a,b,c` from the command line, if present.
+fn cli_params() -> Option<Vec<i64>> {
+    let args: Vec<String> = std::env::args().collect();
+    let p = args.iter().position(|a| a == "--params")?;
+    let list = args.get(p + 1)?;
+    list.split(',').map(|x| x.trim().parse::<i64>().ok()).collect()
+}
+
+fn with_kernel(name: Option<&str>, f: impl Fn(&str) -> ExitCode) -> ExitCode {
+    match name {
+        Some(n) if kernel_program(n).is_some() => f(n),
+        Some(n) => usage(&format!("unknown kernel `{n}`")),
+        None => usage("missing kernel name"),
+    }
+}
+
+fn plan_of(program: &Program, params: &[i64]) -> polymem::core::SmemPlan {
+    analyze_program(
+        program,
+        &SmemConfig {
+            sample_params: params.to_vec(),
+            ..SmemConfig::default()
+        },
+    )
+    .expect("analysis succeeds on built-in kernels")
+}
+
+fn analyze(name: &str) -> ExitCode {
+    let (program, params) = kernel_program(name).expect("checked");
+    println!("== {} ==\n{program}", program.name);
+    let plan = plan_of(&program, &params);
+    println!("== Algorithm 1 decisions ==");
+    for (array, d) in &plan.decisions {
+        println!(
+            "  {array}: beneficial = {}, rank-deficient = {}, overlap = {:?}",
+            d.beneficial, d.order_of_magnitude, d.overlap_fraction
+        );
+    }
+    println!("\n== Buffers (at {params:?}) ==");
+    for b in &plan.buffers {
+        println!(
+            "  {}  // offsets {:?}, {} words",
+            b.render_decl(&program.params),
+            b.offsets(&params).expect("bounded"),
+            b.size_words(&params).expect("bounded"),
+        );
+    }
+    println!("\n== Movement ==");
+    for mc in &plan.movement {
+        let b = &plan.buffers[mc.buffer];
+        println!(
+            "  L{}: move in {} elements, move out {}",
+            b.array_name,
+            mc.move_in_count(&params),
+            mc.move_out_count(&params)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(name: &str, cuda: bool) -> ExitCode {
+    let (program, params) = kernel_program(name).expect("checked");
+    let plan = plan_of(&program, &params);
+    let opts = EmitOptions {
+        cuda,
+        block_dims: vec![],
+        thread_dims: vec![],
+    };
+    print!("{}", emit_staged(&program, &plan, &opts));
+    ExitCode::SUCCESS
+}
+
+fn run(name: &str, size: i64) -> ExitCode {
+    let gpu = MachineConfig::geforce_8800_gtx();
+    let (kernel, params, check): (BlockedKernel, Vec<i64>, &str) = match name {
+        "me" => {
+            let s = me::MeSize {
+                ni: size,
+                nj: size,
+                ws: 4,
+            };
+            (me::blocked_kernel(4, 4, true), me::params(&s), "Sad")
+        }
+        "jacobi" => {
+            let s = jacobi::JacobiSize { n: size, t: 8 };
+            (jacobi::overlapped_kernel(2, 8, false), jacobi::params(&s), "A")
+        }
+        "jacobi2d" => (
+            jacobi2d::stepwise_kernel(4, 4, true),
+            jacobi2d::params(3, size),
+            "A",
+        ),
+        "matmul" => (matmul::blocked_kernel(4, 4, 8, true), vec![size], "C"),
+        "conv2d" => {
+            let s = conv2d::ConvSize { n: size, k: 3 };
+            (conv2d::blocked_kernel(4, 4, true), conv2d::params(&s), "Out")
+        }
+        _ => return usage("unknown kernel"),
+    };
+    let base_program = match name {
+        "me" => me::program(),
+        "jacobi" => jacobi::program(),
+        "jacobi2d" => jacobi2d::program(),
+        "matmul" => matmul::program(),
+        "conv2d" => conv2d::program(),
+        _ => unreachable!(),
+    };
+    let mut st = ArrayStore::for_program(&base_program, &params).expect("store");
+    match name {
+        "me" => me::init_store(&mut st, 42),
+        "jacobi" => jacobi::init_store(&mut st, 42),
+        "jacobi2d" => jacobi2d::init_store(&mut st, 42),
+        "matmul" => matmul::init_store(&mut st, 42),
+        "conv2d" => conv2d::init_store(&mut st, 42),
+        _ => unreachable!(),
+    }
+    let mut reference = st.clone();
+    exec_program(&base_program, &params, &mut reference).expect("reference run");
+    let stats = match execute_blocked(&kernel, &params, &mut st, &gpu, true) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ok = st.data(check).expect("array") == reference.data(check).expect("array");
+    println!(
+        "{name} (size {size}): {}",
+        if ok { "result matches reference ✓" } else { "MISMATCH ✗" }
+    );
+    println!(
+        "  blocks {}, rounds {}, instances {}",
+        stats.blocks, stats.rounds, stats.instances
+    );
+    println!(
+        "  global reads/writes {}/{}, smem reads/writes {}/{}",
+        stats.global_reads, stats.global_writes, stats.smem_reads, stats.smem_writes
+    );
+    println!(
+        "  moved in/out {}/{}, peak scratchpad {} words",
+        stats.moved_in, stats.moved_out, stats.max_smem_words
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,32 @@
+//! # polymem
+//!
+//! A polyhedral compiler framework for **automatic data movement and
+//! computation mapping on multi-level parallel architectures with
+//! explicitly managed memories** — a faithful, from-scratch Rust
+//! reproduction of Baskaran et al., PPoPP 2008.
+//!
+//! This umbrella crate re-exports the workspace crates:
+//!
+//! * [`linalg`] — exact rational/integer linear algebra,
+//! * [`poly`] — polyhedral sets: Fourier–Motzkin projection, affine
+//!   images, dependence polyhedra,
+//! * [`ir`] — affine program IR (statements, domains, accesses),
+//! * [`codegen`] — CLooG-style polytope scanning into loop ASTs,
+//! * [`core`] — the paper's contribution: scratchpad data management
+//!   (buffer allocation, access rewriting, movement code) and
+//!   multi-level tiling with memory-constrained tile-size search,
+//! * [`machine`] — a two-level GPU-like machine simulator with explicit
+//!   scratchpad memories,
+//! * [`kernels`] — kernel specifications used in the paper's evaluation
+//!   (MPEG-4 motion estimation, Jacobi stencils) plus extras.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use polymem_codegen as codegen;
+pub use polymem_core as core;
+pub use polymem_ir as ir;
+pub use polymem_kernels as kernels;
+pub use polymem_linalg as linalg;
+pub use polymem_machine as machine;
+pub use polymem_poly as poly;

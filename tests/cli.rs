@@ -1,0 +1,75 @@
+//! Smoke tests of the `polymem` CLI binary.
+
+use std::process::Command;
+
+fn polymem(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_polymem"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn figures_subcommand_prints_a_figure() {
+    let (stdout, _, ok) = polymem(&["figures", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("Figure 7"), "{stdout}");
+    assert!(stdout.contains("Thread Blocks"), "{stdout}");
+}
+
+#[test]
+fn analyze_builtin_kernel() {
+    let (stdout, _, ok) = polymem(&["analyze", "matmul"]);
+    assert!(ok);
+    assert!(stdout.contains("Algorithm 1 decisions"), "{stdout}");
+    assert!(stdout.contains("LA[N][N];"), "{stdout}");
+}
+
+#[test]
+fn analyze_poly_file_with_params() {
+    let (stdout, _, ok) = polymem(&[
+        "analyze",
+        "examples/kernels/blur3.poly",
+        "--params",
+        "32,4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("LA[N + 2];"), "{stdout}");
+}
+
+#[test]
+fn emit_cuda_flavour() {
+    let (stdout, _, ok) = polymem(&["emit", "conv2d", "--cuda"]);
+    assert!(ok);
+    assert!(stdout.contains("__global__ void conv2d_kernel"), "{stdout}");
+    assert!(stdout.contains("__shared__"), "{stdout}");
+}
+
+#[test]
+fn run_validates_against_reference() {
+    let (stdout, _, ok) = polymem(&["run", "me", "--size", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("matches reference"), "{stdout}");
+}
+
+#[test]
+fn search_prints_paper_optima() {
+    let (stdout, _, ok) = polymem(&["search", "jacobi"]);
+    assert!(ok);
+    assert!(stdout.contains("(32, 256)"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = polymem(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (_, stderr, ok) = polymem(&["analyze", "nosuchkernel"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown kernel"), "{stderr}");
+}
