@@ -5,10 +5,10 @@
 //! covers the paper's performance results.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use polymem_core::smem::{analyze_program, SmemConfig};
-use polymem_core::deps::compute_deps;
-use polymem_core::tiling::transform::{tile_program, TileSpec};
 use polymem_codegen::scan_union;
+use polymem_core::deps::compute_deps;
+use polymem_core::smem::{analyze_program, SmemConfig};
+use polymem_core::tiling::transform::{tile_program, TileSpec};
 use polymem_kernels::{jacobi, jacobi2d, matmul, me};
 use polymem_poly::dep::DepKind;
 use polymem_poly::{Constraint, PolyUnion, Polyhedron, Space};
@@ -48,14 +48,11 @@ fn bench_substrate(c: &mut Criterion) {
     });
 
     // Union scanning with overlapping members.
-    let u = PolyUnion::from_members(vec![
-        poly_box(2, 40),
-        {
-            let mut b2 = poly_box(2, 40);
-            b2.add_constraint(Constraint::ineq(vec![1, 1, -30]));
-            b2
-        },
-    ])
+    let u = PolyUnion::from_members(vec![poly_box(2, 40), {
+        let mut b2 = poly_box(2, 40);
+        b2.add_constraint(Constraint::ineq(vec![1, 1, -30]));
+        b2
+    }])
     .unwrap();
     g.bench_function("scan_union_overlapping", |b| {
         b.iter(|| scan_union(black_box(&u), &[0]).unwrap())
@@ -102,8 +99,7 @@ fn bench_tiling(c: &mut Criterion) {
     g.bench_function("tile_me_three_levels", |b| {
         b.iter(|| {
             let l1 =
-                tile_program(black_box(&p), &TileSpec::new(&[("i", 64), ("j", 64)], "T"))
-                    .unwrap();
+                tile_program(black_box(&p), &TileSpec::new(&[("i", 64), ("j", 64)], "T")).unwrap();
             let l2 = tile_program(
                 &l1,
                 &TileSpec::new_before(&[("i", 32), ("j", 16), ("k", 16), ("l", 16)], "p", "i"),

@@ -30,14 +30,7 @@ fn bench_me_execution(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut st = base.clone();
-                execute_blocked(
-                    black_box(&kernel),
-                    &me::params(&size),
-                    &mut st,
-                    &cfg,
-                    par,
-                )
-                .unwrap()
+                execute_blocked(black_box(&kernel), &me::params(&size), &mut st, &cfg, par).unwrap()
             })
         });
     }
@@ -57,8 +50,14 @@ fn bench_jacobi_execution(c: &mut Criterion) {
     g.bench_function("stepwise_rounds", |b| {
         b.iter(|| {
             let mut st = base.clone();
-            execute_blocked(black_box(&stepwise), &jacobi::params(&s), &mut st, &cfg, true)
-                .unwrap()
+            execute_blocked(
+                black_box(&stepwise),
+                &jacobi::params(&s),
+                &mut st,
+                &cfg,
+                true,
+            )
+            .unwrap()
         })
     });
     let overlapped = jacobi::overlapped_kernel(4, 32, false);

@@ -111,7 +111,10 @@ fn hoisting_ablation() {
     let naive = cost_at(3);
     println!("== Ablation 2: movement hoisting (matmul C, 1024^3, 32^3 tiles) ==");
     println!("  naive placement (inside kT): cost {naive:.0}");
-    println!("  hoisted (outside kT)       : cost {hoisted:.0}  ({:.0}x fewer)", naive / hoisted);
+    println!(
+        "  hoisted (outside kT)       : cost {hoisted:.0}  ({:.0}x fewer)",
+        naive / hoisted
+    );
     println!();
 }
 
@@ -180,5 +183,8 @@ fn solver_ablation() {
     let s = search_sqp(&problem);
     println!("== Ablation 4: tile-size solvers (ME, 4M positions) ==");
     println!("  discrete: sizes {:?}, cost {:.0}", d.sizes, d.cost);
-    println!("  sqp     : sizes {:?}, cost {:.0} (method: {})", s.sizes, s.cost, s.method);
+    println!(
+        "  sqp     : sizes {:?}, cost {:.0} (method: {})",
+        s.sizes, s.cost, s.method
+    );
 }

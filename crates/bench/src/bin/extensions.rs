@@ -25,7 +25,10 @@ fn main() {
 fn conv2d_sweep() {
     let gpu = MachineConfig::geforce_8800_gtx();
     println!("== Extension 1: conv2d staged vs DRAM-only (N = 4096) ==");
-    println!("{:>8} {:>16} {:>16} {:>8}", "kernel", "DRAM-only", "staged", "gain");
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "kernel", "DRAM-only", "staged", "gain"
+    );
     for k in [3i64, 5, 7, 9] {
         let s = conv2d::ConvSize { n: 4096, k };
         let dram = conv2d::profile(&s, (32, 32), 64, 256, false, &gpu)
@@ -61,15 +64,17 @@ fn cell_comparison() {
     ] {
         let mut st = ArrayStore::for_program(&p, &[n]).expect("store");
         matmul::init_store(&mut st, 1);
-        let stats = execute_blocked(&matmul::blocked_kernel(4, 4, 8, true), &[n], &mut st, &cfg, true)
-            .expect("run");
+        let stats = execute_blocked(
+            &matmul::blocked_kernel(4, 4, 8, true),
+            &[n],
+            &mut st,
+            &cfg,
+            true,
+        )
+        .expect("run");
         println!(
             "  {label}: {} blocks, moved in/out {}/{}, peak {} words ({} B limit)",
-            stats.blocks,
-            stats.moved_in,
-            stats.moved_out,
-            stats.max_smem_words,
-            cfg.smem_bytes
+            stats.blocks, stats.moved_in, stats.moved_out, stats.max_smem_words, cfg.smem_bytes
         );
     }
     println!("   (Cell semantics force every compute access through the local store)\n");
@@ -94,7 +99,10 @@ fn timelines() {
     println!("Jacobi, N = 512k, tiles (32, 256):");
     print!("{}", tl.render(64));
 
-    let s = jacobi::JacobiSize { n: 32 * 1024, t: 4096 };
+    let s = jacobi::JacobiSize {
+        n: 32 * 1024,
+        t: 4096,
+    };
     let p = jacobi::profile_resident(&s, 32, 256, 64, &gpu);
     let tl = Timeline::from_profile(&p, &gpu).expect("fits");
     println!("Jacobi resident (N = 32k) at 256 blocks (Fig. 7 right edge — barrier share grows):");

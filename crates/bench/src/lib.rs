@@ -86,9 +86,9 @@ impl Figure {
 /// Human-friendly size formatting (k/M suffixes) for x values.
 pub fn fmt_size(x: f64) -> String {
     let v = x as u64;
-    if v >= 1 << 20 && v % (1 << 20) == 0 {
+    if v >= 1 << 20 && v.is_multiple_of(1 << 20) {
         format!("{}M", v >> 20)
-    } else if v >= 1 << 10 && v % (1 << 10) == 0 {
+    } else if v >= 1 << 10 && v.is_multiple_of(1 << 10) {
         format!("{}k", v >> 10)
     } else {
         format!("{v}")
@@ -127,8 +127,10 @@ pub fn figure4() -> Figure {
         let x = total as f64;
         let pd = me::profile(&s, (32, 16), 32, 256, false, &gpu);
         let ps = me::profile(&s, (32, 16), 32, 256, true, &gpu);
-        dram.points.push((x, pd.estimate(&gpu).expect("fits").total_ms));
-        smem.points.push((x, ps.estimate(&gpu).expect("fits").total_ms));
+        dram.points
+            .push((x, pd.estimate(&gpu).expect("fits").total_ms));
+        smem.points
+            .push((x, ps.estimate(&gpu).expect("fits").total_ms));
         host.points.push((x, pd.estimate_cpu(&cpu).total_ms));
     }
     Figure {
@@ -173,8 +175,10 @@ pub fn figure5() -> Figure {
         let x = n as f64;
         let pd = jacobi::profile_tiled(&s, 32, 256, 128, 64, false, &gpu);
         let ps = jacobi::profile_tiled(&s, 32, 256, 128, 64, true, &gpu);
-        dram.points.push((x, pd.estimate(&gpu).expect("fits").total_ms));
-        smem.points.push((x, ps.estimate(&gpu).expect("fits").total_ms));
+        dram.points
+            .push((x, pd.estimate(&gpu).expect("fits").total_ms));
+        smem.points
+            .push((x, ps.estimate(&gpu).expect("fits").total_ms));
         host.points
             .push((x, jacobi::profile_cpu(&s).estimate_cpu(&cpu).total_ms));
     }
@@ -254,8 +258,7 @@ pub fn figure7() -> Figure {
 pub fn figure8() -> Figure {
     let gpu = MachineConfig::geforce_8800_gtx();
     let sizes: Vec<i64> = vec![64 << 10, 128 << 10, 256 << 10, 512 << 10];
-    let tile_options: Vec<(i64, i64)> =
-        vec![(32, 64), (32, 128), (16, 256), (32, 256), (64, 256)];
+    let tile_options: Vec<(i64, i64)> = vec![(32, 64), (32, 128), (16, 256), (32, 256), (64, 256)];
     let mut series: Vec<Series> = tile_options
         .iter()
         .map(|(tt, si)| Series {
@@ -340,7 +343,11 @@ mod tests {
         for s in &f.series {
             let first = s.points.first().unwrap().1;
             let last = s.points.last().unwrap().1;
-            let min = s.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+            let min = s
+                .points
+                .iter()
+                .map(|(_, y)| *y)
+                .fold(f64::INFINITY, f64::min);
             assert!(min < first, "{}: no initial descent", s.label);
             assert!(min < last, "{}: no final ascent", s.label);
             // The optimum is interior.

@@ -145,10 +145,7 @@ impl Ast {
                 out.push_str(&format!("{pad}}}\n"));
             }
             Ast::Guard { conds, body } => {
-                let rendered: Vec<String> = conds
-                    .iter()
-                    .map(|c| c.display(vars, params))
-                    .collect();
+                let rendered: Vec<String> = conds.iter().map(|c| c.display(vars, params)).collect();
                 out.push_str(&format!("{pad}if ({}) {{\n", rendered.join(" && ")));
                 body.print(params, leaf_text, vars, indent + 1, out);
                 out.push_str(&format!("{pad}}}\n"));

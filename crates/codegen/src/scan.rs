@@ -19,7 +19,7 @@
 use crate::ast::{Ast, LoopBounds};
 use crate::Result;
 use polymem_poly::bounds::dim_bounds;
-use polymem_poly::{Polyhedron, PolyUnion};
+use polymem_poly::{PolyUnion, Polyhedron};
 
 /// Scan one polyhedron into a loop nest whose leaf carries `tag`.
 ///

@@ -48,12 +48,7 @@ pub fn compute_deps(program: &Program, kinds: &[DepKind]) -> Result<Vec<ProgDep>
                             .enumerate()
                             .filter(|(_, r)| r.array == s.write.array)
                             .map(|(k, r)| {
-                                (
-                                    AccessId::write(src),
-                                    &s.write,
-                                    AccessId::read(dst, k),
-                                    r,
-                                )
+                                (AccessId::write(src), &s.write, AccessId::read(dst, k), r)
                             })
                             .collect(),
                         DepKind::Anti => s
@@ -62,12 +57,7 @@ pub fn compute_deps(program: &Program, kinds: &[DepKind]) -> Result<Vec<ProgDep>
                             .enumerate()
                             .filter(|(_, r)| r.array == t.write.array)
                             .map(|(k, r)| {
-                                (
-                                    AccessId::read(src, k),
-                                    r,
-                                    AccessId::write(dst),
-                                    &t.write,
-                                )
+                                (AccessId::read(src, k), r, AccessId::write(dst), &t.write)
                             })
                             .collect(),
                         DepKind::Output => {
@@ -92,12 +82,7 @@ pub fn compute_deps(program: &Program, kinds: &[DepKind]) -> Result<Vec<ProgDep>
                                     .enumerate()
                                     .filter(move |(_, sr)| sr.array == tr.array)
                                     .map(move |(sk, sr)| {
-                                        (
-                                            AccessId::read(src, sk),
-                                            sr,
-                                            AccessId::read(dst, tk),
-                                            tr,
-                                        )
+                                        (AccessId::read(src, sk), sr, AccessId::read(dst, tk), tr)
                                     })
                             })
                             .collect(),
@@ -226,8 +211,7 @@ mod tests {
             .body(Expr::Const(2))
             .done();
         let p = b.build().unwrap();
-        let deps =
-            compute_deps(&p, &[DepKind::Flow, DepKind::Anti, DepKind::Output]).unwrap();
+        let deps = compute_deps(&p, &[DepKind::Flow, DepKind::Anti, DepKind::Output]).unwrap();
         assert!(deps.is_empty());
     }
 

@@ -157,10 +157,7 @@ pub fn emit_staged(program: &Program, plan: &SmemPlan, opts: &EmitOptions) -> St
 /// Leaf renderer for copy code: `L<A>[..-g] = A[..]` or the reverse.
 /// The scanned loop variables are named `<array>_<dim>` by the data
 /// space construction.
-fn copy_leaf(
-    buf: &crate::smem::LocalBuffer,
-    move_in: bool,
-) -> impl Fn(usize) -> String + '_ {
+fn copy_leaf(buf: &crate::smem::LocalBuffer, move_in: bool) -> impl Fn(usize) -> String + '_ {
     move |_| {
         let a = &buf.array_name;
         let global: String = (0..buf.n_array_dims)
@@ -183,16 +180,8 @@ fn copy_leaf(
 
 /// Render one reference: rewritten to its local buffer when staged,
 /// the original global access otherwise.
-fn render_ref(
-    program: &Program,
-    plan: &SmemPlan,
-    stmt: usize,
-    read_idx: Option<usize>,
-) -> String {
-    let id = AccessId {
-        stmt,
-        read_idx,
-    };
+fn render_ref(program: &Program, plan: &SmemPlan, stmt: usize, read_idx: Option<usize>) -> String {
+    let id = AccessId { stmt, read_idx };
     if let Some(la) = plan.rewrites.get(&id) {
         return la.render(&plan.buffers[la.buffer], &program.params);
     }
@@ -234,9 +223,7 @@ fn render_body(program: &Program, plan: &SmemPlan, stmt: usize, e: &Expr) -> Str
 
 fn indent_text(text: &str, levels: usize) -> String {
     let pad = "  ".repeat(levels);
-    text.lines()
-        .map(|l| format!("{pad}{l}\n"))
-        .collect()
+    text.lines().map(|l| format!("{pad}{l}\n")).collect()
 }
 
 #[cfg(test)]
@@ -293,7 +280,10 @@ mod tests {
             thread_dims: vec!["i".into()],
         };
         let text = emit_staged(&p, &plan, &opts);
-        assert!(text.contains("__global__ void win_kernel(int N, int *A, int *Out)"), "{text}");
+        assert!(
+            text.contains("__global__ void win_kernel(int N, int *A, int *Out)"),
+            "{text}"
+        );
         assert!(text.contains("__shared__ int LA["), "{text}");
         assert!(text.contains("__syncthreads();"), "{text}");
         assert!(text.contains("/* FORALL: threadIdx */"), "{text}");

@@ -47,7 +47,11 @@ impl LocalAccess {
                 append(&mut sub, m[(r, j)], in_space.dim_name(j));
             }
             for j in 0..in_space.n_params() {
-                append(&mut sub, m[(r, in_space.n_dims() + j)], in_space.param_name(j));
+                append(
+                    &mut sub,
+                    m[(r, in_space.n_dims() + j)],
+                    in_space.param_name(j),
+                );
             }
             let k = m[(r, in_space.n_cols() - 1)];
             if k != 0 || sub.is_empty() {

@@ -103,12 +103,7 @@ fn fold_same_linear(lists: &[BoundList], pick_max: bool) -> Option<AffineForm> {
     best
 }
 
-fn render_combined(
-    lists: &[BoundList],
-    params: &[String],
-    inner: &str,
-    outer: &str,
-) -> String {
+fn render_combined(lists: &[BoundList], params: &[String], inner: &str, outer: &str) -> String {
     // min/max of forms sharing the linear part folds to one form.
     if let Some(f) = fold_same_linear(lists, outer == "max") {
         let none: Vec<String> = Vec::new();
@@ -311,10 +306,8 @@ pub fn allocate_buffer(
 ) -> Result<LocalBuffer> {
     let arr = &program.arrays[array_idx];
     let m = arr.rank();
-    let data_spaces: Vec<polymem_poly::Polyhedron> = members
-        .iter()
-        .map(|r| r.data_space.clone())
-        .collect();
+    let data_spaces: Vec<polymem_poly::Polyhedron> =
+        members.iter().map(|r| r.data_space.clone()).collect();
 
     // Dims of the convex union fixed by equalities shared across all
     // members become H-matrix rows (dropped from the buffer).
@@ -355,10 +348,7 @@ pub fn allocate_buffer(
 /// Find dims expressible as affine functions of the *other* dims via
 /// equalities present in every member data space. Greedy, highest
 /// dim first (keeps lower dims — the global order — in the buffer).
-fn find_dropped_dims(
-    data_spaces: &[polymem_poly::Polyhedron],
-    m: usize,
-) -> Vec<DroppedDim> {
+fn find_dropped_dims(data_spaces: &[polymem_poly::Polyhedron], m: usize) -> Vec<DroppedDim> {
     if data_spaces.is_empty() || m == 0 {
         return Vec::new();
     }

@@ -9,7 +9,8 @@
 
 use super::Result;
 use polymem_ir::Program;
-use polymem_poly::{AffineMap, Polyhedron};
+use polymem_linalg::IMat;
+use polymem_poly::{AffineMap, ConstraintKind, Polyhedron};
 
 /// Identity of one array reference in a program block.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -52,9 +53,11 @@ pub struct RefInfo {
     pub map: AffineMap,
     /// The data space `F·I` (dims = array dims, params = program params).
     pub data_space: Polyhedron,
-    /// `rank(F)` over the iteration-dimension columns.
+    /// `rank(F)` restricted to the affine hull of the iteration
+    /// domain (dims pinned by equality constraints contribute 0).
     pub rank: usize,
-    /// Dimensionality of the statement's iteration space.
+    /// Dimensionality of the affine hull of the statement's iteration
+    /// domain (raw dims minus independent equality-pinned directions).
     pub iter_dims: usize,
 }
 
@@ -67,17 +70,55 @@ impl RefInfo {
     }
 }
 
+/// Dimensionality of the affine hull of `domain` and the rank of
+/// `map` restricted to it. Raw column counts over-state both when a
+/// view pins dims with equality constraints (e.g. the executor's
+/// per-block restriction of a tiled program): a pinned dim is a
+/// degenerate direction with no trips, so it must fire neither side of
+/// Condition (1). With `E` the dim-part of the equality rows and `F`
+/// the dim-part of the access, the hull has dimension
+/// `n − rank(E)` and `F` restricted to `null(E)` has rank
+/// `rank([F; E]) − rank(E)`.
+fn effective_dims_and_rank(domain: &Polyhedron, map: &AffineMap) -> Result<(usize, usize)> {
+    let space = domain.space();
+    let n = space.n_dims();
+    let rank_of = |rows: &[Vec<i64>]| -> Result<usize> {
+        if rows.is_empty() || n == 0 {
+            return Ok(0);
+        }
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Ok(IMat::from_rows(&refs)
+            .rank()
+            .map_err(polymem_poly::PolyError::from)?)
+    };
+    let eq_rows: Vec<Vec<i64>> = domain
+        .constraints()
+        .iter()
+        .filter(|c| c.kind == ConstraintKind::Eq)
+        .map(|c| (0..n).map(|d| c.coeff(space.dim_col(d))).collect())
+        .collect();
+    let e_rank = rank_of(&eq_rows)?;
+    let m = map.matrix();
+    let mut stacked: Vec<Vec<i64>> = (0..m.rows())
+        .map(|r| (0..n).map(|d| m[(r, space.dim_col(d))]).collect())
+        .collect();
+    stacked.extend(eq_rows);
+    let f_rank = rank_of(&stacked)?.saturating_sub(e_rank);
+    Ok((n - e_rank, f_rank))
+}
+
 /// Collect every reference to array `array_idx` in the block.
 pub fn collect_refs(program: &Program, array_idx: usize) -> Result<Vec<RefInfo>> {
     let mut out = Vec::new();
     for (si, stmt) in program.stmts.iter().enumerate() {
         let mut push = |id: AccessId, map: &AffineMap| -> Result<()> {
+            let (iter_dims, rank) = effective_dims_and_rank(&stmt.domain, map)?;
             out.push(RefInfo {
                 id,
                 map: map.clone(),
                 data_space: map.image(&stmt.domain)?,
-                rank: map.dim_rank().map_err(polymem_poly::PolyError::from)?,
-                iter_dims: stmt.domain.n_dims(),
+                rank,
+                iter_dims,
             });
             Ok(())
         };
@@ -96,8 +137,8 @@ pub fn collect_refs(program: &Program, array_idx: usize) -> Result<Vec<RefInfo>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use polymem_ir::{Expr, LinExpr, ProgramBuilder};
     use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr, ProgramBuilder};
 
     /// The matvec-like kernel: for i, j in [0, N-1]^2:
     /// `Y[i] = Y[i] + A[i][j] * X[j]`.
@@ -162,6 +203,31 @@ mod tests {
         assert!(ds.contains(&[0], &[5]));
         assert!(ds.contains(&[4], &[5]));
         assert!(!ds.contains(&[5], &[5]));
+    }
+
+    #[test]
+    fn pinned_dims_do_not_fake_reuse() {
+        use crate::tiling::transform::fix_dims;
+        use std::collections::HashMap;
+        let p = matvec();
+        let mut view = p.clone();
+        // Pin i = 3 (the executor's per-block restriction): A[i][j]
+        // now sweeps a 1-d slice with a 1-d effective domain — still
+        // no order-of-magnitude reuse; Y[i] becomes a single element
+        // read over the j trips — now *genuine* reuse.
+        let mut fixed = HashMap::new();
+        fixed.insert("i".to_string(), 3);
+        for s in &mut view.stmts {
+            s.domain = fix_dims(&s.domain, &fixed);
+        }
+        let a = view.array_index("A").unwrap();
+        let r = &collect_refs(&view, a).unwrap()[0];
+        assert_eq!((r.iter_dims, r.rank), (1, 1));
+        assert!(!r.has_order_of_magnitude_reuse());
+        let y = view.array_index("Y").unwrap();
+        let r = &collect_refs(&view, y).unwrap()[0];
+        assert_eq!((r.iter_dims, r.rank), (1, 0));
+        assert!(r.has_order_of_magnitude_reuse());
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //!   the block whose flow target lies outside the block, plus all
 //!   writes to output arrays (never read in the program).
 
-use crate::deps::ProgDep;
 use super::Result;
+use crate::deps::ProgDep;
 use polymem_ir::Program;
 use polymem_poly::diff::difference;
 use polymem_poly::{PolyUnion, Polyhedron};
@@ -125,7 +125,10 @@ pub fn optimize_movement(
         let dom = restrict(si);
         for r in &stmt.reads {
             if program.is_input_array(r.array) {
-                copy_in.entry(r.array).or_default().push(r.map.image(&dom)?)?;
+                copy_in
+                    .entry(r.array)
+                    .or_default()
+                    .push(r.map.image(&dom)?)?;
             }
         }
         if program.is_output_array(stmt.write.array) {

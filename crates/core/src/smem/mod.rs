@@ -21,6 +21,7 @@
 
 pub mod access;
 pub mod alloc;
+pub mod cache;
 pub mod dataspace;
 pub mod liveness;
 pub mod movement;
@@ -29,6 +30,7 @@ pub mod reuse;
 
 pub use access::LocalAccess;
 pub use alloc::{LocalBuffer, UnionBound};
+pub use cache::{analyze_symbolic, parametrize_dims, SymbolicPlan};
 pub use dataspace::{AccessId, RefInfo};
 pub use liveness::LivenessPlan;
 pub use movement::MovementCode;
@@ -38,6 +40,7 @@ use polymem_ir::Program;
 use polymem_poly::{Polyhedron, Space};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Identifier of a local buffer within a [`SmemPlan`].
 pub type BufferId = usize;
@@ -156,52 +159,107 @@ impl SmemPlan {
     }
 }
 
+/// Wall-clock time spent in each compiler pass of one
+/// [`analyze_program`] run (the pass-level profile of the §3 pipeline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassTimes {
+    /// Data-space computation (`F·I` images) per reference.
+    pub dataspace: Duration,
+    /// §3.1 partitioning into maximal disjoint groups.
+    pub partition: Duration,
+    /// Algorithm 1 reuse-benefit evaluation.
+    pub reuse: Duration,
+    /// Algorithm 2 buffer allocation + access rewriting.
+    pub alloc: Duration,
+    /// Move-in / move-out loop-nest generation.
+    pub movement: Duration,
+}
+
+impl PassTimes {
+    /// Total time across all passes.
+    pub fn total(&self) -> Duration {
+        self.dataspace + self.partition + self.reuse + self.alloc + self.movement
+    }
+
+    /// Accumulate another run's times into this one.
+    pub fn absorb(&mut self, o: &PassTimes) {
+        self.dataspace += o.dataspace;
+        self.partition += o.partition;
+        self.reuse += o.reuse;
+        self.alloc += o.alloc;
+        self.movement += o.movement;
+    }
+}
+
 /// Run the full §3 pipeline over a program block.
 ///
 /// `config.sample_params` must be supplied if any array needs the
 /// constant-reuse volume test (i.e. always supply it for programs with
 /// parameters unless `must_copy_all` is set).
 pub fn analyze_program(program: &Program, config: &SmemConfig) -> Result<SmemPlan> {
+    analyze_program_timed(program, config).map(|(plan, _)| plan)
+}
+
+/// [`analyze_program`] plus per-pass wall-clock times, for the
+/// pass-level profiler (`polymem analyze --profile`).
+pub fn analyze_program_timed(
+    program: &Program,
+    config: &SmemConfig,
+) -> Result<(SmemPlan, PassTimes)> {
     program.validate()?;
     let context = param_universe(program);
     let mut buffers = Vec::new();
     let mut rewrites = HashMap::new();
     let mut movement = Vec::new();
     let mut decisions = Vec::new();
+    let mut times = PassTimes::default();
 
     for (ai, arr) in program.arrays.iter().enumerate() {
+        let t0 = Instant::now();
         let refs = dataspace::collect_refs(program, ai)?;
+        times.dataspace += t0.elapsed();
         if refs.is_empty() {
             continue;
         }
+        let t0 = Instant::now();
         let groups = if config.partition {
             partition::partition_refs(&refs, &context)?
         } else {
             vec![(0..refs.len()).collect()]
         };
+        times.partition += t0.elapsed();
         for group in &groups {
             let members: Vec<&RefInfo> = group.iter().map(|&k| &refs[k]).collect();
+            let t0 = Instant::now();
             let decision = reuse::evaluate_group(&members, config)?;
+            times.reuse += t0.elapsed();
             decisions.push((arr.name.clone(), decision.clone()));
             if !config.must_copy_all && !decision.beneficial {
                 continue;
             }
             let id: BufferId = buffers.len();
+            let t0 = Instant::now();
             let buffer = alloc::allocate_buffer(program, ai, id, &members)?;
             for m in &members {
                 let la = access::rewrite_access(&buffer, m)?;
                 rewrites.insert(m.id, la);
             }
+            times.alloc += t0.elapsed();
+            let t0 = Instant::now();
             movement.push(movement::generate_movement(program, &buffer, &members)?);
+            times.movement += t0.elapsed();
             buffers.push(buffer);
         }
     }
-    Ok(SmemPlan {
-        buffers,
-        rewrites,
-        movement,
-        decisions,
-    })
+    Ok((
+        SmemPlan {
+            buffers,
+            rewrites,
+            movement,
+            decisions,
+        },
+        times,
+    ))
 }
 
 /// The unconstrained parameter context of a program (0-dim polyhedron

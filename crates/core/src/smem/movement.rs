@@ -22,7 +22,7 @@ use super::dataspace::RefInfo;
 use super::Result;
 use polymem_codegen::{scan_union, Ast};
 use polymem_ir::Program;
-use polymem_poly::{Polyhedron, PolyUnion};
+use polymem_poly::{PolyUnion, Polyhedron};
 
 /// Generated movement code and volume bounds for one buffer.
 #[derive(Clone, Debug)]
@@ -54,7 +54,12 @@ impl MovementCode {
     /// §3.1.3 upper bound on the volume moved in: total buffer space
     /// of the maximal non-overlapping sub-partitions of the read data
     /// spaces.
-    pub fn vin_bound(&self, program: &Program, buffer: &LocalBuffer, params: &[i64]) -> Result<u64> {
+    pub fn vin_bound(
+        &self,
+        program: &Program,
+        buffer: &LocalBuffer,
+        params: &[i64],
+    ) -> Result<u64> {
         volume_bound(program, buffer, &self.read_spaces, params)
     }
 

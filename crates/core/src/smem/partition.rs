@@ -163,8 +163,8 @@ mod tests {
         b.stmt("S")
             .loops(&[("i", LinExpr::c(0), v("N") - 1)])
             .write("B", &[v("i")])
-            .read("A", &[v("i")])                 // [0, N-1]
-            .read("A", &[v("i") + v("N") - 1])    // [N-1, 2N-2]
+            .read("A", &[v("i")]) // [0, N-1]
+            .read("A", &[v("i") + v("N") - 1]) // [N-1, 2N-2]
             .read("A", &[v("i") + v("N") * 2 - 2]) // [2N-2, 3N-3]
             .body(Expr::Read(0))
             .done();

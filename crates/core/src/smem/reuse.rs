@@ -145,10 +145,7 @@ mod tests {
     #[test]
     fn heavy_overlap_passes_delta_test() {
         // A[i] and A[i+1]: overlap N-1 of N+1 total ≈ 78% > 30%.
-        let p = one_stmt_program(&[
-            (vec![v("i")], "A"),
-            (vec![v("i") + 1], "A"),
-        ]);
+        let p = one_stmt_program(&[(vec![v("i")], "A"), (vec![v("i") + 1], "A")]);
         let a = p.array_index("A").unwrap();
         let refs = collect_refs(&p, a).unwrap();
         let members: Vec<&_> = refs.iter().collect();
@@ -164,10 +161,7 @@ mod tests {
         // A[2i] and A[2i + 2N]: never overlap... choose a 1-point
         // overlap instead: A[i] over [0,N-1] and A[i + N - 1] over
         // [N-1, 2N-2]: 1 of 2N-1 points ≈ 5% < 30%.
-        let p = one_stmt_program(&[
-            (vec![v("i")], "A"),
-            (vec![v("i") + v("N") - 1], "A"),
-        ]);
+        let p = one_stmt_program(&[(vec![v("i")], "A"), (vec![v("i") + v("N") - 1], "A")]);
         let a = p.array_index("A").unwrap();
         let refs = collect_refs(&p, a).unwrap();
         let members: Vec<&_> = refs.iter().collect();
@@ -189,10 +183,7 @@ mod tests {
 
     #[test]
     fn missing_sample_params_is_an_error() {
-        let p = one_stmt_program(&[
-            (vec![v("i")], "A"),
-            (vec![v("i") + 1], "A"),
-        ]);
+        let p = one_stmt_program(&[(vec![v("i")], "A"), (vec![v("i") + 1], "A")]);
         let a = p.array_index("A").unwrap();
         let refs = collect_refs(&p, a).unwrap();
         let members: Vec<&_> = refs.iter().collect();
@@ -205,10 +196,7 @@ mod tests {
 
     #[test]
     fn delta_is_configurable() {
-        let p = one_stmt_program(&[
-            (vec![v("i")], "A"),
-            (vec![v("i") + v("N") - 1], "A"),
-        ]);
+        let p = one_stmt_program(&[(vec![v("i")], "A"), (vec![v("i") + v("N") - 1], "A")]);
         let a = p.array_index("A").unwrap();
         let refs = collect_refs(&p, a).unwrap();
         let members: Vec<&_> = refs.iter().collect();

@@ -228,10 +228,7 @@ mod tests {
         let mut b = ProgramBuilder::new("jacobi", ["T", "N"]);
         b.array("A", &[v("T") + 1, v("N") + 2]);
         b.stmt("S")
-            .loops(&[
-                ("t", LinExpr::c(1), v("T")),
-                ("i", LinExpr::c(1), v("N")),
-            ])
+            .loops(&[("t", LinExpr::c(1), v("T")), ("i", LinExpr::c(1), v("N"))])
             .write("A", &[v("t"), v("i")])
             .read("A", &[v("t") - 1, v("i") - 1])
             .read("A", &[v("t") - 1, v("i")])

@@ -165,16 +165,8 @@ impl BufferCost {
         tiled_loops: &[usize],
         placement: usize,
     ) -> BufferCost {
-        let reads: Vec<&RefInfo> = refs
-            .iter()
-            .copied()
-            .filter(|r| !r.id.is_write())
-            .collect();
-        let writes: Vec<&RefInfo> = refs
-            .iter()
-            .copied()
-            .filter(|r| r.id.is_write())
-            .collect();
+        let reads: Vec<&RefInfo> = refs.iter().copied().filter(|r| !r.id.is_write()).collect();
+        let writes: Vec<&RefInfo> = refs.iter().copied().filter(|r| r.id.is_write()).collect();
         BufferCost {
             name: name.to_string(),
             all: FootprintModel::from_refs(refs, kept_dims, tiled_loops),
@@ -241,10 +233,7 @@ mod tests {
         b.array("A", &[v("N") + 2]);
         b.array("B", &[v("N") + 2]);
         b.stmt("S")
-            .loops(&[
-                ("t", LinExpr::c(1), v("T")),
-                ("i", LinExpr::c(1), v("N")),
-            ])
+            .loops(&[("t", LinExpr::c(1), v("T")), ("i", LinExpr::c(1), v("N"))])
             .write("B", &[v("i")])
             .read("A", &[v("i") - 1])
             .read("A", &[v("i")])

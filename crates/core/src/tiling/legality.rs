@@ -16,8 +16,8 @@
 //! takes concrete parameter values; pass `None` for the
 //! size-independent (fully-permutable) criterion.
 
-use crate::deps::compute_deps;
 use super::transform::TileSpec;
+use crate::deps::compute_deps;
 use polymem_ir::Program;
 use polymem_poly::bounds::dim_bounds;
 use polymem_poly::dep::{DepKind, DirSign};
@@ -45,7 +45,10 @@ impl std::fmt::Display for TilingViolation {
         match self {
             TilingViolation::UnknownLoop(n) => write!(f, "unknown loop `{n}`"),
             TilingViolation::NotAPrefix => {
-                write!(f, "tiled loops must form the outermost prefix of the shared nest")
+                write!(
+                    f,
+                    "tiled loops must form the outermost prefix of the shared nest"
+                )
             }
             TilingViolation::DependenceViolation { array, loop_idx } => write!(
                 f,
@@ -139,7 +142,7 @@ fn loop_fits_tile(
     let dom = &program.stmts[stmt].domain;
     let b = dim_bounds(dom, j, 0)?;
     Ok(match b.eval_range(&[], params) {
-        Some((lo, hi)) => lo >= 0 && hi <= t - 1,
+        Some((lo, hi)) => lo >= 0 && hi < t,
         None => false,
     })
 }
@@ -154,10 +157,7 @@ mod tests {
         let mut b = ProgramBuilder::new("jac", ["T", "N"]);
         b.array("A", &[v("T") + 1, v("N") + 2]);
         b.stmt("S")
-            .loops(&[
-                ("t", LinExpr::c(1), v("T")),
-                ("i", LinExpr::c(1), v("N")),
-            ])
+            .loops(&[("t", LinExpr::c(1), v("T")), ("i", LinExpr::c(1), v("N"))])
             .write("A", &[v("t"), v("i")])
             .read("A", &[v("t") - 1, v("i") - 1])
             .read("A", &[v("t") - 1, v("i") + 1])

@@ -42,9 +42,10 @@ impl TileSizeProblem {
     /// Feasibility of an integer tile-size vector.
     pub fn feasible(&self, t: &[i64]) -> bool {
         let tf: Vec<f64> = t.iter().map(|&x| x as f64).collect();
-        t.iter().zip(&self.cost.loop_ranges).all(|(&x, &n)| {
-            x >= 1 && (x as f64) <= n
-        }) && self.cost.memory(&tf) <= self.mem_limit
+        t.iter()
+            .zip(&self.cost.loop_ranges)
+            .all(|(&x, &n)| x >= 1 && (x as f64) <= n)
+            && self.cost.memory(&tf) <= self.mem_limit
             && tf.iter().product::<f64>() >= self.params.p
     }
 
@@ -120,9 +121,7 @@ pub fn search_discrete(
                 // reported (32, 16, 16, 16) ME optimum).
                 let better = match best.as_ref() {
                     None => true,
-                    Some((bs, bc)) => {
-                        c < *bc || (c == *bc && current.as_slice() > bs.as_slice())
-                    }
+                    Some((bs, bc)) => c < *bc || (c == *bc && current.as_slice() > bs.as_slice()),
                 };
                 if better {
                     *best = Some((current.clone(), c));
@@ -136,8 +135,8 @@ pub fn search_discrete(
             // smallest candidates; if even that busts the limit, stop
             // (candidates ascend, footprints are monotone).
             let mut probe: Vec<f64> = current[..=depth].iter().map(|&x| x as f64).collect();
-            for d in (depth + 1)..n {
-                probe.push(cands[d][0] as f64);
+            for c in cands.iter().take(n).skip(depth + 1) {
+                probe.push(c[0] as f64);
             }
             if problem.cost.memory(&probe) > problem.mem_limit {
                 break;
@@ -195,9 +194,7 @@ pub fn search_sqp(problem: &TileSizeProblem) -> SearchOutcome {
     let mut best_cont: Option<super::sqp::NlSolution> = None;
     for s in &starts {
         let sol = minimize(&nl, s);
-        if sol.violation < 1e-6
-            && best_cont.as_ref().is_none_or(|b| sol.value < b.value)
-        {
+        if sol.violation < 1e-6 && best_cont.as_ref().is_none_or(|b| sol.value < b.value) {
             best_cont = Some(sol);
         }
     }
@@ -260,10 +257,7 @@ mod tests {
             b.array("A", &[v("N") + 2]);
             b.array("B", &[v("N") + 2]);
             b.stmt("S")
-                .loops(&[
-                    ("t", LinExpr::c(1), v("T")),
-                    ("i", LinExpr::c(1), v("N")),
-                ])
+                .loops(&[("t", LinExpr::c(1), v("T")), ("i", LinExpr::c(1), v("N"))])
                 .write("B", &[v("i")])
                 .read("A", &[v("i") - 1])
                 .read("A", &[v("i")])
@@ -290,11 +284,7 @@ mod tests {
         };
         TileSizeProblem {
             cost,
-            params: CostParams {
-                p,
-                s: 20.0,
-                l: 1.0,
-            },
+            params: CostParams { p, s: 20.0, l: 1.0 },
             mem_limit,
         }
     }
@@ -350,10 +340,7 @@ mod tests {
     #[test]
     fn explicit_candidates_are_honoured() {
         let prob = jacobi_problem(4096.0, 1.0);
-        let out = search_discrete(
-            &prob,
-            Some(vec![vec![8, 16], vec![64, 128]]),
-        );
+        let out = search_discrete(&prob, Some(vec![vec![8, 16], vec![64, 128]]));
         assert!(out.sizes[0] == 8 || out.sizes[0] == 16);
         assert!(out.sizes[1] == 64 || out.sizes[1] == 128);
     }

@@ -11,14 +11,17 @@
 //! (≤ 8-variable) smooth problems tile-size selection produces, where
 //! a full SQP implementation would be overkill.
 
+/// A scalar function of the variable vector (objective or constraint).
+pub type ScalarFn<'a> = &'a dyn Fn(&[f64]) -> f64;
+
 /// An inequality-constrained minimisation problem:
 /// minimise `objective(x)` subject to `g_i(x) <= 0` and
 /// `lo_j <= x_j <= hi_j`.
 pub struct NlProblem<'a> {
     /// Objective function.
-    pub objective: &'a dyn Fn(&[f64]) -> f64,
+    pub objective: ScalarFn<'a>,
     /// Inequality constraints, satisfied when `<= 0`.
-    pub constraints: Vec<&'a dyn Fn(&[f64]) -> f64>,
+    pub constraints: Vec<ScalarFn<'a>>,
     /// Per-variable lower bounds.
     pub lo: Vec<f64>,
     /// Per-variable upper bounds.
@@ -40,8 +43,8 @@ pub struct NlSolution {
 pub fn minimize(problem: &NlProblem<'_>, x0: &[f64]) -> NlSolution {
     let n = x0.len();
     let clamp = |x: &mut [f64]| {
-        for j in 0..n {
-            x[j] = x[j].clamp(problem.lo[j], problem.hi[j]);
+        for (j, xj) in x.iter_mut().enumerate().take(n) {
+            *xj = xj.clamp(problem.lo[j], problem.hi[j]);
         }
     };
     let violation = |x: &[f64]| -> f64 {
@@ -92,18 +95,10 @@ pub fn minimize(problem: &NlProblem<'_>, x0: &[f64]) -> NlSolution {
                 break;
             }
             // Backtracking line search.
-            let mut step = x
-                .iter()
-                .map(|v| v.abs().max(1.0))
-                .fold(0.0, f64::max)
-                / gnorm;
+            let mut step = x.iter().map(|v| v.abs().max(1.0)).fold(0.0, f64::max) / gnorm;
             let mut improved = false;
             for _bt in 0..40 {
-                let mut xn: Vec<f64> = x
-                    .iter()
-                    .zip(&grad)
-                    .map(|(v, g)| v - step * g)
-                    .collect();
+                let mut xn: Vec<f64> = x.iter().zip(&grad).map(|(v, g)| v - step * g).collect();
                 clamp(&mut xn);
                 let fn_ = f(&xn);
                 if fn_ < fx - 1e-12 {

@@ -47,10 +47,7 @@ impl TileSpec {
     /// Convenience constructor (tile iterators become outermost).
     pub fn new(tiles: &[(&str, i64)], suffix: &str) -> TileSpec {
         TileSpec {
-            tiles: tiles
-                .iter()
-                .map(|(n, s)| (n.to_string(), *s))
-                .collect(),
+            tiles: tiles.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
             suffix: suffix.to_string(),
             insert_before: None,
         }
@@ -130,7 +127,9 @@ pub fn tile_program(program: &Program, spec: &TileSpec) -> polymem_ir::Result<Pr
         let reads: Vec<Access> = stmt.reads.iter().map(patch).collect();
 
         // 4. Body: original iterator k at/after `pos` shifts by n_new.
-        let body = stmt.body.map_iters(&|k| if k < pos { k } else { k + n_new });
+        let body = stmt
+            .body
+            .map_iters(&|k| if k < pos { k } else { k + n_new });
 
         *stmt = Statement {
             name: stmt.name.clone(),
@@ -158,10 +157,7 @@ pub fn tile_iter_names(spec: &TileSpec) -> Vec<String> {
 /// stay put. Legality is the caller's concern — loops within one
 /// permutable [`Band`](super::bands::Band) are always safe, and tests
 /// validate by execution.
-pub fn interchange_loops(
-    program: &Program,
-    order: &[&str],
-) -> polymem_ir::Result<Program> {
+pub fn interchange_loops(program: &Program, order: &[&str]) -> polymem_ir::Result<Program> {
     let mut out = program.clone();
     for stmt in &mut out.stmts {
         let names = stmt.domain.space().dims().to_vec();
@@ -304,8 +300,7 @@ mod tests {
         let p = simple2d();
         let t1 = tile_program(&p, &TileSpec::new(&[("i", 8), ("j", 8)], "T")).unwrap();
         // Second level nests *inside* the first: Fig. 3 ordering.
-        let t2 =
-            tile_program(&t1, &TileSpec::new_before(&[("i", 2), ("j", 2)], "t", "i")).unwrap();
+        let t2 = tile_program(&t1, &TileSpec::new_before(&[("i", 2), ("j", 2)], "t", "i")).unwrap();
         let s = &t2.stmts[0];
         assert_eq!(s.depth(), 6);
         assert_eq!(
@@ -379,10 +374,7 @@ mod tests {
     fn interchange_preserves_semantics_and_reorders() {
         let p = simple2d();
         let x = interchange_loops(&p, &["j", "i"]).unwrap();
-        assert_eq!(
-            x.stmts[0].iter_names(),
-            &["j".to_string(), "i".into()]
-        );
+        assert_eq!(x.stmts[0].iter_names(), &["j".to_string(), "i".into()]);
         let params = [9i64];
         let mut st0 = ArrayStore::for_program(&p, &params).unwrap();
         st0.fill_with("A", |ix| ix[0] * 17 + ix[1]).unwrap();

@@ -1,0 +1,149 @@
+//! A dependency-free benchmarking shim with a `criterion`-compatible
+//! surface.
+//!
+//! The build environment for this workspace has no reachable crates.io
+//! mirror, so the workspace maps its `criterion` dependency to this
+//! path crate (see the root `Cargo.toml` and `CHANGES.md`). It covers
+//! the subset of the real API the `polymem-bench` benches use:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: one untimed warm-up iteration, then
+//! `sample_size` timed iterations; the mean, min, and max per-iteration
+//! wall-clock times are printed to stdout. No statistics, plots, or
+//! baselines — enough to compare orders of magnitude offline.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Accepted for macro compatibility; there are no CLI options.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_sample_size = Some(n);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size.unwrap_or(20),
+            _criterion: self,
+        };
+        println!("benchmark group `{}`:", group.name);
+        group
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(id, self.default_sample_size.unwrap_or(20), f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b); // warm-up, untimed
+    let (mut total, mut min, mut max) = (Duration::ZERO, Duration::MAX, Duration::ZERO);
+    for _ in 0..sample_size {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        min = min.min(b.elapsed);
+        max = max.max(b.elapsed);
+    }
+    println!(
+        "  {id}: mean {:?}  min {:?}  max {:?}  ({sample_size} samples)",
+        total / (sample_size as u32),
+        min,
+        max
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+}

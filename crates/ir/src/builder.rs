@@ -9,8 +9,8 @@
 use crate::expr::{Expr, LinExpr};
 use crate::program::{Access, ArrayDecl, Program, Statement};
 use crate::{IrError, Result};
-use polymem_poly::{AffineMap, Constraint, Polyhedron, Space};
 use polymem_linalg::IMat;
+use polymem_poly::{AffineMap, Constraint, Polyhedron, Space};
 
 /// Builds a [`Polyhedron`] from named inclusive bounds and extra
 /// affine constraints.
@@ -30,7 +30,7 @@ impl DomainBuilder {
         DomainBuilder {
             dims: dims.into_iter().map(Into::into).collect(),
             params: params.into_iter().map(Into::into).collect(),
-        constraints: Vec::new(),
+            constraints: Vec::new(),
         }
     }
 
@@ -243,10 +243,9 @@ impl<'a> StatementBuilder<'a> {
             })
         };
 
-        let (warr, wsubs) = self
-            .write
-            .as_ref()
-            .ok_or_else(|| IrError::UnknownArray(format!("statement `{}` has no write", self.name)))?;
+        let (warr, wsubs) = self.write.as_ref().ok_or_else(|| {
+            IrError::UnknownArray(format!("statement `{}` has no write", self.name))
+        })?;
         let write = lower_access(warr, wsubs)?;
         let reads = self
             .reads

@@ -90,19 +90,15 @@ impl ArrayStore {
     }
 
     /// Fill an array by calling `f` with each multi-index.
-    pub fn fill_with(
-        &mut self,
-        array: &str,
-        mut f: impl FnMut(&[i64]) -> i64,
-    ) -> Result<()> {
+    pub fn fill_with(&mut self, array: &str, mut f: impl FnMut(&[i64]) -> i64) -> Result<()> {
         let (data, extents) = self
             .arrays
             .get_mut(array)
             .ok_or_else(|| IrError::UnknownArray(array.to_string()))?;
         let extents = extents.clone();
         let mut idx = vec![0i64; extents.len()];
-        for off in 0..data.len() {
-            data[off] = f(&idx);
+        for cell in data.iter_mut() {
+            *cell = f(&idx);
             // Increment the row-major multi-index.
             for d in (0..extents.len()).rev() {
                 idx[d] += 1;
@@ -182,9 +178,9 @@ pub fn exec_program(program: &Program, params: &[i64], store: &mut ArrayStore) -
     // Precompute pairwise common depths.
     let n = program.stmts.len();
     let mut common = vec![vec![0usize; n]; n];
-    for a in 0..n {
-        for b in 0..n {
-            common[a][b] = program.common_depth(a, b);
+    for (a, row) in common.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell = program.common_depth(a, b);
         }
     }
     instances.sort_by(|(sa, pa), (sb, pb)| {
@@ -328,7 +324,10 @@ mod tests {
         let p = b.build().unwrap();
         assert!(matches!(
             ArrayStore::for_program(&p, &[]),
-            Err(IrError::BadParams { expected: 1, got: 0 })
+            Err(IrError::BadParams {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 }

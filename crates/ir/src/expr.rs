@@ -205,6 +205,9 @@ pub enum Expr {
     Abs(Box<Expr>),
 }
 
+// The arithmetic helpers are associated *constructors* taking two
+// expressions by value, not `std::ops` methods on `&self`.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Sum helper.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -342,13 +345,9 @@ mod tests {
     #[test]
     fn linexpr_lowering() {
         let e = v("i") * 2 - v("N") + 3;
-        let row = e
-            .to_row(&["i".into(), "j".into()], &["N".into()])
-            .unwrap();
+        let row = e.to_row(&["i".into(), "j".into()], &["N".into()]).unwrap();
         assert_eq!(row, vec![2, 0, -1, 3]);
-        assert!(v("zz")
-            .to_row(&["i".into()], &["N".into()])
-            .is_err());
+        assert!(v("zz").to_row(&["i".into()], &["N".into()]).is_err());
     }
 
     #[test]

@@ -19,15 +19,15 @@
 //! * [`exec`] — the reference sequential interpreter (source order).
 
 pub mod builder;
-pub mod parse;
 pub mod exec;
 pub mod expr;
+pub mod parse;
 pub mod program;
 
 pub use builder::{DomainBuilder, ProgramBuilder};
-pub use parse::parse_program;
 pub use exec::{exec_program, exec_statement_instance, ArrayStore};
 pub use expr::{Expr, LinExpr};
+pub use parse::parse_program;
 pub use program::{Access, ArrayDecl, Program, Statement};
 
 use std::fmt;

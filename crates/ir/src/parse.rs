@@ -144,7 +144,10 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(err(self.line(), format!("expected identifier, found {other:?}"))),
+            other => Err(err(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -171,7 +174,10 @@ impl Parser {
                     Some(Tok::Sym(',')) => continue,
                     Some(Tok::Sym(')')) => break,
                     other => {
-                        return Err(err(self.line(), format!("expected `,` or `)`, found {other:?}")))
+                        return Err(err(
+                            self.line(),
+                            format!("expected `,` or `)`, found {other:?}"),
+                        ))
                     }
                 }
             }
@@ -268,7 +274,10 @@ impl Parser {
             self.expect_sym(']')?;
         }
         if subs.is_empty() {
-            return Err(err(self.line(), format!("access to `{name}` needs subscripts")));
+            return Err(err(
+                self.line(),
+                format!("access to `{name}` needs subscripts"),
+            ));
         }
         Ok((name, subs))
     }
@@ -318,7 +327,10 @@ impl Parser {
                     }
                 }
                 other => {
-                    return Err(err(self.line(), format!("expected affine term, found {other:?}")))
+                    return Err(err(
+                        self.line(),
+                        format!("expected affine term, found {other:?}"),
+                    ))
                 }
             };
             acc = acc + term * sign;
@@ -435,11 +447,17 @@ impl Parser {
                     } else if let Some(k) = b.param_index(&name) {
                         Ok(Expr::Param(k))
                     } else {
-                        Err(err(self.line(), format!("unknown name `{name}` in expression")))
+                        Err(err(
+                            self.line(),
+                            format!("unknown name `{name}` in expression"),
+                        ))
                     }
                 }
             },
-            other => Err(err(self.line(), format!("expected expression, found {other:?}"))),
+            other => Err(err(
+                self.line(),
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -512,10 +530,7 @@ S: for i = 0 .. N - 1 {
         let p = parse_program(src).unwrap();
         let s = &p.stmts[0];
         assert_eq!(s.reads[0].map.apply(&[4], &[10]).unwrap(), vec![9]);
-        assert_eq!(
-            p.arrays[0].eval_extents(&p.params, &[5]).unwrap(),
-            vec![17]
-        );
+        assert_eq!(p.arrays[0].eval_extents(&p.params, &[5]).unwrap(), vec![17]);
     }
 
     #[test]

@@ -32,14 +32,7 @@ impl ArrayDecl {
     pub fn eval_extents(&self, param_names: &[String], params: &[i64]) -> Result<Vec<i64>> {
         self.extents
             .iter()
-            .map(|e| {
-                e.eval(&|n| {
-                    param_names
-                        .iter()
-                        .position(|p| p == n)
-                        .map(|k| params[k])
-                })
-            })
+            .map(|e| e.eval(&|n| param_names.iter().position(|p| p == n).map(|k| params[k])))
             .collect()
     }
 }
@@ -249,7 +242,11 @@ impl Program {
                 append_term(&mut term, m[(r, j)], in_space.dim_name(j));
             }
             for j in 0..in_space.n_params() {
-                append_term(&mut term, m[(r, in_space.n_dims() + j)], in_space.param_name(j));
+                append_term(
+                    &mut term,
+                    m[(r, in_space.n_dims() + j)],
+                    in_space.param_name(j),
+                );
             }
             let k = m[(r, in_space.n_cols() - 1)];
             if term.is_empty() {
@@ -346,10 +343,7 @@ mod tests {
         let p = simple_program();
         p.validate().unwrap();
         let a = &p.arrays[0];
-        assert_eq!(
-            a.eval_extents(&p.params, &[10]).unwrap(),
-            vec![11]
-        );
+        assert_eq!(a.eval_extents(&p.params, &[10]).unwrap(), vec![11]);
     }
 
     #[test]

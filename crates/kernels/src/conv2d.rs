@@ -94,7 +94,7 @@ pub fn blocked_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
         program: t,
         round_dims: vec![],
         block_dims: vec!["iT".into(), "jT".into()],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad,
     }
 }
@@ -126,8 +126,7 @@ pub fn profile(
     let w_tile = (size.k * size.k) as u64;
     let out_tile = (ti * tj) as u64;
     let words = in_tile + w_tile + out_tile;
-    let tiles_total =
-        (size.n as u64).div_ceil(ti as u64) * (size.n as u64).div_ceil(tj as u64);
+    let tiles_total = (size.n as u64).div_ceil(ti as u64) * (size.n as u64).div_ceil(tj as u64);
     KernelProfile {
         n_blocks,
         threads_per_block: threads,
@@ -173,9 +172,14 @@ mod tests {
         init_store(&mut st, 9);
         let mut native = st.clone();
         let cfg = MachineConfig::geforce_8800_gtx();
-        let stats =
-            execute_blocked(&blocked_kernel(3, 3, true), &params(&s), &mut st, &cfg, true)
-                .unwrap();
+        let stats = execute_blocked(
+            &blocked_kernel(3, 3, true),
+            &params(&s),
+            &mut st,
+            &cfg,
+            true,
+        )
+        .unwrap();
         reference(&mut native, &s);
         assert_eq!(st.data("Out").unwrap(), native.data("Out").unwrap());
         assert!(stats.moved_in > 0);
@@ -194,10 +198,10 @@ mod tests {
         )
         .unwrap();
         let w = p.array_index("W").unwrap();
-        assert!(plan
-            .buffers
-            .iter()
-            .any(|b| b.array == w), "W must be staged");
+        assert!(
+            plan.buffers.iter().any(|b| b.array == w),
+            "W must be staged"
+        );
         // All three arrays have rank-deficient accesses here.
         assert!(plan.decisions.iter().all(|(_, d)| d.order_of_magnitude));
     }

@@ -45,10 +45,7 @@ pub fn program() -> Program {
     let mut b = ProgramBuilder::new("jacobi1d", ["T", "N"]);
     b.array("A", &[v("T") + 1, v("N") + 2]);
     b.stmt("S")
-        .loops(&[
-            ("t", LinExpr::c(1), v("T")),
-            ("i", LinExpr::c(1), v("N")),
-        ])
+        .loops(&[("t", LinExpr::c(1), v("T")), ("i", LinExpr::c(1), v("N"))])
         .write("A", &[v("t"), v("i")])
         .read("A", &[v("t") - 1, v("i") - 1])
         .read("A", &[v("t") - 1, v("i")])
@@ -66,9 +63,7 @@ pub fn program() -> Program {
 pub fn skewed_program() -> Program {
     let mut b = ProgramBuilder::new("jacobi1d_skewed", ["T", "N"]);
     b.array("A", &[v("T") + 1, v("N") + 2]);
-    let unskew = |t: LinExpr, s: LinExpr| -> Vec<LinExpr> {
-        vec![t.clone(), s - t * 2]
-    };
+    let unskew = |t: LinExpr, s: LinExpr| -> Vec<LinExpr> { vec![t.clone(), s - t * 2] };
     b.stmt("S")
         .loops(&[
             ("t", LinExpr::c(1), v("T")),
@@ -133,7 +128,7 @@ pub fn stepwise_kernel(space_tile: i64, use_scratchpad: bool) -> BlockedKernel {
         program: t,
         round_dims: vec!["t".into()],
         block_dims: vec!["iT".into()],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad,
     }
 }
@@ -179,7 +174,7 @@ pub fn overlapped_kernel(tt: i64, si: i64, use_scratchpad: bool) -> BlockedKerne
         program: p,
         round_dims: vec!["tT".into()],
         block_dims: vec!["iT".into()],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad,
     }
 }
@@ -346,7 +341,10 @@ mod tests {
         let mut st = ArrayStore::for_program(&p, &params(&s)).unwrap();
         init_store(&mut st, 11);
         exec_program(&p, &params(&s), &mut st).unwrap();
-        assert_eq!(st.data("A").unwrap(), reference_store(&s).data("A").unwrap());
+        assert_eq!(
+            st.data("A").unwrap(),
+            reference_store(&s).data("A").unwrap()
+        );
     }
 
     #[test]
@@ -356,14 +354,20 @@ mod tests {
         let mut st = ArrayStore::for_program(&p, &params(&s)).unwrap();
         init_store(&mut st, 11);
         exec_program(&p, &params(&s), &mut st).unwrap();
-        assert_eq!(st.data("A").unwrap(), reference_store(&s).data("A").unwrap());
+        assert_eq!(
+            st.data("A").unwrap(),
+            reference_store(&s).data("A").unwrap()
+        );
     }
 
     #[test]
     fn stepwise_blocked_matches_native() {
         let s = small();
         let st = run_kernel(&stepwise_kernel(4, false), &s, true);
-        assert_eq!(st.data("A").unwrap(), reference_store(&s).data("A").unwrap());
+        assert_eq!(
+            st.data("A").unwrap(),
+            reference_store(&s).data("A").unwrap()
+        );
     }
 
     #[test]
@@ -393,7 +397,10 @@ mod tests {
         // Resident sizes: execution time falls with more blocks, then
         // rises when device-sync cost dominates (paper Fig. 7).
         let cfg = MachineConfig::geforce_8800_gtx();
-        let s = JacobiSize { n: 32 * 1024, t: 4096 };
+        let s = JacobiSize {
+            n: 32 * 1024,
+            t: 4096,
+        };
         let times: Vec<f64> = [16u64, 64, 128, 1024]
             .iter()
             .map(|&b| {
@@ -410,7 +417,10 @@ mod tests {
     #[test]
     fn fig8_search_finds_paper_tiles() {
         let cfg = MachineConfig::geforce_8800_gtx();
-        let s = JacobiSize { n: 512 * 1024, t: 4096 };
+        let s = JacobiSize {
+            n: 512 * 1024,
+            t: 4096,
+        };
         let (tt, si, _) = search_tiles(&s, 128, 64, 512, &cfg);
         assert_eq!((tt, si), (32, 256), "expected the paper's (32, 256)");
     }
@@ -418,7 +428,10 @@ mod tests {
     #[test]
     fn scratchpad_beats_dram_only_profile() {
         let cfg = MachineConfig::geforce_8800_gtx();
-        let s = JacobiSize { n: 256 * 1024, t: 4096 };
+        let s = JacobiSize {
+            n: 256 * 1024,
+            t: 4096,
+        };
         let smem = profile_tiled(&s, 32, 256, 128, 64, true, &cfg)
             .estimate(&cfg)
             .unwrap()
@@ -434,7 +447,10 @@ mod tests {
     fn gpu_beats_cpu_profile() {
         let gpu = MachineConfig::geforce_8800_gtx();
         let cpu = MachineConfig::host_cpu();
-        let s = JacobiSize { n: 64 * 1024, t: 4096 };
+        let s = JacobiSize {
+            n: 64 * 1024,
+            t: 4096,
+        };
         let t_gpu = profile_tiled(&s, 32, 256, 128, 64, true, &gpu)
             .estimate(&gpu)
             .unwrap()

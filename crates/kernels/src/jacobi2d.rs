@@ -18,9 +18,8 @@ use polymem_machine::BlockedKernel;
 pub fn program() -> Program {
     let mut b = ProgramBuilder::new("jacobi2d", ["T", "N"]);
     b.array("A", &[v("T") + 1, v("N") + 2, v("N") + 2]);
-    let at = |dt: i64, di: i64, dj: i64| -> Vec<LinExpr> {
-        vec![v("t") + dt, v("i") + di, v("j") + dj]
-    };
+    let at =
+        |dt: i64, di: i64, dj: i64| -> Vec<LinExpr> { vec![v("t") + dt, v("i") + di, v("j") + dj] };
     b.stmt("S")
         .loops(&[
             ("t", LinExpr::c(1), v("T")),
@@ -88,13 +87,13 @@ pub fn reference(store: &mut ArrayStore, t_max: i64, n: i64) {
 /// Per-time-step rounds, `(i, j)` space tiles across blocks.
 pub fn stepwise_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
     let p = program();
-    let t = tile_program(&p, &TileSpec::new(&[("i", ti), ("j", tj)], "T"))
-        .expect("tiling is legal");
+    let t =
+        tile_program(&p, &TileSpec::new(&[("i", ti), ("j", tj)], "T")).expect("tiling is legal");
     BlockedKernel {
         program: t,
         round_dims: vec!["t".into()],
         block_dims: vec!["iT".into(), "jT".into()],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad,
     }
 }

@@ -66,11 +66,8 @@ pub fn reference(store: &mut ArrayStore, n: i64) {
 /// blocks, `k` tiles inside a block (staged together with the block).
 pub fn blocked_kernel(ti: i64, tj: i64, tk: i64, use_scratchpad: bool) -> BlockedKernel {
     let p = program();
-    let t = tile_program(
-        &p,
-        &TileSpec::new(&[("i", ti), ("j", tj), ("k", tk)], "T"),
-    )
-    .expect("tiling matmul is legal");
+    let t = tile_program(&p, &TileSpec::new(&[("i", ti), ("j", tj), ("k", tk)], "T"))
+        .expect("tiling matmul is legal");
     BlockedKernel {
         program: t,
         round_dims: vec![],

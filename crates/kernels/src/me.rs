@@ -117,13 +117,13 @@ pub fn reference(store: &mut ArrayStore, size: &MeSize) {
 /// positions per thread block, no inter-block synchronisation.
 pub fn blocked_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
     let p = program();
-    let t = tile_program(&p, &TileSpec::new(&[("i", ti), ("j", tj)], "T"))
-        .expect("tiling ME is legal");
+    let t =
+        tile_program(&p, &TileSpec::new(&[("i", ti), ("j", tj)], "T")).expect("tiling ME is legal");
     BlockedKernel {
         program: t,
         round_dims: vec![],
         block_dims: vec!["iT".into(), "jT".into()],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad,
     }
 }
@@ -141,8 +141,7 @@ pub fn cost_model(size: &MeSize) -> CostModel {
         // loops (redundant for Sad[i][j]); Cur/Ref depend on all four
         // loops, so their movement recurs per (k, l) tile — which is
         // why the search keeps t_k = t_l = WS (one window tile).
-        let placement =
-            polymem_core::tiling::placement_level(&members, &tiled_loops);
+        let placement = polymem_core::tiling::placement_level(&members, &tiled_loops);
         buffers.push(BufferCost::from_refs(
             name,
             &members,
@@ -314,10 +313,22 @@ mod tests {
         let mut st1 = ArrayStore::for_program(&program(), &params(&s)).unwrap();
         init_store(&mut st1, 3);
         let mut st2 = st1.clone();
-        let d = execute_blocked(&blocked_kernel(4, 4, false), &params(&s), &mut st1, &cfg, false)
-            .unwrap();
-        let m = execute_blocked(&blocked_kernel(4, 4, true), &params(&s), &mut st2, &cfg, false)
-            .unwrap();
+        let d = execute_blocked(
+            &blocked_kernel(4, 4, false),
+            &params(&s),
+            &mut st1,
+            &cfg,
+            false,
+        )
+        .unwrap();
+        let m = execute_blocked(
+            &blocked_kernel(4, 4, true),
+            &params(&s),
+            &mut st2,
+            &cfg,
+            false,
+        )
+        .unwrap();
         // The window overlap means each Cur/Ref element is read WS^2
         // times from DRAM without staging, ~once with staging.
         assert!(

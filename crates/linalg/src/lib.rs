@@ -83,6 +83,8 @@ mod tests {
         assert!(e.to_string().contains("mul"));
         assert!(LinalgError::Overflow.to_string().contains("overflow"));
         assert!(LinalgError::DivisionByZero.to_string().contains("zero"));
-        assert!(LinalgError::Inconsistent.to_string().contains("inconsistent"));
+        assert!(LinalgError::Inconsistent
+            .to_string()
+            .contains("inconsistent"));
     }
 }

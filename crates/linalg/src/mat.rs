@@ -48,7 +48,11 @@ impl IMat {
             assert_eq!(row.len(), c, "IMat::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        IMat { rows: r, cols: c, data }
+        IMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vec; panics if `data.len() != rows*cols`.
@@ -223,8 +227,7 @@ impl IMat {
         let mut m = self.to_rat();
         let pivots = rat_row_echelon(&mut m)?;
         let pivot_cols: Vec<usize> = pivots.iter().map(|&(_, c)| c).collect();
-        let free_cols: Vec<usize> =
-            (0..self.cols).filter(|c| !pivot_cols.contains(c)).collect();
+        let free_cols: Vec<usize> = (0..self.cols).filter(|c| !pivot_cols.contains(c)).collect();
         let mut basis = Vec::with_capacity(free_cols.len());
         for &fc in &free_cols {
             // Back-substitute with the free variable set to 1.
@@ -315,6 +318,9 @@ fn rat_row_echelon_cols(m: &mut [Vec<Rat>], ncols: usize) -> Result<Vec<(usize, 
                 continue;
             }
             let f = m[i][c].checked_div(&m[r][c])?;
+            // Indexing two distinct rows of `m` (pivot `r`, target `i`)
+            // — an iterator can't borrow both mutably.
+            #[allow(clippy::needless_range_loop)]
             for j in c..total {
                 let sub = f.checked_mul(&m[r][j])?;
                 m[i][j] = m[i][j].checked_sub(&sub)?;

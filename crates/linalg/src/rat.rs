@@ -85,19 +85,10 @@ impl Rat {
 
     /// Checked addition.
     pub fn checked_add(&self, rhs: &Rat) -> Result<Rat> {
-        let a = self
-            .num
-            .checked_mul(rhs.den)
-            .ok_or(LinalgError::Overflow)?;
-        let b = rhs
-            .num
-            .checked_mul(self.den)
-            .ok_or(LinalgError::Overflow)?;
+        let a = self.num.checked_mul(rhs.den).ok_or(LinalgError::Overflow)?;
+        let b = rhs.num.checked_mul(self.den).ok_or(LinalgError::Overflow)?;
         let num = a.checked_add(b).ok_or(LinalgError::Overflow)?;
-        let den = self
-            .den
-            .checked_mul(rhs.den)
-            .ok_or(LinalgError::Overflow)?;
+        let den = self.den.checked_mul(rhs.den).ok_or(LinalgError::Overflow)?;
         Rat::new(num, den)
     }
 
@@ -304,7 +295,10 @@ mod tests {
     #[test]
     fn overflow_is_detected() {
         let big = Rat::new(i128::MAX, 1).unwrap();
-        assert_eq!(big.checked_add(&Rat::ONE).unwrap_err(), LinalgError::Overflow);
+        assert_eq!(
+            big.checked_add(&Rat::ONE).unwrap_err(),
+            LinalgError::Overflow
+        );
         assert_eq!(big.checked_mul(&big).unwrap_err(), LinalgError::Overflow);
     }
 

@@ -9,6 +9,10 @@
 //! touched from global memory during compute, §3); `host_cpu` is the
 //! paper's Core2-Duo-class baseline.
 
+/// Default executor enumeration budget: generous (2^32 points) but
+/// finite, so runaway domains fail with a typed error.
+pub const DEFAULT_ENUM_BUDGET: u64 = 1 << 32;
+
 /// Which preset family a config came from (drives a few behavioural
 /// switches in the executors).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,6 +64,14 @@ pub struct MachineConfig {
     /// Upper bound on thread blocks resident per outer unit even when
     /// scratchpad use would allow more (hardware scheduler limit).
     pub max_blocks_per_outer: u64,
+    /// Point budget for round/block/instance enumeration in the
+    /// functional executor; exceeding it is a typed
+    /// `MachineError::EnumerationBudget` instead of an unbounded walk.
+    pub enum_budget: u64,
+    /// Reuse one symbolically analysed scratchpad plan across block
+    /// instances of the same shape (compile-once-per-shape) instead of
+    /// re-running the §3 analysis per sub-tile.
+    pub plan_cache: bool,
 }
 
 impl MachineConfig {
@@ -82,6 +94,8 @@ impl MachineConfig {
             device_sync_base: 2_000.0,
             device_sync_per_block: 50.0,
             max_blocks_per_outer: 8,
+            enum_budget: DEFAULT_ENUM_BUDGET,
+            plan_cache: true,
         }
     }
 
@@ -103,6 +117,8 @@ impl MachineConfig {
             device_sync_base: 10_000.0,
             device_sync_per_block: 1_000.0,
             max_blocks_per_outer: 1,
+            enum_budget: DEFAULT_ENUM_BUDGET,
+            plan_cache: true,
         }
     }
 
@@ -125,6 +141,8 @@ impl MachineConfig {
             device_sync_base: 0.0,
             device_sync_per_block: 0.0,
             max_blocks_per_outer: 1,
+            enum_budget: DEFAULT_ENUM_BUDGET,
+            plan_cache: true,
         }
     }
 

@@ -6,7 +6,7 @@
 //! inter-thread-block synchronisation of the Jacobi kernel), each
 //! round launching a grid of *blocks* (values of the block dims) that
 //! execute independently. Blocks may run on real parallel threads
-//! (crossbeam scoped threads, one pool slot per simulated
+//! (std scoped threads, one pool slot per simulated
 //! multiprocessor); determinism is preserved by buffering each block's
 //! global writes in an overlay that is merged in block order at the
 //! end of its round — exactly the visibility rule of the hardware
@@ -21,12 +21,19 @@
 //! bit-exactly against the reference interpreter.
 
 use crate::config::{MachineConfig, MachineKind};
+use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
-use polymem_core::smem::{analyze_program, SmemConfig, SmemPlan};
+use polymem_core::smem::{
+    analyze_program_timed, analyze_symbolic, SmemConfig, SmemPlan, SymbolicPlan,
+};
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
 use polymem_poly::count::enumerate_points;
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// A tiled program mapped onto the two-level machine.
 #[derive(Clone, Debug)]
@@ -72,6 +79,13 @@ pub struct ExecStats {
     pub rounds: u64,
     /// Peak scratchpad words used by any single block.
     pub max_smem_words: u64,
+    /// Sub-blocks whose scratchpad plan was instantiated from the
+    /// shared symbolic plan (compile-once-per-shape reuse).
+    pub plan_cache_hits: u64,
+    /// Sub-blocks that required a fresh §3 analysis (the one symbolic
+    /// warm-up analysis counts as a miss, as does any block whose
+    /// fixed-dim shape differs from the representative).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -85,6 +99,101 @@ impl ExecStats {
         self.moved_in += o.moved_in;
         self.moved_out += o.moved_out;
         self.max_smem_words = self.max_smem_words.max(o.max_smem_words);
+        self.plan_cache_hits += o.plan_cache_hits;
+        self.plan_cache_misses += o.plan_cache_misses;
+    }
+}
+
+/// The scratchpad plan a sub-block executes with: either freshly
+/// analysed for this instance, or a shared symbolic plan evaluated at
+/// the instance's fixed-dim values.
+enum PlanRef {
+    Owned(SmemPlan),
+    Shared(Arc<SymbolicPlan>),
+}
+
+impl PlanRef {
+    fn plan(&self) -> &SmemPlan {
+        match self {
+            PlanRef::Owned(p) => p,
+            PlanRef::Shared(s) => &s.plan,
+        }
+    }
+
+    /// Map a full-space instance point into the plan's iteration
+    /// space (the symbolic plan drops the fixed dims).
+    fn project<'a>(&self, si: usize, point: &'a [i64]) -> Cow<'a, [i64]> {
+        match self {
+            PlanRef::Owned(_) => Cow::Borrowed(point),
+            PlanRef::Shared(s) => Cow::Owned(s.project_point(si, point)),
+        }
+    }
+}
+
+/// Shared memo of the one-per-shape symbolic scratchpad plan, keyed on
+/// the (sorted) fixed-dim names of a sub-block's restricted view.
+/// Warmed once before workers spawn; lookups from parallel block
+/// workers are read-only, so hit/miss counts are deterministic and
+/// identical between sequential and parallel execution.
+struct PlanCache {
+    plans: RwLock<HashMap<Vec<String>, Option<Arc<SymbolicPlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    fn new() -> PlanCache {
+        PlanCache {
+            plans: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn key(fixed: &HashMap<String, i64>) -> Vec<String> {
+        let mut k: Vec<String> = fixed.keys().cloned().collect();
+        k.sort();
+        k
+    }
+
+    /// Analyse the representative instance symbolically and prime the
+    /// cache (counted as the one miss all same-shape blocks share). A
+    /// failed symbolic analysis parks `None`, making every block fall
+    /// back to per-instance analysis.
+    fn warm(
+        &self,
+        program: &Program,
+        rep: &HashMap<String, i64>,
+        cfg: &SmemConfig,
+        profiler: Option<&PassProfiler>,
+    ) {
+        let mut pairs: Vec<(String, i64)> = rep.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        pairs.sort();
+        let key: Vec<String> = pairs.iter().map(|p| p.0.clone()).collect();
+        let entry = analyze_symbolic(program, &pairs, cfg).ok().map(|sp| {
+            if let Some(pr) = profiler {
+                pr.absorb_pass_times(&sp.pass_times);
+            }
+            Arc::new(sp)
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans.write().unwrap().insert(key, entry);
+    }
+
+    /// A shared plan for this sub-block's shape, counting the lookup.
+    fn get(&self, fixed: &HashMap<String, i64>) -> Option<Arc<SymbolicPlan>> {
+        let key = Self::key(fixed);
+        let entry = self.plans.read().unwrap().get(&key).cloned();
+        match entry {
+            Some(Some(sp)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(sp)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 }
 
@@ -102,6 +211,20 @@ pub fn execute_blocked(
     config: &MachineConfig,
     parallel: bool,
 ) -> Result<ExecStats> {
+    execute_blocked_profiled(kernel, params, store, config, parallel, None)
+}
+
+/// [`execute_blocked`] with an optional pass-level profiler: compiler
+/// passes (§3 pipeline) and executor phases (move-in, compute,
+/// move-out, barrier) accumulate real wall-clock time into it.
+pub fn execute_blocked_profiled(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    store: &mut ArrayStore,
+    config: &MachineConfig,
+    parallel: bool,
+    profiler: Option<&PassProfiler>,
+) -> Result<ExecStats> {
     kernel.program.validate()?;
     let program = &kernel.program;
 
@@ -111,19 +234,70 @@ pub fn execute_blocked(
     let Some(lead) = program.stmts.first() else {
         return Ok(stats);
     };
-    let round_vals = enumerate_named(lead, &kernel.round_dims, params, &HashMap::new())?;
+    // Test hook: `POLYMEM_FAULT_PANIC_BLOCK=<idx>` makes the parallel
+    // worker for that block index panic (exercises WorkerPanicked).
+    let fault_block: Option<usize> = std::env::var("POLYMEM_FAULT_PANIC_BLOCK")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let round_vals = enumerate_named(
+        lead,
+        &kernel.round_dims,
+        params,
+        &HashMap::new(),
+        config.enum_budget,
+    )?;
     let rounds = if round_vals.is_empty() {
         vec![Vec::new()]
     } else {
         round_vals
     };
 
+    // Compile-once-per-shape: analyse one representative sub-block
+    // symbolically (fixed dims as parameters) before any worker runs,
+    // so every same-shape block instantiates the shared plan instead
+    // of re-running the §3 pipeline. Warming up-front (rather than
+    // filling on first use) keeps hit/miss counts deterministic under
+    // parallel execution.
+    let cache = if kernel.use_scratchpad && config.plan_cache {
+        Some(PlanCache::new())
+    } else {
+        None
+    };
+    if let Some(c) = &cache {
+        let mut rep: HashMap<String, i64> = HashMap::new();
+        for (n, v) in kernel.round_dims.iter().zip(rounds[0].iter()) {
+            rep.insert(n.clone(), *v);
+        }
+        let bvals = enumerate_named(lead, &kernel.block_dims, params, &rep, config.enum_budget)?;
+        if let Some(b0) = bvals.first() {
+            for (n, v) in kernel.block_dims.iter().zip(b0) {
+                rep.insert(n.clone(), *v);
+            }
+        }
+        if !kernel.seq_dims.is_empty() {
+            let svals = enumerate_named(lead, &kernel.seq_dims, params, &rep, config.enum_budget)?;
+            if let Some(s0) = svals.first() {
+                for (n, v) in kernel.seq_dims.iter().zip(s0) {
+                    rep.insert(n.clone(), *v);
+                }
+            }
+        }
+        c.warm(program, &rep, &smem_config(params, config), profiler);
+    }
+    let cache = cache.as_ref();
+
     for round in &rounds {
         let mut fixed_round: HashMap<String, i64> = HashMap::new();
         for (n, v) in kernel.round_dims.iter().zip(round) {
             fixed_round.insert(n.clone(), *v);
         }
-        let block_vals = enumerate_named(lead, &kernel.block_dims, params, &fixed_round)?;
+        let block_vals = enumerate_named(
+            lead,
+            &kernel.block_dims,
+            params,
+            &fixed_round,
+            config.enum_budget,
+        )?;
         let blocks = if block_vals.is_empty() {
             vec![Vec::new()]
         } else {
@@ -137,40 +311,56 @@ pub fn execute_blocked(
             for (n, v) in kernel.block_dims.iter().zip(bv) {
                 fixed.insert(n.clone(), *v);
             }
-            execute_one_block(kernel, &fixed, params, store, config)
+            execute_one_block(kernel, &fixed, params, store, config, cache, profiler)
         };
 
         let results: Vec<(Overlay, ExecStats)> = if parallel && blocks.len() > 1 {
             let workers = config.n_outer.max(1) as usize;
             let mut out: Vec<Option<(Overlay, ExecStats)>> = vec![None; blocks.len()];
             let err = std::sync::Mutex::new(None::<MachineError>);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let chunk = blocks.len().div_ceil(workers);
-                for (ci, (bchunk, ochunk)) in blocks
-                    .chunks(chunk)
-                    .zip(out.chunks_mut(chunk))
-                    .enumerate()
+                for (ci, (bchunk, ochunk)) in
+                    blocks.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
                 {
                     let err = &err;
-                    let _ = ci;
-                    scope.spawn(move |_| {
-                        for (b, o) in bchunk.iter().zip(ochunk.iter_mut()) {
-                            match run_block(b) {
-                                Ok(r) => *o = Some(r),
-                                Err(e) => {
-                                    *err.lock().unwrap() = Some(e);
+                    let run_block = &run_block;
+                    scope.spawn(move || {
+                        for (k, (b, o)) in bchunk.iter().zip(ochunk.iter_mut()).enumerate() {
+                            let block = ci * chunk + k;
+                            // A panicking worker (a compiler/executor bug,
+                            // or an injected fault) must surface as a typed
+                            // error, not abort the whole process.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if fault_block == Some(block) {
+                                        panic!("injected fault in block worker {block}");
+                                    }
+                                    run_block(b)
+                                }));
+                            match outcome {
+                                Ok(Ok(r)) => *o = Some(r),
+                                Ok(Err(e)) => {
+                                    err.lock().unwrap().get_or_insert(e);
+                                    return;
+                                }
+                                Err(_) => {
+                                    err.lock()
+                                        .unwrap()
+                                        .get_or_insert(MachineError::WorkerPanicked { block });
                                     return;
                                 }
                             }
                         }
                     });
                 }
-            })
-            .expect("block worker panicked");
+            });
             if let Some(e) = err.into_inner().unwrap() {
                 return Err(e);
             }
-            out.into_iter().map(|o| o.expect("block completed")).collect()
+            out.into_iter()
+                .map(|o| o.expect("block completed"))
+                .collect()
         } else {
             let mut v = Vec::with_capacity(blocks.len());
             for b in &blocks {
@@ -179,7 +369,9 @@ pub fn execute_blocked(
             v
         };
 
-        // Merge overlays deterministically, in block order.
+        // Merge overlays deterministically, in block order (the
+        // device-wide barrier: writes become visible between rounds).
+        let t0 = Instant::now();
         for (overlay, bstats) in &results {
             let mut keys: Vec<&(usize, Vec<i64>)> = overlay.keys().collect();
             keys.sort();
@@ -189,9 +381,25 @@ pub fn execute_blocked(
             }
             stats.absorb(bstats);
         }
+        if let Some(pr) = profiler {
+            pr.record(crate::trace::PassKind::Barrier, t0.elapsed());
+        }
         stats.rounds += 1;
     }
+    if let Some(c) = cache {
+        stats.plan_cache_hits = c.hits.load(Ordering::Relaxed);
+        stats.plan_cache_misses = c.misses.load(Ordering::Relaxed);
+    }
     Ok(stats)
+}
+
+/// The §3 configuration the executor analyses (and warms) with.
+fn smem_config(params: &[i64], config: &MachineConfig) -> SmemConfig {
+    SmemConfig {
+        sample_params: params.to_vec(),
+        must_copy_all: config.kind == MachineKind::CellLike,
+        ..SmemConfig::default()
+    }
 }
 
 /// Enumerate the values of the named dims of a statement's domain
@@ -201,6 +409,7 @@ fn enumerate_named(
     names: &[String],
     params: &[i64],
     fixed: &HashMap<String, i64>,
+    budget: u64,
 ) -> Result<Vec<Vec<i64>>> {
     if names.is_empty() {
         return Ok(Vec::new());
@@ -216,8 +425,19 @@ fn enumerate_named(
     let proj = dom.project_onto(&keep)?;
     let concrete = proj.substitute_params(params)?;
     let mut out = Vec::new();
-    enumerate_points(&concrete, u64::MAX, &mut |p| out.push(p.to_vec()))?;
+    enumerate_points(&concrete, budget, &mut |p| out.push(p.to_vec())).map_err(budget_error)?;
     Ok(out)
+}
+
+/// Map point-budget exhaustion to its typed machine error; everything
+/// else stays a polyhedral error.
+fn budget_error(e: polymem_poly::PolyError) -> MachineError {
+    match e {
+        polymem_poly::PolyError::TooManyPoints { budget } => {
+            MachineError::EnumerationBudget { budget }
+        }
+        other => MachineError::Poly(other),
+    }
 }
 
 /// Local scratchpad storage for one block.
@@ -267,6 +487,11 @@ impl LocalStore {
 struct Persistent {
     buffer: polymem_core::smem::LocalBuffer,
     mc: polymem_core::smem::MovementCode,
+    /// Parameter vector `buffer`/`mc` are affine in: the program
+    /// params for an owned plan, `params ++ fixed` for a shared
+    /// symbolic plan (hoisted buffers do not depend on the seq dims,
+    /// so any captured seq value yields the same element set).
+    pparams: Vec<i64>,
     data: Vec<i64>,
     extents: Vec<i64>,
     offsets: Vec<i64>,
@@ -277,7 +502,6 @@ struct Persistent {
 /// global memory, once, at the end of the block.
 fn writeback_persistent(
     p: &Persistent,
-    params: &[i64],
     overlay: &mut Overlay,
     stats: &mut ExecStats,
 ) -> Result<()> {
@@ -292,7 +516,7 @@ fn writeback_persistent(
         Some(off as usize)
     };
     let mut err = None;
-    polymem_core::smem::movement::for_each_move_out(&p.mc, &p.buffer, params, &mut |g, l| {
+    polymem_core::smem::movement::for_each_move_out(&p.mc, &p.buffer, &p.pparams, &mut |g, l| {
         if err.is_some() {
             return;
         }
@@ -332,8 +556,7 @@ fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usi
                 let clean = |acc: &polymem_ir::Access| {
                     acc.array != a
                         || seq_idx.iter().all(|&j| {
-                            (0..acc.map.matrix().rows())
-                                .all(|r| acc.map.matrix()[(r, j)] == 0)
+                            (0..acc.map.matrix().rows()).all(|r| acc.map.matrix()[(r, j)] == 0)
                         })
                 };
                 clean(&s.write) && s.reads.iter().all(clean)
@@ -348,6 +571,8 @@ fn execute_one_block(
     params: &[i64],
     store: &ArrayStore,
     config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
 ) -> Result<(Overlay, ExecStats)> {
     let mut overlay: Overlay = HashMap::new();
     let mut stats = ExecStats {
@@ -359,7 +584,7 @@ fn execute_one_block(
         let Some(lead) = kernel.program.stmts.first() else {
             return Ok((overlay, stats));
         };
-        let seq_vals = enumerate_named(lead, &kernel.seq_dims, params, fixed)?;
+        let seq_vals = enumerate_named(lead, &kernel.seq_dims, params, fixed, config.enum_budget)?;
         let seqs = if seq_vals.is_empty() {
             vec![Vec::new()]
         } else {
@@ -378,6 +603,8 @@ fn execute_one_block(
                 params,
                 store,
                 config,
+                cache,
+                profiler,
                 &mut overlay,
                 &mut stats,
                 Some((&hoistable, &mut persistent)),
@@ -385,12 +612,21 @@ fn execute_one_block(
         }
         for p in persistent.values() {
             if p.dirty {
-                writeback_persistent(p, params, &mut overlay, &mut stats)?;
+                writeback_persistent(p, &mut overlay, &mut stats)?;
             }
         }
     } else {
         run_sub_block(
-            kernel, fixed, params, store, config, &mut overlay, &mut stats, None,
+            kernel,
+            fixed,
+            params,
+            store,
+            config,
+            cache,
+            profiler,
+            &mut overlay,
+            &mut stats,
+            None,
         )?;
     }
     Ok((overlay, stats))
@@ -403,6 +639,8 @@ fn run_sub_block(
     params: &[i64],
     store: &ArrayStore,
     config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
     overlay: &mut Overlay,
     stats: &mut ExecStats,
     mut hoist: Option<(
@@ -418,14 +656,27 @@ fn run_sub_block(
         s.domain = fix_dims(&s.domain, fixed);
     }
 
-    // Optional scratchpad staging via the §3 pipeline.
-    let staging: Option<(SmemPlan, LocalStore)> = if kernel.use_scratchpad {
-        let cfg = SmemConfig {
-            sample_params: params.to_vec(),
-            must_copy_all: config.kind == MachineKind::CellLike,
-            ..SmemConfig::default()
+    // Optional scratchpad staging via the §3 pipeline: instantiate
+    // the shared symbolic plan when the cache holds one for this
+    // shape, otherwise analyse this instance from scratch.
+    let staging: Option<(PlanRef, Vec<i64>, LocalStore)> = if kernel.use_scratchpad {
+        let (source, pparams) = match cache.and_then(|c| c.get(fixed)) {
+            Some(sp) => {
+                let ext = sp
+                    .ext_params(params, fixed)
+                    .expect("cache key matched fixed-dim names");
+                (PlanRef::Shared(sp), ext)
+            }
+            None => {
+                let (plan, times) = analyze_program_timed(&view, &smem_config(params, config))?;
+                if let Some(pr) = profiler {
+                    pr.absorb_pass_times(&times);
+                }
+                (PlanRef::Owned(plan), params.to_vec())
+            }
         };
-        let plan = analyze_program(&view, &cfg)?;
+        let plan = source.plan();
+        let pparams = &pparams;
         // A hoisted buffer whose array this sub-tile does not stage
         // would become invisible to the tile's global accesses: flush
         // it first.
@@ -440,15 +691,15 @@ fn run_sub_block(
             for a in stale {
                 let p = persistent.remove(&a).expect("key listed");
                 if p.dirty {
-                    writeback_persistent(&p, params, overlay, stats)?;
+                    writeback_persistent(&p, overlay, stats)?;
                 }
             }
         }
         let mut bufs = Vec::with_capacity(plan.buffers.len());
         let mut words = 0u64;
         for b in &plan.buffers {
-            let extents = b.extents(params)?;
-            let offsets = b.offsets(params)?;
+            let extents = b.extents(pparams)?;
+            let offsets = b.offsets(pparams)?;
             let size: i64 = extents.iter().product::<i64>().max(0);
             words += size as u64;
             bufs.push((vec![0i64; size as usize], extents, offsets));
@@ -462,14 +713,14 @@ fn run_sub_block(
         }
         let mut local = LocalStore { bufs };
         // Move-in (hoisted buffers reuse the persistent copy for free).
+        let t0 = Instant::now();
         for mc in &plan.movement {
             let buf = &plan.buffers[mc.buffer];
             let name = &program.arrays[buf.array].name;
             if let Some((hoistable, persistent)) = &mut hoist {
                 if hoistable.contains(&buf.array) {
                     let shape_matches = persistent.get(&buf.array).is_some_and(|p| {
-                        p.extents == local.bufs[mc.buffer].1
-                            && p.offsets == local.bufs[mc.buffer].2
+                        p.extents == local.bufs[mc.buffer].1 && p.offsets == local.bufs[mc.buffer].2
                     });
                     if shape_matches {
                         let p = persistent.get(&buf.array).expect("checked");
@@ -480,43 +731,41 @@ fn run_sub_block(
                     // memory before this sub-tile stages fresh data.
                     if let Some(p) = persistent.remove(&buf.array) {
                         if p.dirty {
-                            writeback_persistent(&p, params, overlay, stats)?;
+                            writeback_persistent(&p, overlay, stats)?;
                         }
                     }
                 }
             }
             let mut err = None;
-            polymem_core::smem::movement::for_each_move_in(
-                mc,
-                buf,
-                params,
-                &mut |g, l| {
-                    if err.is_some() {
-                        return;
-                    }
-                    match read_global(store, overlay, program, buf.array, name, g) {
-                        Ok(v) => {
-                            if let Err(e) = local.set(mc.buffer, l, v) {
-                                err = Some(e);
-                            }
+            polymem_core::smem::movement::for_each_move_in(mc, buf, pparams, &mut |g, l| {
+                if err.is_some() {
+                    return;
+                }
+                match read_global(store, overlay, program, buf.array, name, g) {
+                    Ok(v) => {
+                        if let Err(e) = local.set(mc.buffer, l, v) {
+                            err = Some(e);
                         }
-                        Err(e) => err = Some(e),
                     }
-                    stats.global_reads += 1;
-                    stats.moved_in += 1;
-                },
-            )?;
+                    Err(e) => err = Some(e),
+                }
+                stats.global_reads += 1;
+                stats.moved_in += 1;
+            })?;
             if let Some(e) = err {
                 return Err(e);
             }
         }
-        Some((plan, local))
+        if let Some(pr) = profiler {
+            pr.record(crate::trace::PassKind::MoveIn, t0.elapsed());
+        }
+        Some((source, pparams.clone(), local))
     } else {
         None
     };
-    let (plan, mut local) = match staging {
-        Some((p, l)) => (Some(p), Some(l)),
-        None => (None, None),
+    let (plan, pparams, mut local) = match staging {
+        Some((p, pp, l)) => (Some(p), pp, Some(l)),
+        None => (None, Vec::new(), None),
     };
 
     // Enumerate and execute instances in source order (as the
@@ -524,13 +773,16 @@ fn run_sub_block(
     let mut instances: Vec<(usize, Vec<i64>)> = Vec::new();
     for (si, s) in view.stmts.iter().enumerate() {
         let dom = s.domain.substitute_params(params)?;
-        enumerate_points(&dom, u64::MAX, &mut |p| instances.push((si, p.to_vec())))?;
+        enumerate_points(&dom, config.enum_budget, &mut |p| {
+            instances.push((si, p.to_vec()))
+        })
+        .map_err(budget_error)?;
     }
     let n = view.stmts.len();
     let mut common = vec![vec![0usize; n]; n];
-    for a in 0..n {
-        for b in 0..n {
-            common[a][b] = view.common_depth(a, b);
+    for (a, row) in common.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell = view.common_depth(a, b);
         }
     }
     instances.sort_by(|(sa, pa), (sb, pb)| {
@@ -547,16 +799,18 @@ fn run_sub_block(
         }
     });
 
+    let t0 = Instant::now();
     for (si, point) in &instances {
         let stmt = &view.stmts[*si];
         let mut reads = Vec::with_capacity(stmt.reads.len());
         for (k, r) in stmt.reads.iter().enumerate() {
             let id = polymem_core::smem::AccessId::read(*si, k);
-            let rewrite = plan.as_ref().and_then(|p| p.rewrites.get(&id));
+            let rewrite = plan.as_ref().and_then(|p| p.plan().rewrites.get(&id));
             let v = match (rewrite, &local, &plan) {
                 (Some(la), Some(ls), Some(p)) => {
-                    let buf = &p.buffers[la.buffer];
-                    let idx = la.local_index(buf, point, params)?;
+                    let buf = &p.plan().buffers[la.buffer];
+                    let proj = p.project(*si, point);
+                    let idx = la.local_index(buf, &proj, &pparams)?;
                     stats.smem_reads += 1;
                     ls.get(la.buffer, &idx)?
                 }
@@ -564,18 +818,19 @@ fn run_sub_block(
                     let idx = r.map.apply(point, params)?;
                     let name = &program.arrays[r.array].name;
                     stats.global_reads += 1;
-                    read_global(store, &overlay, program, r.array, name, &idx)?
+                    read_global(store, overlay, program, r.array, name, &idx)?
                 }
             };
             reads.push(v);
         }
         let value = stmt.body.eval(&reads, point, params)?;
         let wid = polymem_core::smem::AccessId::write(*si);
-        let rewrite = plan.as_ref().and_then(|p| p.rewrites.get(&wid));
+        let rewrite = plan.as_ref().and_then(|p| p.plan().rewrites.get(&wid));
         match (rewrite, &mut local, &plan) {
             (Some(la), Some(ls), Some(p)) => {
-                let buf = &p.buffers[la.buffer];
-                let idx = la.local_index(buf, point, params)?;
+                let buf = &p.plan().buffers[la.buffer];
+                let proj = p.project(*si, point);
+                let idx = la.local_index(buf, &proj, &pparams)?;
                 stats.smem_writes += 1;
                 ls.set(la.buffer, &idx, value)?;
             }
@@ -587,24 +842,27 @@ fn run_sub_block(
         }
         stats.instances += 1;
     }
+    if let Some(pr) = profiler {
+        pr.record(crate::trace::PassKind::Compute, t0.elapsed());
+    }
 
     // Move-out; hoisted buffers park in `persistent` instead (one
     // writeback at the end of the block).
     if let (Some(p), Some(ls)) = (&plan, &local) {
-        for mc in &p.movement {
-            let buf = &p.buffers[mc.buffer];
+        let t0 = Instant::now();
+        let plan = p.plan();
+        for mc in &plan.movement {
+            let buf = &plan.buffers[mc.buffer];
             if let Some((hoistable, persistent)) = &mut hoist {
                 if hoistable.contains(&buf.array) {
                     let dirty = !mc.write_spaces.is_empty();
-                    let prev_dirty = persistent
-                        .get(&buf.array)
-                        .map(|q| q.dirty)
-                        .unwrap_or(false);
+                    let prev_dirty = persistent.get(&buf.array).map(|q| q.dirty).unwrap_or(false);
                     persistent.insert(
                         buf.array,
                         Persistent {
                             buffer: buf.clone(),
                             mc: mc.clone(),
+                            pparams: pparams.clone(),
                             data: ls.bufs[mc.buffer].0.clone(),
                             extents: ls.bufs[mc.buffer].1.clone(),
                             offsets: ls.bufs[mc.buffer].2.clone(),
@@ -615,7 +873,7 @@ fn run_sub_block(
                 }
             }
             let mut err = None;
-            polymem_core::smem::movement::for_each_move_out(mc, buf, params, &mut |g, l| {
+            polymem_core::smem::movement::for_each_move_out(mc, buf, &pparams, &mut |g, l| {
                 if err.is_some() {
                     return;
                 }
@@ -631,6 +889,9 @@ fn run_sub_block(
             if let Some(e) = err {
                 return Err(e);
             }
+        }
+        if let Some(pr) = profiler {
+            pr.record(crate::trace::PassKind::MoveOut, t0.elapsed());
         }
     }
 
@@ -723,9 +984,61 @@ mod tests {
         let (st, stats) = run(&k, &[10], false);
         assert_eq!(st.data("C").unwrap(), reference(&[10]).data("C").unwrap());
         assert!(stats.moved_in > 0);
-        assert!(stats.moved_out > 0);
+        // C is written once per element — no reuse, so the GPU-mode
+        // plan correctly leaves it in global memory (no move-out).
+        assert_eq!(stats.moved_out, 0);
         assert!(stats.smem_reads > 0);
         assert!(stats.max_smem_words > 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_can_be_disabled() {
+        let k = blocked(true);
+        let p = window2d();
+        let run_with = |plan_cache: bool| {
+            let mut st = ArrayStore::for_program(&p, &[10]).unwrap();
+            st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+            let mut cfg = MachineConfig::geforce_8800_gtx();
+            cfg.plan_cache = plan_cache;
+            let stats = execute_blocked(&k, &[10], &mut st, &cfg, false).unwrap();
+            (st, stats)
+        };
+        let (st_on, on) = run_with(true);
+        let (st_off, off) = run_with(false);
+        // Bit-exact contents either way.
+        assert_eq!(st_on.data("C").unwrap(), st_off.data("C").unwrap());
+        // 9 blocks: 1 warm-up miss, every block a hit.
+        assert_eq!(on.plan_cache_misses, 1);
+        assert_eq!(on.plan_cache_hits, 9);
+        assert_eq!(off.plan_cache_hits, 0);
+        assert_eq!(off.plan_cache_misses, 0);
+        // Traffic identical: instantiation is exact, boundary tiles
+        // included (10 = 2*4 + 2 leaves partial tiles).
+        assert_eq!(on.moved_in, off.moved_in);
+        assert_eq!(on.global_reads, off.global_reads);
+        assert_eq!(on.smem_reads, off.smem_reads);
+        assert_eq!(on.max_smem_words, off.max_smem_words);
+    }
+
+    #[test]
+    fn profiled_run_records_phases() {
+        use crate::trace::{PassKind, PassProfiler};
+        let k = blocked(true);
+        let p = window2d();
+        let mut st = ArrayStore::for_program(&p, &[10]).unwrap();
+        st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+        let cfg = MachineConfig::geforce_8800_gtx();
+        let profiler = PassProfiler::new();
+        execute_blocked_profiled(&k, &[10], &mut st, &cfg, false, Some(&profiler)).unwrap();
+        let r = profiler.report();
+        let count = |kind: PassKind| r.rows.iter().find(|w| w.kind == kind).unwrap().count;
+        // One warm-up symbolic analysis → one occurrence per compiler
+        // pass; 9 blocks → 9 move-in and compute phases; one barrier.
+        assert_eq!(count(PassKind::Reuse), 1);
+        assert_eq!(count(PassKind::Dataspace), 1);
+        assert_eq!(count(PassKind::MoveIn), 9);
+        assert_eq!(count(PassKind::Compute), 9);
+        assert_eq!(count(PassKind::Barrier), 1);
     }
 
     #[test]

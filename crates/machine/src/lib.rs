@@ -18,7 +18,7 @@
 //!   scratchpad use, §5), warp-granular parallelism, and device-wide
 //!   synchronisation costs;
 //! * [`exec`] — a *functional* executor that actually runs mapped
-//!   tiled programs block-parallel (crossbeam threads) with optional
+//!   tiled programs block-parallel (scoped threads) with optional
 //!   scratchpad staging driven by the §3 framework's movement code,
 //!   validating end-to-end correctness against the reference
 //!   interpreter and collecting the access counts that cross-check the
@@ -35,9 +35,9 @@ pub mod profile;
 pub mod trace;
 
 pub use config::{MachineConfig, MachineKind};
-pub use exec::{execute_blocked, BlockedKernel, ExecStats};
+pub use exec::{execute_blocked, execute_blocked_profiled, BlockedKernel, ExecStats};
 pub use profile::{KernelProfile, TimeBreakdown};
-pub use trace::{Phase, Timeline};
+pub use trace::{PassKind, PassProfiler, PassReport, Phase, Timeline};
 
 use std::fmt;
 
@@ -57,6 +57,18 @@ pub enum MachineError {
         /// Bytes available per outer-level unit.
         available: u64,
     },
+    /// Enumerating rounds/blocks/instances exceeded the configured
+    /// point budget ([`MachineConfig::enum_budget`]).
+    EnumerationBudget {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A block worker thread panicked during parallel execution.
+    WorkerPanicked {
+        /// Index of the block (in round-local enumeration order)
+        /// whose worker panicked.
+        block: usize,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -72,6 +84,12 @@ impl fmt::Display for MachineError {
                 f,
                 "scratchpad overflow: block needs {requested} B, unit has {available} B"
             ),
+            MachineError::EnumerationBudget { budget } => {
+                write!(f, "enumeration budget exhausted: more than {budget} points")
+            }
+            MachineError::WorkerPanicked { block } => {
+                write!(f, "block worker panicked while executing block {block}")
+            }
         }
     }
 }

@@ -118,17 +118,15 @@ impl KernelProfile {
 
         // Scratchpad accesses: cheap, throughput-limited by the lanes,
         // and pipeline bubbles appear at low warp occupancy too.
-        let smem_cycles_block = instances_per_block
-            * self.smem_accesses_per_instance as f64
-            * m.smem_latency
-            / lanes
-            / hiding;
+        let smem_cycles_block =
+            instances_per_block * self.smem_accesses_per_instance as f64 * m.smem_latency
+                / lanes
+                / hiding;
 
         // §4.3 data movement: per occurrence P·S + V·L/P.
         let p = self.threads_per_block.max(1) as f64;
         let movement_cycles_block = self.movement_occurrences_per_block as f64
-            * (p * m.sync_cycles
-                + self.movement_volume_per_occurrence as f64 * global_cost / p);
+            * (p * m.sync_cycles + self.movement_volume_per_occurrence as f64 * global_cost / p);
 
         let per_block =
             compute_cycles_block + global_cycles_block + smem_cycles_block + movement_cycles_block;
@@ -282,8 +280,7 @@ mod tests {
             ..base_profile()
         };
         let t = p.estimate(&m).unwrap();
-        let parts =
-            t.compute_ms + t.global_ms + t.smem_ms + t.movement_ms + t.device_sync_ms;
+        let parts = t.compute_ms + t.global_ms + t.smem_ms + t.movement_ms + t.device_sync_ms;
         assert!((parts - t.total_ms).abs() < 1e-9 * t.total_ms.max(1.0));
     }
 }

@@ -11,6 +11,9 @@
 use crate::config::MachineConfig;
 use crate::profile::KernelProfile;
 use crate::Result;
+use polymem_core::smem::PassTimes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// One segment of simulated time.
 #[derive(Clone, Debug, PartialEq)]
@@ -139,6 +142,194 @@ impl Timeline {
     }
 }
 
+/// A pass or phase whose real (host) wall-clock time the executor
+/// profiler accounts: the five §3 compiler passes plus the four
+/// functional-executor phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Compiler: data-space computation (`F·I` images).
+    Dataspace,
+    /// Compiler: §3.1 partitioning into disjoint groups.
+    Partition,
+    /// Compiler: Algorithm 1 reuse evaluation.
+    Reuse,
+    /// Compiler: Algorithm 2 allocation + access rewriting.
+    Alloc,
+    /// Compiler: movement loop-nest generation.
+    Movement,
+    /// Executor: global→scratchpad move-in transfers.
+    MoveIn,
+    /// Executor: per-instance statement evaluation.
+    Compute,
+    /// Executor: scratchpad→global move-out transfers.
+    MoveOut,
+    /// Executor: inter-round device barrier (write-back + sync).
+    Barrier,
+}
+
+/// All pass kinds, in report order (compiler first, then executor).
+pub const PASS_KINDS: [PassKind; 9] = [
+    PassKind::Dataspace,
+    PassKind::Partition,
+    PassKind::Reuse,
+    PassKind::Alloc,
+    PassKind::Movement,
+    PassKind::MoveIn,
+    PassKind::Compute,
+    PassKind::MoveOut,
+    PassKind::Barrier,
+];
+
+impl PassKind {
+    /// Human label for the report table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PassKind::Dataspace => "dataspace",
+            PassKind::Partition => "partition",
+            PassKind::Reuse => "reuse",
+            PassKind::Alloc => "alloc",
+            PassKind::Movement => "movement",
+            PassKind::MoveIn => "move-in",
+            PassKind::Compute => "compute",
+            PassKind::MoveOut => "move-out",
+            PassKind::Barrier => "barrier",
+        }
+    }
+
+    /// Whether this is a §3 compiler pass (vs an executor phase).
+    pub fn is_compiler(&self) -> bool {
+        matches!(
+            self,
+            PassKind::Dataspace
+                | PassKind::Partition
+                | PassKind::Reuse
+                | PassKind::Alloc
+                | PassKind::Movement
+        )
+    }
+}
+
+/// Thread-safe accumulator of real wall-clock time per pass/phase.
+/// Block workers record into it concurrently; [`PassProfiler::report`]
+/// snapshots the totals.
+#[derive(Debug, Default)]
+pub struct PassProfiler {
+    ns: [AtomicU64; PASS_KINDS.len()],
+    count: [AtomicU64; PASS_KINDS.len()],
+}
+
+impl PassProfiler {
+    /// Fresh, all-zero profiler.
+    pub fn new() -> PassProfiler {
+        PassProfiler::default()
+    }
+
+    fn slot(kind: PassKind) -> usize {
+        PASS_KINDS.iter().position(|&k| k == kind).unwrap()
+    }
+
+    /// Record one timed occurrence of a pass.
+    pub fn record(&self, kind: PassKind, elapsed: Duration) {
+        let i = Self::slot(kind);
+        self.ns[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.count[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one `analyze_program_timed` run's per-pass times in (one
+    /// occurrence per compiler pass).
+    pub fn absorb_pass_times(&self, t: &PassTimes) {
+        self.record(PassKind::Dataspace, t.dataspace);
+        self.record(PassKind::Partition, t.partition);
+        self.record(PassKind::Reuse, t.reuse);
+        self.record(PassKind::Alloc, t.alloc);
+        self.record(PassKind::Movement, t.movement);
+    }
+
+    /// Snapshot the accumulated totals.
+    pub fn report(&self) -> PassReport {
+        PassReport {
+            rows: PASS_KINDS
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| PassRow {
+                    kind,
+                    total: Duration::from_nanos(self.ns[i].load(Ordering::Relaxed)),
+                    count: self.count[i].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One row of a [`PassReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct PassRow {
+    /// Which pass/phase.
+    pub kind: PassKind,
+    /// Accumulated wall-clock time.
+    pub total: Duration,
+    /// Number of recorded occurrences.
+    pub count: u64,
+}
+
+/// A snapshot of a [`PassProfiler`]: per-pass totals plus a text table.
+#[derive(Clone, Debug)]
+pub struct PassReport {
+    /// Rows in [`PASS_KINDS`] order.
+    pub rows: Vec<PassRow>,
+}
+
+impl PassReport {
+    /// Total time across the §3 compiler passes.
+    pub fn compiler_total(&self) -> Duration {
+        self.rows
+            .iter()
+            .filter(|r| r.kind.is_compiler())
+            .map(|r| r.total)
+            .sum()
+    }
+
+    /// Total time across the executor phases.
+    pub fn executor_total(&self) -> Duration {
+        self.rows
+            .iter()
+            .filter(|r| !r.kind.is_compiler())
+            .map(|r| r.total)
+            .sum()
+    }
+
+    /// Render as a two-section text table (skipping never-hit rows).
+    pub fn render(&self) -> String {
+        let grand = (self.compiler_total() + self.executor_total()).as_secs_f64();
+        let mut out = String::from("pass profile (host wall-clock)\n");
+        let mut section = |title: &str, compiler: bool, total: Duration| {
+            out.push_str(&format!(
+                "  {title:<22} {:>10.3} ms\n",
+                total.as_secs_f64() * 1e3
+            ));
+            for r in self
+                .rows
+                .iter()
+                .filter(|r| r.kind.is_compiler() == compiler)
+            {
+                if r.count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    {:<10} {:>10.3} ms  x{:<8} ({:>4.1}%)\n",
+                    r.kind.label(),
+                    r.total.as_secs_f64() * 1e3,
+                    r.count,
+                    100.0 * r.total.as_secs_f64() / grand.max(1e-12),
+                ));
+            }
+        };
+        section("compiler (§3 passes)", true, self.compiler_total());
+        section("executor phases", false, self.executor_total());
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +415,59 @@ mod tests {
         let tl = Timeline::from_profile(&KernelProfile::default(), &m).unwrap();
         assert_eq!(tl.fraction(Phase::Compute), 0.0);
         let _ = tl.render(10);
+    }
+
+    #[test]
+    fn profiler_accumulates_and_splits_sections() {
+        let p = PassProfiler::new();
+        p.record(PassKind::Compute, Duration::from_millis(3));
+        p.record(PassKind::Compute, Duration::from_millis(2));
+        p.record(PassKind::Barrier, Duration::from_millis(1));
+        p.absorb_pass_times(&PassTimes {
+            reuse: Duration::from_millis(4),
+            ..PassTimes::default()
+        });
+        let r = p.report();
+        assert_eq!(r.executor_total(), Duration::from_millis(6));
+        assert_eq!(r.compiler_total(), Duration::from_millis(4));
+        let compute = r
+            .rows
+            .iter()
+            .find(|row| row.kind == PassKind::Compute)
+            .unwrap();
+        assert_eq!(compute.count, 2);
+        assert_eq!(compute.total, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn profiler_report_renders_only_hit_rows() {
+        let p = PassProfiler::new();
+        p.record(PassKind::MoveIn, Duration::from_millis(1));
+        let text = p.report().render();
+        assert!(text.contains("move-in"), "{text}");
+        assert!(!text.contains("dataspace"), "{text}");
+        assert!(text.contains("compiler"), "{text}");
+    }
+
+    #[test]
+    fn profiler_is_shareable_across_threads() {
+        let p = PassProfiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        p.record(PassKind::Compute, Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        let r = p.report();
+        let compute = r
+            .rows
+            .iter()
+            .find(|row| row.kind == PassKind::Compute)
+            .unwrap();
+        assert_eq!(compute.count, 400);
+        assert_eq!(compute.total, Duration::from_nanos(4000));
     }
 }

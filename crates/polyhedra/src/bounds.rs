@@ -131,18 +131,12 @@ pub struct BoundList {
 impl BoundList {
     /// Evaluate as a lower bound: max over `ceil` of each term.
     pub fn eval_lower(&self, ctx: &[i64], params: &[i64]) -> Option<i64> {
-        self.terms
-            .iter()
-            .map(|t| t.eval_lower(ctx, params))
-            .max()
+        self.terms.iter().map(|t| t.eval_lower(ctx, params)).max()
     }
 
     /// Evaluate as an upper bound: min over `floor` of each term.
     pub fn eval_upper(&self, ctx: &[i64], params: &[i64]) -> Option<i64> {
-        self.terms
-            .iter()
-            .map(|t| t.eval_upper(ctx, params))
-            .min()
+        self.terms.iter().map(|t| t.eval_upper(ctx, params)).min()
     }
 
     /// True iff there are no candidate terms (unbounded direction).
@@ -184,9 +178,7 @@ pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBoun
     }
     assert!(n_ctx <= dim, "context dims must precede the bounded dim");
     // Keep dims 0..n_ctx and `dim`; eliminate the rest.
-    let drop: Vec<usize> = (0..n)
-        .filter(|&d| d != dim && d >= n_ctx)
-        .collect();
+    let drop: Vec<usize> = (0..n).filter(|&d| d != dim && d >= n_ctx).collect();
     let projected = poly.eliminate_dims(&drop)?;
     // In `projected`, the target dim now sits at index n_ctx.
     let t = n_ctx;

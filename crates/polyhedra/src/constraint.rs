@@ -171,10 +171,7 @@ impl Constraint {
             ConstraintKind::Ineq => vec![self.clone()],
             ConstraintKind::Eq => {
                 let neg: Vec<i64> = self.coeffs.iter().map(|&c| -c).collect();
-                vec![
-                    Constraint::ineq(self.coeffs.clone()),
-                    Constraint::ineq(neg),
-                ]
+                vec![Constraint::ineq(self.coeffs.clone()), Constraint::ineq(neg)]
             }
         }
     }
@@ -301,19 +298,25 @@ mod tests {
 
     #[test]
     fn constant_verdicts() {
-        assert_eq!(Constraint::ineq(vec![0, 0, -1]).constant_verdict(), Some(false));
-        assert_eq!(Constraint::ineq(vec![0, 0, 3]).constant_verdict(), Some(true));
-        assert_eq!(Constraint::eq(vec![0, 0, 1]).constant_verdict(), Some(false));
+        assert_eq!(
+            Constraint::ineq(vec![0, 0, -1]).constant_verdict(),
+            Some(false)
+        );
+        assert_eq!(
+            Constraint::ineq(vec![0, 0, 3]).constant_verdict(),
+            Some(true)
+        );
+        assert_eq!(
+            Constraint::eq(vec![0, 0, 1]).constant_verdict(),
+            Some(false)
+        );
         assert_eq!(Constraint::ineq(vec![1, 0, -1]).constant_verdict(), None);
     }
 
     #[test]
     fn display_rendering() {
         let c = Constraint::ineq(vec![1, 2, -1, 3]);
-        let s = c.display(
-            &["i".to_string(), "j".to_string()],
-            &["N".to_string()],
-        );
+        let s = c.display(&["i".to_string(), "j".to_string()], &["N".to_string()]);
         assert_eq!(s, "i + 2*j - N + 3 >= 0");
         let z = Constraint::ineq(vec![0, 0, 0, -1]);
         assert_eq!(

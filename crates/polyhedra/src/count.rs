@@ -214,10 +214,7 @@ mod tests {
     fn parametric_sets_are_rejected() {
         let p = Polyhedron::universe(Space::new(["i"], ["N"]));
         assert!(matches!(count_points(&p, 10), Err(PolyError::Unbounded)));
-        assert!(matches!(
-            bounding_box_volume(&p),
-            Err(PolyError::Unbounded)
-        ));
+        assert!(matches!(bounding_box_volume(&p), Err(PolyError::Unbounded)));
     }
 
     #[test]

@@ -152,7 +152,9 @@ fn constrain_side(
     width: usize,
 ) -> Result<Polyhedron> {
     if set.n_dims() != width || set.n_params() != poly.n_params() {
-        return Err(PolyError::SpaceMismatch { op: "constrain_side" });
+        return Err(PolyError::SpaceMismatch {
+            op: "constrain_side",
+        });
     }
     let n = poly.n_dims();
     let ncols = poly.space().n_cols();
@@ -380,19 +382,8 @@ mod tests {
         // S1: A[i] = ...; S2: ... = A[i] in the same loop body.
         let dom = line_domain("N");
         let acc = access(&[&[1, 0, 0]], &dom, 1);
-        let deps = dependence_polyhedra(
-            DepKind::Flow,
-            0,
-            1,
-            "A",
-            &dom,
-            &dom,
-            &acc,
-            &acc,
-            1,
-            true,
-        )
-        .unwrap();
+        let deps = dependence_polyhedra(DepKind::Flow, 0, 1, "A", &dom, &dom, &acc, &acc, 1, true)
+            .unwrap();
         // One loop-independent level (is = it) plus no carried level
         // (same element requires is = it).
         assert_eq!(deps.len(), 1);

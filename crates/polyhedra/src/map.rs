@@ -167,9 +167,9 @@ impl AffineMap {
                     if cr == 0 {
                         continue;
                     }
-                    for j in 0..self.matrix.cols() {
+                    for (j, rj) in row.iter_mut().enumerate().take(self.matrix.cols()) {
                         // Matrix column layout equals in-space layout.
-                        row[j] += cr * (self.matrix[(r, j)] as i128);
+                        *rj += cr * (self.matrix[(r, j)] as i128);
                     }
                 }
                 for j in 0..(n_params + 1) {

@@ -235,8 +235,7 @@ impl Polyhedron {
                         let v = (c.coeff(j) as i128) * (ca as i128)
                             - (e.coeff(j) as i128) * (cb as i128);
                         row.push(
-                            i64::try_from(v)
-                                .map_err(|_| polymem_linalg::LinalgError::Overflow)?,
+                            i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?,
                         );
                     }
                     match c.kind {
@@ -273,11 +272,9 @@ impl Polyhedron {
                 let (ma, mb) = (b / g, a / g);
                 let mut row = Vec::with_capacity(lo.len());
                 for j in 0..lo.len() {
-                    let v = (lo.coeff(j) as i128) * (ma as i128)
-                        + (up.coeff(j) as i128) * (mb as i128);
-                    row.push(
-                        i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?,
-                    );
+                    let v =
+                        (lo.coeff(j) as i128) * (ma as i128) + (up.coeff(j) as i128) * (mb as i128);
+                    row.push(i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?);
                 }
                 rest.push(drop_col(&Constraint::ineq(row), dim));
             }
@@ -408,10 +405,7 @@ impl Polyhedron {
 
     /// All constraints as inequalities (equalities split in two).
     pub fn as_ineq_rows(&self) -> Vec<Constraint> {
-        self.constraints
-            .iter()
-            .flat_map(|c| c.as_ineqs())
-            .collect()
+        self.constraints.iter().flat_map(|c| c.as_ineqs()).collect()
     }
 
     /// Insert a fresh dimension at position `pos` (coefficient 0 in all
@@ -567,11 +561,7 @@ impl fmt::Debug for Polyhedron {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:?} : {{", self.space)?;
         for c in &self.constraints {
-            writeln!(
-                f,
-                "  {}",
-                c.display(self.space.dims(), self.space.params())
-            )?;
+            writeln!(f, "  {}", c.display(self.space.dims(), self.space.params()))?;
         }
         write!(f, "}}")
     }
@@ -682,8 +672,8 @@ mod tests {
         let p = Polyhedron::new(
             Space::new(["i"], Vec::<String>::new()),
             vec![
-                Constraint::ineq(vec![1, -3]),  // i >= 3
-                Constraint::ineq(vec![-1, 3]),  // i <= 3
+                Constraint::ineq(vec![1, -3]), // i >= 3
+                Constraint::ineq(vec![-1, 3]), // i <= 3
             ],
         );
         assert_eq!(p.equalities().len(), 1);

@@ -7,7 +7,7 @@
 //! a disjoint decomposition for single-visit scanning and exact
 //! counting, and membership/emptiness tests.
 
-use crate::count::{count_points, count_or_estimate};
+use crate::count::{count_or_estimate, count_points};
 use crate::diff::difference_all;
 use crate::set::Polyhedron;
 use crate::{PolyError, Result};
@@ -29,10 +29,7 @@ impl PolyUnion {
     /// Build from members; all must share a space shape.
     pub fn from_members(members: Vec<Polyhedron>) -> Result<PolyUnion> {
         if let Some(first) = members.first() {
-            if !members
-                .iter()
-                .all(|m| m.space().same_shape(first.space()))
-            {
+            if !members.iter().all(|m| m.space().same_shape(first.space())) {
                 return Err(PolyError::SpaceMismatch { op: "PolyUnion" });
             }
         }
@@ -43,7 +40,9 @@ impl PolyUnion {
     pub fn push(&mut self, p: Polyhedron) -> Result<()> {
         if let Some(first) = self.members.first() {
             if !first.space().same_shape(p.space()) {
-                return Err(PolyError::SpaceMismatch { op: "PolyUnion::push" });
+                return Err(PolyError::SpaceMismatch {
+                    op: "PolyUnion::push",
+                });
             }
         }
         self.members.push(p);
@@ -56,6 +55,9 @@ impl PolyUnion {
     }
 
     /// Number of members.
+    // `is_empty` below is *semantic* emptiness (fallible); the
+    // structural counterpart of `len` is `is_empty_union`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.members.len()
     }
@@ -264,8 +266,7 @@ mod tests {
 
     #[test]
     fn union_membership_and_count() {
-        let u =
-            PolyUnion::from_members(vec![interval(0, 4), interval(3, 8)]).unwrap();
+        let u = PolyUnion::from_members(vec![interval(0, 4), interval(3, 8)]).unwrap();
         assert!(u.contains(&[0], &[]));
         assert!(u.contains(&[8], &[]));
         assert!(!u.contains(&[9], &[]));
@@ -275,12 +276,8 @@ mod tests {
 
     #[test]
     fn disjoint_pieces_cover_without_overlap() {
-        let u = PolyUnion::from_members(vec![
-            interval(0, 5),
-            interval(3, 9),
-            interval(20, 21),
-        ])
-        .unwrap();
+        let u = PolyUnion::from_members(vec![interval(0, 5), interval(3, 9), interval(20, 21)])
+            .unwrap();
         let pieces = u.disjoint_pieces().unwrap();
         for v in -2..25 {
             let n = pieces.iter().filter(|p| p.contains(&[v], &[])).count();
@@ -290,12 +287,10 @@ mod tests {
 
     #[test]
     fn pairwise_overlap_volume_counts_intersections() {
-        let u =
-            PolyUnion::from_members(vec![interval(0, 5), interval(4, 9)]).unwrap();
+        let u = PolyUnion::from_members(vec![interval(0, 5), interval(4, 9)]).unwrap();
         // Intersection [4,5] has 2 points.
         assert_eq!(u.pairwise_overlap_volume(100).unwrap(), 2);
-        let d =
-            PolyUnion::from_members(vec![interval(0, 2), interval(5, 9)]).unwrap();
+        let d = PolyUnion::from_members(vec![interval(0, 2), interval(5, 9)]).unwrap();
         assert_eq!(d.pairwise_overlap_volume(100).unwrap(), 0);
     }
 

@@ -22,8 +22,8 @@ fn main() {
     // block (the emitted kernel body is the per-block program, as in
     // CUDA, with iT/jT bound from blockIdx).
     let p = me::program();
-    let tiled = tile_program(&p, &TileSpec::new(&[("i", 32), ("j", 16)], "T"))
-        .expect("tiling is legal");
+    let tiled =
+        tile_program(&p, &TileSpec::new(&[("i", 32), ("j", 16)], "T")).expect("tiling is legal");
 
     // Plan scratchpad staging for one tile to fix buffer shapes; the
     // emitted subscripts stay symbolic in the tile indices.

@@ -39,8 +39,7 @@ fn main() {
     let mut reference = st.clone();
     jacobi::reference(&mut reference, &s);
     let kernel = jacobi::overlapped_kernel(4, 16, false);
-    let stats =
-        execute_blocked(&kernel, &jacobi::params(&s), &mut st, &gpu, true).expect("run");
+    let stats = execute_blocked(&kernel, &jacobi::params(&s), &mut st, &gpu, true).expect("run");
     assert_eq!(st.data("A").unwrap(), reference.data("A").unwrap());
     println!("== Overlapped time tiles (tt = 4, si = 16) ==");
     println!("result == reference  ✓");
@@ -53,7 +52,10 @@ fn main() {
 
     // Fig. 7: block-count sweep for a scratchpad-resident size.
     println!("== Thread-block sweep, N = 32k resident (paper Fig. 7) ==");
-    let size = jacobi::JacobiSize { n: 32 * 1024, t: 4096 };
+    let size = jacobi::JacobiSize {
+        n: 32 * 1024,
+        t: 4096,
+    };
     for b in [25u64, 64, 128, 192, 256] {
         let t = jacobi::profile_resident(&size, 32, b, 64, &gpu)
             .estimate(&gpu)
@@ -63,7 +65,10 @@ fn main() {
     }
 
     // Fig. 8: tile-size search under M_up = 2^9 words.
-    let big = jacobi::JacobiSize { n: 512 * 1024, t: 4096 };
+    let big = jacobi::JacobiSize {
+        n: 512 * 1024,
+        t: 4096,
+    };
     let (tt, si, ms) = jacobi::search_tiles(&big, 128, 64, 512, &gpu);
     println!("\n== Tile-size search, N = 512k, M_up = 512 words (paper Fig. 8) ==");
     println!("  optimal (time, space) = ({tt}, {si})  [paper: (32, 256)], {ms:.1} ms");

@@ -62,7 +62,10 @@ fn main() {
 
     for (label, cfg) in [
         ("GeForce 8800 GTX", MachineConfig::geforce_8800_gtx()),
-        ("Cell-like (mandatory local store)", MachineConfig::cell_like()),
+        (
+            "Cell-like (mandatory local store)",
+            MachineConfig::cell_like(),
+        ),
     ] {
         let mut st = base.clone();
         let kernel = matmul::blocked_kernel(4, 4, 6, true);

@@ -26,13 +26,14 @@ fn main() {
         band.kinds,
         tilable_prefix(&p).expect("tilable analysis"),
     );
-    println!("Space loops (across thread blocks/threads): {:?}", band.space_loops());
+    println!(
+        "Space loops (across thread blocks/threads): {:?}",
+        band.space_loops()
+    );
     // Size-aware legality: the paper's four-loop tiling is valid
     // because its (k, l) tiles cover the whole search window.
-    let spec = polymem::core::tiling::TileSpec::new(
-        &[("i", 32), ("j", 16), ("k", 16), ("l", 16)],
-        "T",
-    );
+    let spec =
+        polymem::core::tiling::TileSpec::new(&[("i", 32), ("j", 16), ("k", 16), ("l", 16)], "T");
     let verdict = polymem::core::tiling::check_tiling(&p, &spec, Some(&[1024, 1024, 16]))
         .expect("legality analysis");
     println!("Tiling (32,16,16,16) legality: {:?}\n", verdict);
@@ -51,14 +52,18 @@ fn main() {
     );
 
     // Functional validation on a small instance.
-    let small = me::MeSize { ni: 12, nj: 10, ws: 4 };
+    let small = me::MeSize {
+        ni: 12,
+        nj: 10,
+        ws: 4,
+    };
     let mut st = ArrayStore::for_program(&p, &me::params(&small)).expect("store");
     me::init_store(&mut st, 2024);
     let mut reference = st.clone();
     exec_program(&p, &me::params(&small), &mut reference).expect("reference run");
     let kernel = me::blocked_kernel(4, 5, true);
-    let stats = execute_blocked(&kernel, &me::params(&small), &mut st, &gpu, true)
-        .expect("simulated run");
+    let stats =
+        execute_blocked(&kernel, &me::params(&small), &mut st, &gpu, true).expect("simulated run");
     assert_eq!(st.data("Sad").unwrap(), reference.data("Sad").unwrap());
     println!("Functional validation: staged result == reference  ✓");
     println!(
@@ -87,6 +92,12 @@ fn main() {
         .total_ms;
     println!("== 16M positions, simulated times (paper Fig. 4 point) ==");
     println!("  GPU w/o scratchpad : {t_dram:10.1} ms");
-    println!("  GPU with scratchpad: {t_smem:10.1} ms   ({:.1}x)", t_dram / t_smem);
-    println!("  CPU                : {t_cpu:10.1} ms   ({:.1}x vs staged GPU)", t_cpu / t_smem);
+    println!(
+        "  GPU with scratchpad: {t_smem:10.1} ms   ({:.1}x)",
+        t_dram / t_smem
+    );
+    println!(
+        "  CPU                : {t_cpu:10.1} ms   ({:.1}x vs staged GPU)",
+        t_cpu / t_smem
+    );
 }

@@ -90,15 +90,27 @@ fn main() {
         let g = buf.offsets(&[]).expect("bounded");
         let a = &buf.array_name;
         let leaf_in = |_: usize| {
-            format!("L{a}[{a}_0 - {0}][{a}_1 - {1}] = {a}[{a}_0][{a}_1];", g[0], g[1])
+            format!(
+                "L{a}[{a}_0 - {0}][{a}_1 - {1}] = {a}[{a}_0][{a}_1];",
+                g[0], g[1]
+            )
         };
         let leaf_out = |_: usize| {
-            format!("{a}[{a}_0][{a}_1] = L{a}[{a}_0 - {0}][{a}_1 - {1}];", g[0], g[1])
+            format!(
+                "{a}[{a}_0][{a}_1] = L{a}[{a}_0 - {0}][{a}_1 - {1}];",
+                g[0], g[1]
+            )
         };
         println!("/* Array {} */", buf.array_name);
-        println!("/* Data move in code ({} elements) */", mc.move_in_count(&[]));
+        println!(
+            "/* Data move in code ({} elements) */",
+            mc.move_in_count(&[])
+        );
         print!("{}", mc.move_in.to_c(&program.params, &leaf_in));
-        println!("/* Data move out code ({} elements) */", mc.move_out_count(&[]));
+        println!(
+            "/* Data move out code ({} elements) */",
+            mc.move_out_count(&[])
+        );
         print!("{}", mc.move_out.to_c(&program.params, &leaf_out));
         println!();
     }

@@ -16,11 +16,18 @@
 //! (default: 64 per parameter).
 
 use polymem::core::emit::{emit_staged, EmitOptions};
-use polymem::core::smem::{analyze_program, SmemConfig};
+use polymem::core::smem::{analyze_program_timed, SmemConfig};
 use polymem::ir::{exec_program, ArrayStore, Program};
 use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me};
-use polymem::machine::{execute_blocked, BlockedKernel, MachineConfig};
+use polymem::machine::{execute_blocked_profiled, BlockedKernel, MachineConfig, PassProfiler};
 use std::process::ExitCode;
+
+/// `--profile` on the command line, or `POLYMEM_PROFILE=1` in the
+/// environment: print the pass-level wall-clock profile.
+fn profile_requested() -> bool {
+    std::env::args().any(|a| a == "--profile")
+        || std::env::var("POLYMEM_PROFILE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +78,10 @@ fn main() -> ExitCode {
             }
             Some("jacobi") => {
                 let gpu = MachineConfig::geforce_8800_gtx();
-                let s = jacobi::JacobiSize { n: 512 * 1024, t: 4096 };
+                let s = jacobi::JacobiSize {
+                    n: 512 * 1024,
+                    t: 4096,
+                };
                 let p = jacobi::profile_tiled(&s, 32, 256, 128, 64, true, &gpu);
                 let tl = polymem::machine::Timeline::from_profile(&p, &gpu)
                     .expect("profile fits the machine");
@@ -110,7 +120,11 @@ fn usage(msg: &str) -> ExitCode {
          \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
          \x20 trace <me|jacobi>        phase timeline of a launch\n\
          \n\
-         kernels: me, jacobi, jacobi2d, matmul, conv2d"
+         kernels: me, jacobi, jacobi2d, matmul, conv2d\n\
+         \n\
+         `analyze` and `run` accept --profile (or POLYMEM_PROFILE=1) to\n\
+         print a pass-level wall-clock profile; `run` also reports plan\n\
+         cache hit/miss counters."
     );
     ExitCode::FAILURE
 }
@@ -179,7 +193,9 @@ fn cli_params() -> Option<Vec<i64>> {
     let args: Vec<String> = std::env::args().collect();
     let p = args.iter().position(|a| a == "--params")?;
     let list = args.get(p + 1)?;
-    list.split(',').map(|x| x.trim().parse::<i64>().ok()).collect()
+    list.split(',')
+        .map(|x| x.trim().parse::<i64>().ok())
+        .collect()
 }
 
 fn with_kernel(name: Option<&str>, f: impl Fn(&str) -> ExitCode) -> ExitCode {
@@ -191,7 +207,14 @@ fn with_kernel(name: Option<&str>, f: impl Fn(&str) -> ExitCode) -> ExitCode {
 }
 
 fn plan_of(program: &Program, params: &[i64]) -> polymem::core::SmemPlan {
-    analyze_program(
+    plan_of_timed(program, params).0
+}
+
+fn plan_of_timed(
+    program: &Program,
+    params: &[i64],
+) -> (polymem::core::SmemPlan, polymem::core::smem::PassTimes) {
+    analyze_program_timed(
         program,
         &SmemConfig {
             sample_params: params.to_vec(),
@@ -204,7 +227,7 @@ fn plan_of(program: &Program, params: &[i64]) -> polymem::core::SmemPlan {
 fn analyze(name: &str) -> ExitCode {
     let (program, params) = kernel_program(name).expect("checked");
     println!("== {} ==\n{program}", program.name);
-    let plan = plan_of(&program, &params);
+    let (plan, times) = plan_of_timed(&program, &params);
     println!("== Algorithm 1 decisions ==");
     for (array, d) in &plan.decisions {
         println!(
@@ -230,6 +253,12 @@ fn analyze(name: &str) -> ExitCode {
             mc.move_in_count(&params),
             mc.move_out_count(&params)
         );
+    }
+    if profile_requested() {
+        println!("\n== Pass profile ==");
+        let pr = PassProfiler::new();
+        pr.absorb_pass_times(&times);
+        print!("{}", pr.report().render());
     }
     ExitCode::SUCCESS
 }
@@ -259,7 +288,11 @@ fn run(name: &str, size: i64) -> ExitCode {
         }
         "jacobi" => {
             let s = jacobi::JacobiSize { n: size, t: 8 };
-            (jacobi::overlapped_kernel(2, 8, false), jacobi::params(&s), "A")
+            (
+                jacobi::overlapped_kernel(2, 8, false),
+                jacobi::params(&s),
+                "A",
+            )
         }
         "jacobi2d" => (
             jacobi2d::stepwise_kernel(4, 4, true),
@@ -269,7 +302,11 @@ fn run(name: &str, size: i64) -> ExitCode {
         "matmul" => (matmul::blocked_kernel(4, 4, 8, true), vec![size], "C"),
         "conv2d" => {
             let s = conv2d::ConvSize { n: size, k: 3 };
-            (conv2d::blocked_kernel(4, 4, true), conv2d::params(&s), "Out")
+            (
+                conv2d::blocked_kernel(4, 4, true),
+                conv2d::params(&s),
+                "Out",
+            )
         }
         _ => return usage("unknown kernel"),
     };
@@ -292,17 +329,23 @@ fn run(name: &str, size: i64) -> ExitCode {
     }
     let mut reference = st.clone();
     exec_program(&base_program, &params, &mut reference).expect("reference run");
-    let stats = match execute_blocked(&kernel, &params, &mut st, &gpu, true) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let profiler = profile_requested().then(PassProfiler::new);
+    let stats =
+        match execute_blocked_profiled(&kernel, &params, &mut st, &gpu, true, profiler.as_ref()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let ok = st.data(check).expect("array") == reference.data(check).expect("array");
     println!(
         "{name} (size {size}): {}",
-        if ok { "result matches reference ✓" } else { "MISMATCH ✗" }
+        if ok {
+            "result matches reference ✓"
+        } else {
+            "MISMATCH ✗"
+        }
     );
     println!(
         "  blocks {}, rounds {}, instances {}",
@@ -316,6 +359,13 @@ fn run(name: &str, size: i64) -> ExitCode {
         "  moved in/out {}/{}, peak scratchpad {} words",
         stats.moved_in, stats.moved_out, stats.max_smem_words
     );
+    println!(
+        "  plan cache hits/misses {}/{}",
+        stats.plan_cache_hits, stats.plan_cache_misses
+    );
+    if let Some(pr) = &profiler {
+        print!("{}", pr.report().render());
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

@@ -32,12 +32,7 @@ fn analyze_builtin_kernel() {
 
 #[test]
 fn analyze_poly_file_with_params() {
-    let (stdout, _, ok) = polymem(&[
-        "analyze",
-        "examples/kernels/blur3.poly",
-        "--params",
-        "32,4",
-    ]);
+    let (stdout, _, ok) = polymem(&["analyze", "examples/kernels/blur3.poly", "--params", "32,4"]);
     assert!(ok);
     assert!(stdout.contains("LA[N + 2];"), "{stdout}");
 }

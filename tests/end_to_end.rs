@@ -20,7 +20,11 @@ fn all_kernels_run_identically_on_all_machine_kinds() {
     let cell = MachineConfig::cell_like();
 
     // ME.
-    let size = me::MeSize { ni: 6, nj: 7, ws: 3 };
+    let size = me::MeSize {
+        ni: 6,
+        nj: 7,
+        ws: 3,
+    };
     let p = me::program();
     let mut reference = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
     me::init_store(&mut reference, 1);
@@ -67,7 +71,14 @@ fn all_kernels_run_identically_on_all_machine_kinds() {
     let base = reference.clone();
     matmul::reference(&mut reference, 9);
     let mut st = base.clone();
-    execute_blocked(&matmul::blocked_kernel(3, 4, 5, true), &[9], &mut st, &gpu, true).unwrap();
+    execute_blocked(
+        &matmul::blocked_kernel(3, 4, 5, true),
+        &[9],
+        &mut st,
+        &gpu,
+        true,
+    )
+    .unwrap();
     assert_eq!(st.data("C").unwrap(), reference.data("C").unwrap());
 
     // Jacobi 2-D.
@@ -78,8 +89,112 @@ fn all_kernels_run_identically_on_all_machine_kinds() {
     let base = reference.clone();
     jacobi2d::reference(&mut reference, 2, 7);
     let mut st = base.clone();
-    execute_blocked(&jacobi2d::stepwise_kernel(3, 3, true), &prm, &mut st, &gpu, true).unwrap();
+    execute_blocked(
+        &jacobi2d::stepwise_kernel(3, 3, true),
+        &prm,
+        &mut st,
+        &gpu,
+        true,
+    )
+    .unwrap();
     assert_eq!(st.data("A").unwrap(), reference.data("A").unwrap());
+}
+
+#[test]
+fn plan_cache_is_bit_exact_for_every_kernel_and_machine_kind() {
+    use polymem::kernels::conv2d;
+    use polymem::machine::BlockedKernel;
+    let run_both = |kernel: &BlockedKernel, params: &[i64], base: &ArrayStore, out: &str| {
+        let mut results = Vec::new();
+        for cfg0 in [
+            MachineConfig::geforce_8800_gtx(),
+            MachineConfig::cell_like(),
+        ] {
+            let mut on = cfg0.clone();
+            on.plan_cache = true;
+            let mut off = cfg0.clone();
+            off.plan_cache = false;
+            let mut st_on = base.clone();
+            let s_on = execute_blocked(kernel, params, &mut st_on, &on, true).unwrap();
+            let mut st_off = base.clone();
+            let s_off = execute_blocked(kernel, params, &mut st_off, &off, true).unwrap();
+            assert_eq!(
+                st_on.data(out).unwrap(),
+                st_off.data(out).unwrap(),
+                "cached vs uncached contents differ for {} on {:?}",
+                kernel.program.name,
+                cfg0.kind
+            );
+            // Traffic and footprint must also be identical: the
+            // instantiated symbolic plan is element-for-element the
+            // per-instance plan.
+            assert_eq!(s_on.moved_in, s_off.moved_in, "{}", kernel.program.name);
+            assert_eq!(s_on.moved_out, s_off.moved_out, "{}", kernel.program.name);
+            assert_eq!(
+                s_on.max_smem_words, s_off.max_smem_words,
+                "{}",
+                kernel.program.name
+            );
+            assert_eq!(s_off.plan_cache_hits, 0);
+            results.push(s_on);
+        }
+        results
+    };
+
+    // ME (6x7 frame, deliberately off-tile → boundary blocks).
+    let size = me::MeSize {
+        ni: 6,
+        nj: 7,
+        ws: 3,
+    };
+    let p = me::program();
+    let mut base = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
+    me::init_store(&mut base, 11);
+    let me_stats = run_both(
+        &me::blocked_kernel(4, 4, true),
+        &me::params(&size),
+        &base,
+        "Sad",
+    );
+    assert!(me_stats[0].plan_cache_hits > 0, "{me_stats:?}");
+
+    // Jacobi stepwise (rounds over time steps).
+    let s = jacobi::JacobiSize { n: 14, t: 4 };
+    let p = jacobi::program();
+    let mut base = ArrayStore::for_program(&p, &jacobi::params(&s)).unwrap();
+    jacobi::init_store(&mut base, 12);
+    let j_stats = run_both(
+        &jacobi::stepwise_kernel(4, true),
+        &jacobi::params(&s),
+        &base,
+        "A",
+    );
+    assert!(j_stats[0].plan_cache_hits > 0, "{j_stats:?}");
+
+    // Matmul with sequential kT sub-tiles (§4.2 hoisting path).
+    let p = matmul::program();
+    let mut base = ArrayStore::for_program(&p, &[9]).unwrap();
+    matmul::init_store(&mut base, 13);
+    run_both(
+        &matmul::blocked_kernel_hoisted(3, 3, 3, true),
+        &[9],
+        &base,
+        "C",
+    );
+
+    // Jacobi 2-D.
+    let p = jacobi2d::program();
+    let prm = jacobi2d::params(2, 7);
+    let mut base = ArrayStore::for_program(&p, &prm).unwrap();
+    jacobi2d::init_store(&mut base, 14);
+    run_both(&jacobi2d::stepwise_kernel(3, 3, true), &prm, &base, "A");
+
+    // Conv2d.
+    let p = conv2d::program();
+    let prm = conv2d::params(&conv2d::ConvSize { n: 8, k: 3 });
+    let mut base = ArrayStore::for_program(&p, &prm).unwrap();
+    conv2d::init_store(&mut base, 15);
+    run_both(&conv2d::blocked_kernel(4, 4, true), &prm, &base, "Out");
 }
 
 #[test]
@@ -148,7 +263,11 @@ fn scratchpad_overflow_is_detected_at_execution() {
     // A block footprint exceeding 16 KB must be rejected, matching the
     // paper's constraint that tiles are sized to the scratchpad.
     let k = me::blocked_kernel(80, 80, true); // (80+2)^2 * 2 words >> 16 KB
-    let size = me::MeSize { ni: 80, nj: 80, ws: 3 };
+    let size = me::MeSize {
+        ni: 80,
+        nj: 80,
+        ws: 3,
+    };
     let p = me::program();
     let mut st = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
     me::init_store(&mut st, 5);
@@ -164,9 +283,13 @@ fn scratchpad_overflow_is_detected_at_execution() {
 fn per_tile_plans_match_whole_program_footprints() {
     // Restricting the ME program to one tile and planning it yields
     // the same footprint the analytic cost model predicts.
-    use polymem::core::tiling::cost::FootprintModel;
     use polymem::core::smem::dataspace::collect_refs;
-    let size = me::MeSize { ni: 32, nj: 32, ws: 4 };
+    use polymem::core::tiling::cost::FootprintModel;
+    let size = me::MeSize {
+        ni: 32,
+        nj: 32,
+        ws: 4,
+    };
     let p = me::program();
     let tiled = polymem::core::tiling::transform::tile_program(
         &p,

@@ -6,7 +6,8 @@
 //! * scratchpad overflow at execution,
 //! * out-of-bounds accesses in source programs,
 //! * degenerate/empty domains flowing through every pass,
-//! * enumeration budget exhaustion.
+//! * enumeration budget exhaustion (in counting and in the executor),
+//! * a panicking block worker surfacing as a typed error.
 
 use polymem::core::smem::{analyze_program, SmemConfig, SmemError};
 use polymem::ir::expr::v;
@@ -23,10 +24,7 @@ fn linalg_overflow_is_reported_not_wrapped() {
         Err(LinalgError::Overflow)
     ));
     let v1 = polymem::linalg::IVec::from_slice(&[i64::MAX]);
-    assert!(matches!(
-        v1.checked_scale(3),
-        Err(LinalgError::Overflow)
-    ));
+    assert!(matches!(v1.checked_scale(3), Err(LinalgError::Overflow)));
 }
 
 #[test]
@@ -49,6 +47,7 @@ fn fm_overflow_propagates_through_poly() {
 }
 
 #[test]
+#[allow(clippy::erasing_op)] // `j * 0` below is a deliberately vacuous guard
 fn unbounded_domain_yields_unbounded_buffer_error() {
     // for i >= 0 (no upper bound): A's accessed region is unbounded,
     // so no finite scratchpad buffer exists.
@@ -72,7 +71,7 @@ fn unbounded_domain_yields_unbounded_buffer_error() {
     let kept: Vec<polymem::poly::Constraint> = dom
         .constraints()
         .iter()
-        .filter(|c| !(c.coeff(1) < 0)) // drop upper bounds on j
+        .filter(|c| c.coeff(1) >= 0) // drop upper bounds on j
         .cloned()
         .collect();
     open.stmts[0].domain = Polyhedron::new(dom.space().clone(), kept);
@@ -183,6 +182,84 @@ fn division_by_zero_in_statement_bodies() {
         exec_program(&p, &[4], &mut st),
         Err(IrError::Arithmetic(_))
     ));
+}
+
+#[test]
+fn executor_enumeration_budget_is_configurable_and_typed() {
+    use polymem::kernels::me;
+    use polymem::machine::{execute_blocked, MachineConfig, MachineError};
+    let size = me::MeSize {
+        ni: 8,
+        nj: 8,
+        ws: 3,
+    };
+    let p = me::program();
+    let mut st = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
+    me::init_store(&mut st, 0);
+    // A tiny budget: enumerating the instances of even one block
+    // exceeds it, and the executor reports which budget it was.
+    let mut cfg = MachineConfig::geforce_8800_gtx();
+    cfg.enum_budget = 3;
+    match execute_blocked(
+        &me::blocked_kernel(4, 4, false),
+        &me::params(&size),
+        &mut st,
+        &cfg,
+        false,
+    ) {
+        Err(MachineError::EnumerationBudget { budget }) => assert_eq!(budget, 3),
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+    // The default budget is generous and the same run succeeds.
+    cfg.enum_budget = polymem::machine::config::DEFAULT_ENUM_BUDGET;
+    execute_blocked(
+        &me::blocked_kernel(4, 4, false),
+        &me::params(&size),
+        &mut st,
+        &cfg,
+        false,
+    )
+    .unwrap();
+}
+
+#[test]
+fn panicking_block_worker_is_a_typed_error() {
+    use polymem::kernels::me;
+    use polymem::machine::{execute_blocked, MachineConfig, MachineError};
+    let size = me::MeSize {
+        ni: 8,
+        nj: 8,
+        ws: 3,
+    };
+    let p = me::program();
+    let mut st = ArrayStore::for_program(&p, &me::params(&size)).unwrap();
+    me::init_store(&mut st, 0);
+    let cfg = MachineConfig::geforce_8800_gtx();
+    // Inject a panic into block worker 1 (env hook used only by this
+    // test binary; serial with respect to other env readers because
+    // the executor reads it once per launch).
+    std::env::set_var("POLYMEM_FAULT_PANIC_BLOCK", "1");
+    let res = execute_blocked(
+        &me::blocked_kernel(4, 4, false),
+        &me::params(&size),
+        &mut st,
+        &cfg,
+        true,
+    );
+    std::env::remove_var("POLYMEM_FAULT_PANIC_BLOCK");
+    match res {
+        Err(MachineError::WorkerPanicked { block }) => assert_eq!(block, 1),
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // Without the fault the same parallel launch completes.
+    execute_blocked(
+        &me::blocked_kernel(4, 4, false),
+        &me::params(&size),
+        &mut st,
+        &cfg,
+        true,
+    )
+    .unwrap();
 }
 
 #[test]

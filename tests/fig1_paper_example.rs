@@ -214,7 +214,7 @@ fn executing_through_the_scratchpad_preserves_semantics() {
         program: p.clone(),
         round_dims: vec![],
         block_dims: vec![],
-            seq_dims: vec![],
+        seq_dims: vec![],
         use_scratchpad: true,
     };
     let cfg = MachineConfig::geforce_8800_gtx();

@@ -53,11 +53,7 @@ fn three_level_tiling_produces_fig3_nest() {
     )
     .unwrap();
     // Level 3: distribute intra-sub-tile (i, j) across threads.
-    let l3 = tile_program(
-        &l2,
-        &TileSpec::new_before(&[("i", 8), ("j", 8)], "t", "i"),
-    )
-    .unwrap();
+    let l3 = tile_program(&l2, &TileSpec::new_before(&[("i", 8), ("j", 8)], "t", "i")).unwrap();
     let s = &l3.stmts[0];
     assert_eq!(
         s.iter_names(),

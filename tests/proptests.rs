@@ -140,6 +140,79 @@ proptest! {
     }
 
     #[test]
+    fn symbolic_plan_instantiation_equals_fresh_analysis(
+        off1 in 0i64..4, off2 in 1i64..4, tile in 2i64..6, n in 6i64..14,
+    ) {
+        // Random strided-window program, tiled, then: one symbolic
+        // analysis (block dim as a parameter) instantiated per block
+        // must equal a fresh per-block analysis — same buffer shapes,
+        // same move-in element sets — including the boundary tile.
+        use polymem::core::smem::analyze_symbolic;
+        use polymem::core::smem::movement::for_each_move_in;
+        use polymem::core::tiling::transform::fix_dims;
+        use std::collections::{BTreeSet, HashMap};
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") + 8]);
+        b.array("Out", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")])
+            .read("A", &[v("i") + off1])
+            .read("A", &[v("i") + off1 + off2])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", tile)], "T")).unwrap();
+        let cfg = SmemConfig {
+            sample_params: vec![n],
+            must_copy_all: true,
+            ..SmemConfig::default()
+        };
+        let sp = analyze_symbolic(&t, &[("iT".to_string(), 0)], &cfg).unwrap();
+        let n_blocks = (n + tile - 1) / tile;
+        for bt in 0..n_blocks {
+            let mut fixed = HashMap::new();
+            fixed.insert("iT".to_string(), bt);
+            let mut view = t.clone();
+            for s in &mut view.stmts {
+                s.domain = fix_dims(&s.domain, &fixed);
+            }
+            let fresh = analyze_program(&view, &cfg).unwrap();
+            let ext = sp.ext_params(&[n], &fixed).unwrap();
+            prop_assert_eq!(sp.plan.buffers.len(), fresh.buffers.len());
+            for (sb, fb) in sp.plan.buffers.iter().zip(&fresh.buffers) {
+                prop_assert_eq!(sb.array, fb.array);
+                prop_assert_eq!(
+                    sb.extents(&ext).unwrap(),
+                    fb.extents(&[n]).unwrap(),
+                    "extents differ at block {}", bt
+                );
+                prop_assert_eq!(
+                    sb.offsets(&ext).unwrap(),
+                    fb.offsets(&[n]).unwrap(),
+                    "offsets differ at block {}", bt
+                );
+            }
+            let collect = |plan: &polymem::core::smem::SmemPlan, prm: &[i64]| {
+                let mut set: BTreeSet<(usize, Vec<i64>)> = BTreeSet::new();
+                for mc in &plan.movement {
+                    let buf = &plan.buffers[mc.buffer];
+                    for_each_move_in(mc, buf, prm, &mut |g, _| {
+                        set.insert((buf.array, g.to_vec()));
+                    })
+                    .unwrap();
+                }
+                set
+            };
+            prop_assert_eq!(
+                collect(&sp.plan, &ext),
+                collect(&fresh, &[n]),
+                "move-in sets differ at block {}", bt
+            );
+        }
+    }
+
+    #[test]
     fn random_tilings_preserve_semantics(
         t1 in 1i64..7, t2 in 1i64..7, n in 2i64..10,
     ) {
