@@ -18,7 +18,7 @@
 
 use crate::ast::{Ast, LoopBounds};
 use crate::Result;
-use polymem_poly::bounds::dim_bounds;
+use polymem_poly::bounds::bound_cascade;
 use polymem_poly::{PolyUnion, Polyhedron};
 
 /// Scan one polyhedron into a loop nest whose leaf carries `tag`.
@@ -28,7 +28,6 @@ pub fn scan_polyhedron(poly: &Polyhedron, tag: usize) -> Result<Ast> {
     if poly.is_empty()? {
         return Ok(Ast::Empty);
     }
-    let n = poly.n_dims();
     // Innermost first: start from the leaf.
     let mut body = Ast::Leaf { tag };
 
@@ -43,8 +42,8 @@ pub fn scan_polyhedron(poly: &Polyhedron, tag: usize) -> Result<Ast> {
         };
     }
 
-    for d in (0..n).rev() {
-        let b = dim_bounds(poly, d, d)?;
+    let cascade = bound_cascade(poly)?;
+    for (d, b) in cascade.into_iter().enumerate().rev() {
         body = Ast::Loop {
             var: poly.space().dim_name(d).to_string(),
             bounds: LoopBounds {

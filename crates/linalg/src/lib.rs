@@ -20,11 +20,13 @@
 pub mod gcd;
 pub mod mat;
 pub mod rat;
+pub mod rowops;
 pub mod vec;
 
 pub use gcd::{gcd_i128, gcd_i64, lcm_i128, lcm_i64};
 pub use mat::IMat;
 pub use rat::Rat;
+pub use rowops::{combine_rows, combine_rows_into};
 pub use vec::IVec;
 
 use std::fmt;

@@ -1,0 +1,97 @@
+//! Checked linear combinations of constraint rows.
+//!
+//! Fourier–Motzkin elimination spends almost all of its time forming
+//! `a·x + b·y` for pairs of constraint rows. This module provides that
+//! combination as a single checked operation with a stack-allocated
+//! fast path: rows at or below [`ROW_INLINE`] columns (every row the
+//! kernel pipeline produces — a handful of dims plus parameters) are
+//! accumulated in a fixed `i128` array and flushed into the caller's
+//! reusable output buffer in one pass, avoiding per-element `Vec`
+//! growth checks and intermediate allocations in the hot loop.
+
+use crate::{LinalgError, Result};
+
+/// Widest row served by the stack-allocated fast path. Wider rows fall
+/// back to a heap scratch vector (same semantics, checked the same way).
+pub const ROW_INLINE: usize = 16;
+
+/// Compute `a·x + b·y` into `out` (cleared and refilled), erroring on
+/// `i64` overflow of any resulting entry. `x` and `y` must have equal
+/// lengths. `out`'s capacity is reused across calls — keep one scratch
+/// buffer per elimination loop.
+pub fn combine_rows_into(a: i64, x: &[i64], b: i64, y: &[i64], out: &mut Vec<i64>) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "combine_rows",
+            left: (1, x.len()),
+            right: (1, y.len()),
+        });
+    }
+    out.clear();
+    let (a, b) = (a as i128, b as i128);
+    if x.len() <= ROW_INLINE {
+        let mut buf = [0i64; ROW_INLINE];
+        for (k, slot) in buf[..x.len()].iter_mut().enumerate() {
+            let v = a * (x[k] as i128) + b * (y[k] as i128);
+            *slot = i64::try_from(v).map_err(|_| LinalgError::Overflow)?;
+        }
+        out.extend_from_slice(&buf[..x.len()]);
+    } else {
+        out.reserve(x.len());
+        for (xk, yk) in x.iter().zip(y) {
+            let v = a * (*xk as i128) + b * (*yk as i128);
+            out.push(i64::try_from(v).map_err(|_| LinalgError::Overflow)?);
+        }
+    }
+    Ok(())
+}
+
+/// Allocating convenience wrapper over [`combine_rows_into`].
+pub fn combine_rows(a: i64, x: &[i64], b: i64, y: &[i64]) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    combine_rows_into(a, x, b, y, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combines_with_both_signs() {
+        assert_eq!(
+            combine_rows(2, &[1, -2, 0], -3, &[0, 1, 4]).unwrap(),
+            vec![2, -7, -12]
+        );
+        assert_eq!(combine_rows(1, &[5], 1, &[-5]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn wide_rows_use_fallback_path() {
+        let x: Vec<i64> = (0..ROW_INLINE as i64 + 4).collect();
+        let y: Vec<i64> = x.iter().map(|v| v * 2).collect();
+        let got = combine_rows(3, &x, -1, &y).unwrap();
+        assert_eq!(got, x);
+    }
+
+    #[test]
+    fn overflow_and_shape_errors() {
+        assert_eq!(
+            combine_rows(i64::MAX, &[2], 0, &[0]).unwrap_err(),
+            LinalgError::Overflow
+        );
+        assert!(matches!(
+            combine_rows(1, &[1, 2], 1, &[1]).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused() {
+        let mut out = Vec::with_capacity(4);
+        combine_rows_into(1, &[1, 2], 1, &[3, 4], &mut out).unwrap();
+        assert_eq!(out, vec![4, 6]);
+        combine_rows_into(-1, &[1, 2], 2, &[3, 4], &mut out).unwrap();
+        assert_eq!(out, vec![5, 6]);
+    }
+}

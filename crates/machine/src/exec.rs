@@ -24,11 +24,13 @@ use crate::config::{MachineConfig, MachineKind};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    analyze_program_timed, analyze_symbolic, SmemConfig, SmemPlan, SymbolicPlan,
+    analyze_program_timed, analyze_symbolic, parametrize_dims, SmemConfig, SmemPlan, SymbolicPlan,
 };
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
-use polymem_poly::count::enumerate_points;
+use polymem_poly::bounds::{bound_cascade, DimBounds};
+use polymem_poly::count::{enumerate_points, enumerate_with_cascade};
+use polymem_poly::Polyhedron;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,17 +139,129 @@ impl PlanRef {
 /// identical between sequential and parallel execution.
 struct PlanCache {
     plans: RwLock<HashMap<Vec<String>, Option<Arc<SymbolicPlan>>>>,
+    /// Per-shape symbolic instance-enumeration plans (lazily built).
+    enums: RwLock<HashMap<Vec<String>, Option<Arc<EnumPlan>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Compile-once-per-shape instance enumeration: the bound cascade of
+/// every statement domain with the block's fixed dims turned into
+/// parameters. Enumerating a concrete sub-block is then bound
+/// *evaluation* at `params ++ fixed values` — no per-block
+/// Fourier–Motzkin. Disabled in the polyhedral core's naive mode so
+/// the pre-optimization baseline stays measurable.
+struct EnumPlan {
+    /// Fixed-dim names in the order their values extend the params.
+    fixed: Vec<String>,
+    stmts: Vec<StmtEnum>,
+}
+
+struct StmtEnum {
+    /// The statement domain with the fixed dims as parameters.
+    domain: Polyhedron,
+    cascade: Vec<DimBounds>,
+    /// Original dim index of each symbolic dim, in order.
+    kept: Vec<usize>,
+    /// `(original dim index, index into the fixed-name list)` for each
+    /// fixed dim present in this statement.
+    fixed_pos: Vec<(usize, usize)>,
+    /// Dim count of the original (full-space) statement domain.
+    n_full: usize,
+}
+
+impl EnumPlan {
+    fn build(program: &Program, fixed_names: &[String]) -> Option<EnumPlan> {
+        let sym = parametrize_dims(program, fixed_names).ok()?;
+        let mut stmts = Vec::with_capacity(sym.stmts.len());
+        for (si, s) in sym.stmts.iter().enumerate() {
+            let cascade = bound_cascade(&s.domain).ok()?;
+            let orig_dims = program.stmts[si].domain.space().dims();
+            let kept: Vec<usize> = (0..orig_dims.len())
+                .filter(|&i| !fixed_names.contains(&orig_dims[i]))
+                .collect();
+            let fixed_pos: Vec<(usize, usize)> = (0..orig_dims.len())
+                .filter_map(|i| {
+                    fixed_names
+                        .iter()
+                        .position(|n| *n == orig_dims[i])
+                        .map(|fi| (i, fi))
+                })
+                .collect();
+            stmts.push(StmtEnum {
+                domain: s.domain.clone(),
+                cascade,
+                kept,
+                fixed_pos,
+                n_full: orig_dims.len(),
+            });
+        }
+        Some(EnumPlan {
+            fixed: fixed_names.to_vec(),
+            stmts,
+        })
+    }
+
+    /// `params ++ fixed values`, or `None` on a shape mismatch.
+    fn ext_params(&self, params: &[i64], fixed: &HashMap<String, i64>) -> Option<Vec<i64>> {
+        if fixed.len() != self.fixed.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(params.len() + self.fixed.len());
+        out.extend_from_slice(params);
+        for name in &self.fixed {
+            out.push(*fixed.get(name)?);
+        }
+        Some(out)
+    }
+
+    /// Enumerate statement `si`'s instances for the block at `ext`,
+    /// reconstructing full-space points. Errors (unbounded cascade,
+    /// exceeded budget) surface so the caller can fall back to the
+    /// per-block path.
+    fn enumerate(
+        &self,
+        si: usize,
+        ext: &[i64],
+        budget: u64,
+        out: &mut Vec<(usize, Vec<i64>)>,
+    ) -> polymem_poly::Result<()> {
+        let se = &self.stmts[si];
+        let n_params = ext.len() - self.fixed.len();
+        enumerate_with_cascade(&se.domain, &se.cascade, ext, budget, &mut |p| {
+            let mut full = vec![0i64; se.n_full];
+            for (k, &d) in se.kept.iter().enumerate() {
+                full[d] = p[k];
+            }
+            for &(d, fi) in &se.fixed_pos {
+                full[d] = ext[n_params + fi];
+            }
+            out.push((si, full));
+        })
+    }
 }
 
 impl PlanCache {
     fn new() -> PlanCache {
         PlanCache {
             plans: RwLock::new(HashMap::new()),
+            enums: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The per-shape enumeration plan for this sub-block's fixed-dim
+    /// set, built on first use. A shape whose construction fails parks
+    /// `None` so every same-shape block uses the per-block path.
+    fn enum_plan(&self, fixed: &HashMap<String, i64>, program: &Program) -> Option<Arc<EnumPlan>> {
+        let key = Self::key(fixed);
+        if let Some(entry) = self.enums.read().unwrap().get(&key) {
+            return entry.clone();
+        }
+        let built = EnumPlan::build(program, &key).map(Arc::new);
+        let mut map = self.enums.write().unwrap();
+        map.entry(key).or_insert(built).clone()
     }
 
     fn key(fixed: &HashMap<String, i64>) -> Vec<String> {
@@ -769,9 +883,33 @@ fn run_sub_block(
     };
 
     // Enumerate and execute instances in source order (as the
-    // reference interpreter does, restricted to this block).
+    // reference interpreter does, restricted to this block). With the
+    // plan cache active, the shared per-shape enumeration plan turns
+    // this into bound evaluation; the per-block projection path is the
+    // fallback (and the whole story in naive mode).
+    let enum_plan = if polymem_poly::cache::naive_mode() {
+        None
+    } else {
+        cache.and_then(|c| c.enum_plan(fixed, program))
+    };
     let mut instances: Vec<(usize, Vec<i64>)> = Vec::new();
     for (si, s) in view.stmts.iter().enumerate() {
+        let shared = enum_plan
+            .as_ref()
+            .and_then(|ep| ep.ext_params(params, fixed).map(|ext| (ep, ext)))
+            .is_some_and(|(ep, ext)| {
+                let mark = instances.len();
+                match ep.enumerate(si, &ext, config.enum_budget, &mut instances) {
+                    Ok(()) => true,
+                    Err(_) => {
+                        instances.truncate(mark);
+                        false
+                    }
+                }
+            });
+        if shared {
+            continue;
+        }
         let dom = s.domain.substitute_params(params)?;
         enumerate_points(&dom, config.enum_budget, &mut |p| {
             instances.push((si, p.to_vec()))

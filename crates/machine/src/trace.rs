@@ -298,7 +298,8 @@ impl PassReport {
             .sum()
     }
 
-    /// Render as a two-section text table (skipping never-hit rows).
+    /// Render as a two-section text table (skipping never-hit rows),
+    /// followed by the polyhedral-core counters when any were hit.
     pub fn render(&self) -> String {
         let grand = (self.compiler_total() + self.executor_total()).as_secs_f64();
         let mut out = String::from("pass profile (host wall-clock)\n");
@@ -326,6 +327,17 @@ impl PassReport {
         };
         section("compiler (§3 passes)", true, self.compiler_total());
         section("executor phases", false, self.executor_total());
+        let poly = polymem_poly::poly_core_stats();
+        if poly != polymem_poly::PolyCoreStats::default() {
+            out.push_str(&format!(
+                "  polyhedral core\n    projection cache   {} hits / {} misses ({:.1}% hit rate)\n    fourier-motzkin    {} rows generated, {} pruned\n",
+                poly.cache_hits,
+                poly.cache_misses,
+                100.0 * poly.hit_rate(),
+                poly.fm_rows_generated,
+                poly.fm_rows_pruned,
+            ));
+        }
         out
     }
 }
@@ -447,6 +459,27 @@ mod tests {
         assert!(text.contains("move-in"), "{text}");
         assert!(!text.contains("dataspace"), "{text}");
         assert!(text.contains("compiler"), "{text}");
+    }
+
+    #[test]
+    fn report_surfaces_poly_core_counters() {
+        use polymem_poly::{Constraint, Polyhedron, Space};
+        polymem_poly::set_naive_mode(false);
+        let t = Polyhedron::new(
+            Space::new(["i", "j"], ["N"]),
+            vec![
+                Constraint::ineq(vec![1, 0, 0, 0]),
+                Constraint::ineq(vec![-1, 0, 1, -1]),
+                Constraint::ineq(vec![0, 1, 0, 0]),
+                Constraint::ineq(vec![1, -1, 0, 0]),
+            ],
+        );
+        // Two identical projections: at least one cache consultation.
+        let _ = t.eliminate_dims(&[0, 1]).unwrap();
+        let _ = t.eliminate_dims(&[0, 1]).unwrap();
+        let text = PassProfiler::new().report().render();
+        assert!(text.contains("projection cache"), "{text}");
+        assert!(text.contains("fourier-motzkin"), "{text}");
     }
 
     #[test]

@@ -172,6 +172,7 @@ impl DimBounds {
 /// Algorithm 2 (the PIP role); with `n_ctx == dim` it yields the loop
 /// bounds used when scanning dimensions in order (the CLooG role).
 pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBounds> {
+    let _timer = crate::cache::CoreTimer::enter();
     let n = poly.n_dims();
     if dim >= n {
         return Err(PolyError::BadDim { dim, n_dims: n });
@@ -181,8 +182,12 @@ pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBoun
     let drop: Vec<usize> = (0..n).filter(|&d| d != dim && d >= n_ctx).collect();
     let projected = poly.eliminate_dims(&drop)?;
     // In `projected`, the target dim now sits at index n_ctx.
-    let t = n_ctx;
-    let n_params = poly.n_params();
+    Ok(read_bounds(&projected, n_ctx))
+}
+
+/// Read the bounds of the dim at index `t` straight off the rows of an
+/// already-projected polyhedron (everything after `t` eliminated).
+fn read_bounds(projected: &Polyhedron, t: usize) -> DimBounds {
     let mut lower = Vec::new();
     let mut upper = Vec::new();
     for c in projected.as_ineq_rows() {
@@ -192,7 +197,7 @@ pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBoun
         }
         // a·dim + rest >= 0. For a > 0: dim >= ceil(-rest / a);
         // for a < 0: dim <= floor(rest / (-a)).
-        let mut coeffs: Vec<i64> = Vec::with_capacity(n_ctx + n_params + 1);
+        let mut coeffs: Vec<i64> = Vec::with_capacity(c.len() - 1);
         for j in 0..c.len() {
             if j == t {
                 continue;
@@ -213,10 +218,40 @@ pub fn dim_bounds(poly: &Polyhedron, dim: usize, n_ctx: usize) -> Result<DimBoun
     lower.dedup();
     upper.sort_by(|a, b| (&a.coeffs, a.div).cmp(&(&b.coeffs, b.div)));
     upper.dedup();
-    Ok(DimBounds {
+    DimBounds {
         lower: BoundList { terms: lower },
         upper: BoundList { terms: upper },
-    })
+    }
+}
+
+/// The full loop-bound cascade: `out[d]` is `dim_bounds(poly, d, d)`
+/// for every `d` — bounds of each dim in the context of all outer dims,
+/// exactly what scanning and enumeration need.
+///
+/// Computed *incrementally*: dims are eliminated innermost-first, and
+/// each suffix projection serves as the starting point for the next, so
+/// the whole cascade costs `n - 1` single-dim eliminations instead of
+/// the `O(n²)` a per-dim [`dim_bounds`] loop pays. Each step goes
+/// through [`Polyhedron::eliminate_dims`], so the suffix chain lands in
+/// the projection cache and is shared with any other cascade over the
+/// same polyhedron. In naive mode the pre-optimization per-dim path is
+/// used instead.
+pub fn bound_cascade(poly: &Polyhedron) -> Result<Vec<DimBounds>> {
+    let _timer = crate::cache::CoreTimer::enter();
+    let n = poly.n_dims();
+    if crate::cache::naive_mode() {
+        return (0..n).map(|d| dim_bounds(poly, d, d)).collect();
+    }
+    let mut out: Vec<DimBounds> = Vec::with_capacity(n);
+    let mut p = poly.clone();
+    for d in (0..n).rev() {
+        out.push(read_bounds(&p, d));
+        if d > 0 {
+            p = p.eliminate_dims(&[d])?;
+        }
+    }
+    out.reverse();
+    Ok(out)
 }
 
 /// Parametric bounds of every dimension (context-free): the Algorithm 2
@@ -303,6 +338,28 @@ mod tests {
         assert_eq!(g.display(&["i".into()], &["N".into()]), "(i - 1)/2");
         assert!(AffineForm::constant(1, 1, 7).is_constant());
         assert!(!f.is_constant());
+    }
+
+    #[test]
+    fn cascade_matches_per_dim_bounds() {
+        let t = triangle();
+        let cascade = bound_cascade(&t).unwrap();
+        assert_eq!(cascade.len(), 2);
+        for (d, b) in cascade.iter().enumerate() {
+            let direct = dim_bounds(&t, d, d).unwrap();
+            // Same evaluated ranges at several contexts/params (the
+            // term lists may differ in representation).
+            for n in [1i64, 5, 10] {
+                for i in 0..n {
+                    let ctx = &[i][..d.min(1)];
+                    assert_eq!(
+                        b.eval_range(ctx, &[n]),
+                        direct.eval_range(ctx, &[n]),
+                        "dim {d}, ctx {ctx:?}, N={n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

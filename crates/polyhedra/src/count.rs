@@ -14,7 +14,7 @@
 //! [`PolyError::TooManyPoints`](crate::PolyError) so
 //! callers can fall back to bounding-box estimates.
 
-use crate::bounds::{dim_bounds, DimBounds};
+use crate::bounds::{bound_cascade, dim_bounds, DimBounds};
 use crate::set::Polyhedron;
 use crate::{PolyError, Result};
 
@@ -32,31 +32,66 @@ pub fn enumerate_points(
     budget: u64,
     visit: &mut dyn FnMut(&[i64]),
 ) -> Result<()> {
+    let _timer = crate::cache::CoreTimer::enter();
     if poly.n_params() != 0 {
         return Err(PolyError::Unbounded);
     }
     if poly.is_empty()? {
         return Ok(());
     }
-    let n = poly.n_dims();
-    if n == 0 {
-        // Zero-dimensional non-empty set: the single (empty) point.
-        visit(&[]);
+    // Bound cascade: bounds of dim j in the context of dims 0..j,
+    // derived incrementally from the suffix projections.
+    let cascade: Vec<DimBounds> = bound_cascade(poly)?;
+    enumerate_with_cascade(poly, &cascade, &[], budget, visit)
+}
+
+/// Visit every integer point of a *parametric* polytope at the given
+/// parameter values, in lexicographic order, using a caller-supplied
+/// bound cascade (`cascade[d]` = bounds of dim `d` in the context of
+/// dims `0..d`, as produced by [`bound_cascade`]). Because the cascade
+/// depends only on the symbolic polyhedron, a caller enumerating the
+/// same shape at many parameter vectors — e.g. the blocked executor
+/// visiting every block of a tiled domain — derives it once and pays
+/// only bound evaluation per instance.
+pub fn enumerate_with_cascade(
+    poly: &Polyhedron,
+    cascade: &[DimBounds],
+    qvals: &[i64],
+    budget: u64,
+    visit: &mut dyn FnMut(&[i64]),
+) -> Result<()> {
+    let _timer = crate::cache::CoreTimer::enter();
+    if qvals.len() != poly.n_params() || cascade.len() != poly.n_dims() {
+        return Err(PolyError::SpaceMismatch {
+            op: "enumerate_with_cascade",
+        });
+    }
+    if cascade.is_empty() {
+        // Zero-dimensional set: the single (empty) point, if any.
+        if poly.contains(&[], qvals) {
+            visit(&[]);
+        }
         return Ok(());
     }
-    // Bound cascade: bounds of dim j in the context of dims 0..j.
-    let cascade: Vec<DimBounds> = (0..n)
-        .map(|j| dim_bounds(poly, j, j))
-        .collect::<Result<Vec<_>>>()?;
-    let mut point = vec![0i64; n];
+    let mut point = vec![0i64; cascade.len()];
     let mut visited = 0u64;
-    scan(poly, &cascade, 0, &mut point, budget, &mut visited, visit)
+    scan(
+        poly,
+        cascade,
+        qvals,
+        0,
+        &mut point,
+        budget,
+        &mut visited,
+        visit,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
 fn scan(
     poly: &Polyhedron,
     cascade: &[DimBounds],
+    qvals: &[i64],
     depth: usize,
     point: &mut Vec<i64>,
     budget: u64,
@@ -65,7 +100,7 @@ fn scan(
 ) -> Result<()> {
     let n = cascade.len();
     let ctx = point[..depth].to_vec();
-    let Some((lo, hi)) = cascade[depth].eval_range(&ctx, &[]) else {
+    let Some((lo, hi)) = cascade[depth].eval_range(&ctx, qvals) else {
         // Unbounded in some direction at this depth.
         if cascade[depth].lower.is_unbounded() || cascade[depth].upper.is_unbounded() {
             return Err(PolyError::Unbounded);
@@ -78,7 +113,7 @@ fn scan(
             // The FM cascade can over-approximate for non-unit
             // coefficients; the final membership check keeps the
             // enumeration exact.
-            if poly.contains(point, &[]) {
+            if poly.contains(point, qvals) {
                 *visited += 1;
                 if *visited > budget {
                     return Err(PolyError::TooManyPoints { budget });
@@ -86,7 +121,16 @@ fn scan(
                 visit(point);
             }
         } else {
-            scan(poly, cascade, depth + 1, point, budget, visited, visit)?;
+            scan(
+                poly,
+                cascade,
+                qvals,
+                depth + 1,
+                point,
+                budget,
+                visited,
+                visit,
+            )?;
         }
     }
     Ok(())
@@ -97,6 +141,7 @@ fn scan(
 /// estimate when exact counting would exceed its budget (mirrors the
 /// paper's use of bounding boxes for buffer sizing).
 pub fn bounding_box_volume(poly: &Polyhedron) -> Result<u64> {
+    let _timer = crate::cache::CoreTimer::enter();
     if poly.n_params() != 0 {
         return Err(PolyError::Unbounded);
     }

@@ -11,14 +11,19 @@
 //! `A ∩ b_1 ∩ … ∩ b_{i-1} ∩ ¬b_i` for `i = 1..m`, where `¬(e >= 0)` is
 //! the integer-exact `e <= -1`.
 
+use crate::constraint::Constraint;
 use crate::set::Polyhedron;
 use crate::{PolyError, Result};
 
 /// Compute `a \ b` as a vector of pairwise-disjoint polyhedra
 /// (possibly empty). Both operands must share a space shape.
 pub fn difference(a: &Polyhedron, b: &Polyhedron) -> Result<Vec<Polyhedron>> {
+    let _timer = crate::cache::CoreTimer::enter();
     if !a.space().same_shape(b.space()) {
         return Err(PolyError::SpaceMismatch { op: "difference" });
+    }
+    if !crate::cache::naive_mode() {
+        return difference_rows(a, b);
     }
     let b_rows = b.as_ineq_rows();
     let mut pieces = Vec::new();
@@ -38,6 +43,55 @@ pub fn difference(a: &Polyhedron, b: &Polyhedron) -> Result<Vec<Polyhedron>> {
         }
     }
     Ok(pieces)
+}
+
+/// Fast-path difference on raw constraint rows: candidate pieces are
+/// tested for emptiness *before* any `Polyhedron` is built, so the
+/// per-row normalization/dedup pass (`simplify`) runs only for the
+/// pieces that survive — typically a small fraction. Produces the same
+/// piece decomposition as the naive construction.
+fn difference_rows(a: &Polyhedron, b: &Polyhedron) -> Result<Vec<Polyhedron>> {
+    let b_rows = b.as_ineq_rows();
+    // Rows stay normalized (inputs already are) and are tightened on
+    // insert — same variable part keeps the smaller constant — so the
+    // accumulated system never carries redundant duplicates into the
+    // FM feasibility tests.
+    let mut accum: Vec<Constraint> = a.constraints().to_vec();
+    let mut pieces = Vec::new();
+    for (i, row) in b_rows.iter().enumerate() {
+        let mut neg = row.negate_ineq();
+        neg.normalize();
+        let mut refs: Vec<&Constraint> = accum.iter().collect();
+        refs.push(&neg);
+        if !a.rows_empty_refs(&refs)? {
+            let mut cand = accum.clone();
+            cand.push(neg);
+            pieces.push(Polyhedron::new(a.space().clone(), cand));
+        }
+        if i + 1 < b_rows.len() {
+            push_tight(&mut accum, row.clone());
+        }
+    }
+    Ok(pieces)
+}
+
+/// Insert a normalized inequality into a row list, replacing a row
+/// with the identical variable part by whichever constant is tighter
+/// (an exact intersection step). Equalities and unmatched rows append.
+fn push_tight(rows: &mut Vec<Constraint>, c: Constraint) {
+    use crate::constraint::ConstraintKind;
+    if c.kind == ConstraintKind::Ineq {
+        let n = c.len();
+        for r in rows.iter_mut() {
+            if r.kind == ConstraintKind::Ineq && r.coeffs[..n - 1] == c.coeffs[..n - 1] {
+                if c.constant() < r.constant() {
+                    *r = c;
+                }
+                return;
+            }
+        }
+    }
+    rows.push(c);
 }
 
 /// Subtract a whole list of polyhedra from `a`, returning disjoint

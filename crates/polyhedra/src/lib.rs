@@ -32,16 +32,19 @@
 //! paper's bounding-box allocation provides.
 
 pub mod bounds;
+pub mod cache;
 pub mod constraint;
 pub mod count;
 pub mod dep;
 pub mod diff;
 pub mod map;
 pub mod set;
+pub mod simplex;
 pub mod space;
 pub mod union;
 
 pub use bounds::{AffineForm, BoundList, DimBounds};
+pub use cache::{poly_core_reset, poly_core_stats, set_naive_mode, PolyCoreStats};
 pub use constraint::{Constraint, ConstraintKind};
 pub use dep::{DepKind, Dependence, DirSign};
 pub use map::AffineMap;

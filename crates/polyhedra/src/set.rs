@@ -6,12 +6,44 @@
 //! pivot coefficient is ±1) and falls back to classic Fourier–Motzkin
 //! pairing on inequalities (the rational shadow; see the crate-level
 //! exactness notes).
+//!
+//! ## Performance shape
+//!
+//! Multi-dimension elimination ([`Polyhedron::eliminate_dims`]) orders
+//! dims greedily by estimated pair blow-up (minimum lower×upper
+//! product, equality pivots first), interleaves syntactic pruning after
+//! every step (via `simplify`), and fires a *bounded exact prune* —
+//! simplex-backed redundancy probes — whenever the row count grows past
+//! a threshold. Results are memoized in the content-addressed
+//! [`crate::cache`]. Emptiness ([`Polyhedron::is_empty`]) runs a
+//! rational phase-1 simplex ([`crate::simplex`]) instead of eliminating
+//! every variable; the FM path survives as the overflow fallback and as
+//! the `POLYMEM_POLY_CHECK=1` cross-check oracle. Setting naive mode
+//! ([`crate::cache::set_naive_mode`] or `POLYMEM_POLY_NAIVE=1`) reverts
+//! all of this to the pre-optimization behaviour for benchmarking.
 
 use crate::constraint::{Constraint, ConstraintKind};
 use crate::space::Space;
-use crate::{PolyError, Result};
+use crate::{cache, simplex, PolyError, Result};
+use polymem_linalg::combine_rows_into;
 use polymem_linalg::gcd::gcd_i64;
 use std::fmt;
+
+/// Row count past which `eliminate_dims` runs a bounded exact prune
+/// between elimination steps. The pipeline's systems stay well under
+/// this after syntactic pruning, so the exact pass fires only on
+/// genuinely blown-up intermediates.
+const EXACT_PRUNE_THRESHOLD: usize = 24;
+
+/// Probe budget for one bounded exact prune pass.
+const EXACT_PRUNE_BUDGET: usize = 96;
+
+/// Row cap for the rational Fourier–Motzkin feasibility fast path in
+/// [`Polyhedron::rows_empty`]. The small sparse systems the pipeline
+/// asks about (difference pieces, bound probes) eliminate in a handful
+/// of cheap pairings; anything that grows past this cap escalates to
+/// the phase-1 simplex, which is immune to FM blow-up.
+const FM_FEAS_CAP: usize = 48;
 
 /// A polyhedron: `{ x : A(x, q, 1) >= 0, B(x, q, 1) = 0 }` over the
 /// dims `x` and parameters `q` of its [`Space`].
@@ -108,8 +140,12 @@ impl Polyhedron {
     /// pairs into equalities, keep only the tightest of rows sharing a
     /// variable part, and detect trivial unsatisfiability.
     fn simplify(&mut self) {
-        use std::collections::HashMap;
+        use std::collections::{HashMap, HashSet};
         let ncols = self.space.n_cols();
+        // Equality rows deduped by hashed content (rows are normalized
+        // first, so equal sets hash equal) — O(n) instead of the O(n²)
+        // `Vec::contains` scan this loop used to do.
+        let mut eq_seen: HashSet<Vec<i64>> = HashSet::new();
         let mut eqs: Vec<Constraint> = Vec::new();
         // Tightest constant per inequality variable-part.
         let mut ineqs: HashMap<Vec<i64>, i64> = HashMap::new();
@@ -128,7 +164,7 @@ impl Polyhedron {
             }
             match c.kind {
                 ConstraintKind::Eq => {
-                    if !eqs.contains(c) {
+                    if eq_seen.insert(c.coeffs.0.clone()) {
                         eqs.push(c.clone());
                     }
                 }
@@ -150,7 +186,7 @@ impl Polyhedron {
         // meet exactly) into equalities; detect e >= a, -e >= -b with
         // a > b as unsatisfiable.
         let mut out: Vec<Constraint> = eqs;
-        let mut consumed: Vec<Vec<i64>> = Vec::new();
+        let mut consumed: HashSet<Vec<i64>> = HashSet::new();
         let keys: Vec<Vec<i64>> = ineqs.keys().cloned().collect();
         for vp in &keys {
             if consumed.contains(vp) {
@@ -168,8 +204,8 @@ impl Polyhedron {
                         let mut row = vp.clone();
                         row.push(k);
                         out.push(Constraint::eq(row));
-                        consumed.push(vp.clone());
-                        consumed.push(neg);
+                        consumed.insert(vp.clone());
+                        consumed.insert(neg);
                         continue;
                     }
                 }
@@ -199,6 +235,7 @@ impl Polyhedron {
     /// Eliminate one set dimension (Fourier–Motzkin with equality
     /// substitution). The resulting polyhedron has `n_dims - 1` dims.
     pub fn eliminate_dim(&self, dim: usize) -> Result<Polyhedron> {
+        let _timer = cache::CoreTimer::enter();
         let n = self.n_dims();
         if dim >= n {
             return Err(PolyError::BadDim { dim, n_dims: n });
@@ -218,6 +255,7 @@ impl Polyhedron {
         if let Some(e) = pivot {
             let a = e.coeff(dim);
             let mut rows = Vec::with_capacity(self.constraints.len());
+            let mut scratch: Vec<i64> = Vec::new();
             for c in &self.constraints {
                 if std::ptr::eq(c, e) {
                     continue;
@@ -230,17 +268,10 @@ impl Polyhedron {
                     // Multiplying an inequality by |a| > 0 is sound.
                     let g = gcd_i64(a, b);
                     let (ca, cb) = ((a / g).abs(), b / g * (a / g).signum());
-                    let mut row = Vec::with_capacity(c.len());
-                    for j in 0..c.len() {
-                        let v = (c.coeff(j) as i128) * (ca as i128)
-                            - (e.coeff(j) as i128) * (cb as i128);
-                        row.push(
-                            i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?,
-                        );
-                    }
+                    combine_rows_into(ca, &c.coeffs, -cb, &e.coeffs, &mut scratch)?;
                     match c.kind {
-                        ConstraintKind::Ineq => Constraint::ineq(row),
-                        ConstraintKind::Eq => Constraint::eq(row),
+                        ConstraintKind::Ineq => Constraint::ineq(scratch.clone()),
+                        ConstraintKind::Eq => Constraint::eq(scratch.clone()),
                     }
                 };
                 rows.push(drop_col(&combined, dim));
@@ -264,32 +295,93 @@ impl Polyhedron {
                 upper.push(c); // (-a)·dim <= rest : upper bound
             }
         }
+        cache::count_fm_generated(lower.len() * upper.len());
+        let mut scratch: Vec<i64> = Vec::new();
         for lo in &lower {
             for up in &upper {
                 let a = lo.coeff(dim); // > 0
                 let b = -up.coeff(dim); // > 0
                 let g = gcd_i64(a, b);
                 let (ma, mb) = (b / g, a / g);
-                let mut row = Vec::with_capacity(lo.len());
-                for j in 0..lo.len() {
-                    let v =
-                        (lo.coeff(j) as i128) * (ma as i128) + (up.coeff(j) as i128) * (mb as i128);
-                    row.push(i64::try_from(v).map_err(|_| polymem_linalg::LinalgError::Overflow)?);
-                }
-                rest.push(drop_col(&Constraint::ineq(row), dim));
+                combine_rows_into(ma, &lo.coeffs, mb, &up.coeffs, &mut scratch)?;
+                rest.push(drop_col(&Constraint::ineq(scratch.clone()), dim));
             }
         }
-        Ok(Polyhedron::new(new_space, rest))
+        let candidates = rest.len();
+        let p = Polyhedron::new(new_space, rest);
+        cache::count_fm_pruned(candidates.saturating_sub(p.constraints.len()));
+        Ok(p)
     }
 
-    /// Eliminate several dims (highest index first so indices stay valid).
+    /// Eliminate several dims. The fast path picks the elimination
+    /// order greedily (equality pivots first, then minimum lower×upper
+    /// pair product — the classic blow-up estimate), prunes
+    /// syntactically after every step, runs a bounded exact prune when
+    /// rows pile up, and memoizes the result by content in
+    /// [`crate::cache`]. Naive mode falls back to fixed
+    /// highest-index-first order with no pruning.
     pub fn eliminate_dims(&self, dims: &[usize]) -> Result<Polyhedron> {
+        let _timer = cache::CoreTimer::enter();
         let mut sorted = dims.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        if cache::naive_mode() {
+            let mut p = self.clone();
+            for &d in sorted.iter().rev() {
+                p = p.eliminate_dim(d)?;
+            }
+            return Ok(p);
+        }
+        if sorted.is_empty() {
+            return Ok(self.clone());
+        }
+        cache::project_memo(self, &sorted, || self.eliminate_dims_greedy(&sorted))
+    }
+
+    /// Greedy-ordered elimination with interleaved pruning (the fast
+    /// path behind [`Polyhedron::eliminate_dims`]).
+    fn eliminate_dims_greedy(&self, sorted: &[usize]) -> Result<Polyhedron> {
+        let mut remaining: Vec<usize> = sorted.to_vec();
         let mut p = self.clone();
-        for &d in sorted.iter().rev() {
+        while !remaining.is_empty() {
+            let mut best = 0usize;
+            let mut best_cost = u64::MAX;
+            for (ri, &d) in remaining.iter().enumerate() {
+                let (mut lo, mut up) = (0u64, 0u64);
+                let mut has_eq = false;
+                for c in &p.constraints {
+                    let a = c.coeff(d);
+                    if a == 0 {
+                        continue;
+                    }
+                    if c.kind == ConstraintKind::Eq {
+                        has_eq = true;
+                        break;
+                    }
+                    if a > 0 {
+                        lo += 1;
+                    } else {
+                        up += 1;
+                    }
+                }
+                // Equality substitution never grows the system; FM
+                // pairing replaces lo+up rows with lo·up.
+                let cost = if has_eq { 0 } else { lo * up };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = ri;
+                }
+            }
+            let d = remaining.remove(best);
             p = p.eliminate_dim(d)?;
+            for r in remaining.iter_mut() {
+                if *r > d {
+                    *r -= 1;
+                }
+            }
+            if p.constraints.len() > EXACT_PRUNE_THRESHOLD {
+                p = p.prune_exact_bounded(EXACT_PRUNE_BUDGET)?;
+            }
         }
         Ok(p)
     }
@@ -297,37 +389,199 @@ impl Polyhedron {
     /// Project onto the given dims (kept in their current relative
     /// order); all other dims are eliminated.
     pub fn project_onto(&self, keep: &[usize]) -> Result<Polyhedron> {
-        let drop: Vec<usize> = (0..self.n_dims()).filter(|d| !keep.contains(d)).collect();
+        let _timer = cache::CoreTimer::enter();
+        let n = self.n_dims();
+        let mut keep_mask = vec![false; n];
+        for &d in keep {
+            if d < n {
+                keep_mask[d] = true;
+            }
+        }
+        let drop: Vec<usize> = (0..n).filter(|&d| !keep_mask[d]).collect();
         self.eliminate_dims(&drop)
     }
 
-    /// Eliminate every dim **and** every parameter, leaving only
-    /// constant rows: used as the final step of emptiness testing.
-    fn eliminate_everything(&self) -> Result<Polyhedron> {
-        // Temporarily view params as dims so FM can eliminate them.
-        let total = self.n_dims() + self.n_params();
-        let wide = Space::anon(total, 0);
-        let mut p = Polyhedron {
-            space: wide,
-            constraints: self.constraints.clone(),
-        };
-        for d in (0..total).rev() {
-            p = p.eliminate_dim(d)?;
+    /// Rational Fourier–Motzkin feasibility with a row cap: greedy
+    /// variable ordering, equality pivots first, gcd row reduction —
+    /// but *no* integer tightening, so the verdict is exactly rational
+    /// (in)feasibility, interchangeable with the phase-1 simplex
+    /// verdict. Returns `None` when an intermediate system grows past
+    /// `cap` rows or an exact product overflows; the caller escalates
+    /// to simplex. On the small sparse systems the pipeline asks about
+    /// most, this is an order of magnitude cheaper than a tableau
+    /// solve.
+    fn rows_feasible_fm_capped(rows: &[&Constraint], n_vars: usize, cap: usize) -> Option<bool> {
+        if rows.len() > cap {
+            return None;
         }
-        Ok(p)
+        fn gcd128(a: i128, b: i128) -> i128 {
+            let (mut a, mut b) = (a.abs(), b.abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        // Row = (is_eq, var coeffs .. constant), mirroring `Constraint`.
+        let mut sys: Vec<(bool, Vec<i128>)> = rows
+            .iter()
+            .map(|c| {
+                let r = (0..n_vars)
+                    .map(|i| c.coeff(i) as i128)
+                    .chain(std::iter::once(c.constant() as i128))
+                    .collect();
+                (c.kind == ConstraintKind::Eq, r)
+            })
+            .collect();
+        // Combine `a_mult * tgt + b_mult * src` into a fresh row,
+        // gcd-reduced (rationally exact for both kinds since the
+        // constant participates in the reduction).
+        let combine =
+            |tgt: &[i128], src: &[i128], a_mult: i128, b_mult: i128| -> Option<Vec<i128>> {
+                let mut out = Vec::with_capacity(tgt.len());
+                let mut g: i128 = 0;
+                for (t, s) in tgt.iter().zip(src) {
+                    let v = a_mult
+                        .checked_mul(*t)?
+                        .checked_add(b_mult.checked_mul(*s)?)?;
+                    g = gcd128(g, v);
+                    out.push(v);
+                }
+                if g > 1 {
+                    for v in &mut out {
+                        *v /= g;
+                    }
+                }
+                Some(out)
+            };
+        loop {
+            // Constant-row verdicts; satisfied rows are dropped.
+            let mut i = 0;
+            while i < sys.len() {
+                let (eq, r) = &sys[i];
+                if r[..n_vars].iter().all(|&a| a == 0) {
+                    let c = r[n_vars];
+                    if (*eq && c != 0) || (!*eq && c < 0) {
+                        return Some(false);
+                    }
+                    sys.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // Cheapest variable still present: equality pivots are
+            // free, otherwise the FM pairing product (as in
+            // `eliminate_dims`).
+            let mut best = usize::MAX;
+            let mut best_cost = u64::MAX;
+            for v in 0..n_vars {
+                let (mut lo, mut up) = (0u64, 0u64);
+                let mut present = false;
+                let mut has_eq = false;
+                for (eq, r) in &sys {
+                    if r[v] == 0 {
+                        continue;
+                    }
+                    present = true;
+                    if *eq {
+                        has_eq = true;
+                        break;
+                    }
+                    if r[v] > 0 {
+                        lo += 1;
+                    } else {
+                        up += 1;
+                    }
+                }
+                if !present {
+                    continue;
+                }
+                let cost = if has_eq { 0 } else { lo * up };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = v;
+                }
+            }
+            if best == usize::MAX {
+                // Every remaining row was a satisfied constant: feasible.
+                return Some(true);
+            }
+            let v = best;
+            // Eliminate `v`: substitute through an equality pivot when
+            // one exists, otherwise pair lower against upper bounds.
+            let pivot = sys
+                .iter()
+                .position(|(eq, r)| *eq && r[v] != 0)
+                .map(|i| sys.swap_remove(i));
+            if let Some((_, e)) = pivot {
+                let a = e[v];
+                for row in sys.iter_mut() {
+                    let b = row.1[v];
+                    if b == 0 {
+                        continue;
+                    }
+                    let g = gcd128(a, b);
+                    // |a/g| * row - sign(a/g) * (b/g) * e zeroes column v
+                    // with a positive multiplier on the inequality row.
+                    let ca = (a / g).abs();
+                    let cb = -(b / g) * (a / g).signum();
+                    row.1 = combine(&row.1, &e, ca, cb)?;
+                }
+            } else {
+                let (mut lows, mut ups, mut rest) = (Vec::new(), Vec::new(), Vec::new());
+                for row in sys.drain(..) {
+                    match row.1[v].signum() {
+                        1 => lows.push(row.1),
+                        -1 => ups.push(row.1),
+                        _ => rest.push(row),
+                    }
+                }
+                if !lows.is_empty() && !ups.is_empty() {
+                    if lows.len() * ups.len() + rest.len() > cap {
+                        return None;
+                    }
+                    for l in &lows {
+                        for u in &ups {
+                            let a = l[v];
+                            let b = u[v]; // < 0
+                            let g = gcd128(a, b);
+                            rest.push((false, combine(l, u, (-b) / g, a / g)?));
+                        }
+                    }
+                }
+                sys = rest;
+            }
+            if sys.len() > cap {
+                return None;
+            }
+        }
     }
 
-    /// Semantic emptiness over the *rationals*, existentially in the
-    /// parameters: returns `true` iff no rational `(x, q)` satisfies
-    /// the system. (Combined with the per-equality gcd test this is
-    /// exact for the program class in scope; see crate docs.)
-    pub fn is_empty(&self) -> Result<bool> {
-        if self.is_obviously_empty() {
-            return Ok(true);
-        }
-        // Integer infeasibility shortcut: an equality whose variable
-        // gcd does not divide its constant has no integer solution.
-        for c in &self.constraints {
+    /// Rational emptiness of a constraint system over this
+    /// polyhedron's variables: cheap verdicts (constant rows, the
+    /// integer gcd shortcut on equalities), then capped rational
+    /// Fourier–Motzkin, escalating to phase-1 simplex when the system
+    /// blows up; full integer-tightening FM is the naive-mode path and
+    /// overflow fallback.
+    pub(crate) fn rows_empty(&self, rows: &[Constraint]) -> Result<bool> {
+        let refs: Vec<&Constraint> = rows.iter().collect();
+        self.rows_empty_refs(&refs)
+    }
+
+    /// Borrowed-row variant of [`rows_empty`]: callers assembling a
+    /// candidate system from pieces (e.g. the difference construction)
+    /// can test emptiness without materializing an owned row vector —
+    /// the FM fast path copies into its own scratch anyway. Owned rows
+    /// are only built on the rare escalation paths.
+    pub(crate) fn rows_empty_refs(&self, rows: &[&Constraint]) -> Result<bool> {
+        for c in rows {
+            if c.constant_verdict() == Some(false) {
+                return Ok(true);
+            }
+            // Integer infeasibility shortcut: an equality whose
+            // variable gcd does not divide its constant has no integer
+            // solution.
             if c.kind == ConstraintKind::Eq {
                 let n = c.len();
                 let g = polymem_linalg::gcd::gcd_slice(&c.coeffs[..n - 1]);
@@ -336,8 +590,83 @@ impl Polyhedron {
                 }
             }
         }
-        let residue = self.eliminate_everything()?;
-        Ok(residue.is_obviously_empty())
+        let n_vars = self.n_dims() + self.n_params();
+        if !cache::naive_mode() {
+            if let Some(feasible) = Self::rows_feasible_fm_capped(rows, n_vars, FM_FEAS_CAP) {
+                let empty = !feasible;
+                if cache::cross_check() {
+                    // Rational emptiness implies FM emptiness (the
+                    // naive path additionally integer-tightens, so it
+                    // proves at least as much).
+                    let owned: Vec<Constraint> = rows.iter().map(|&c| c.clone()).collect();
+                    let fm = self.rows_empty_fm(&owned)?;
+                    assert!(
+                        !empty || fm,
+                        "unsound: rational FM claims empty but tightened FM \
+                         finds the system satisfiable ({} rows over {} vars)",
+                        rows.len(),
+                        n_vars
+                    );
+                }
+                return Ok(empty);
+            }
+            // Escalation: the system grew past the FM cap (or
+            // overflowed); hand it to the phase-1 simplex, which does
+            // bounded-size pivoting regardless of density.
+            let owned: Vec<Constraint> = rows.iter().map(|&c| c.clone()).collect();
+            if let Ok(feasible) = simplex::feasible(&owned, n_vars) {
+                let empty = !feasible;
+                if cache::cross_check() {
+                    // One-directional invariant: rational emptiness
+                    // must imply FM emptiness. The converse can fail
+                    // legitimately — FM integer-tightens constants at
+                    // every elimination, so it proves *integer*
+                    // emptiness of some rationally-feasible systems
+                    // (see the `simplex` module docs).
+                    let fm = self.rows_empty_fm(&owned)?;
+                    assert!(
+                        !empty || fm,
+                        "unsound: simplex claims empty but FM finds the \
+                         system satisfiable ({} rows over {} vars)",
+                        rows.len(),
+                        n_vars
+                    );
+                }
+                return Ok(empty);
+            }
+            // Overflow in the exact tableau: fall through to FM.
+        }
+        let owned: Vec<Constraint> = rows.iter().map(|&c| c.clone()).collect();
+        self.rows_empty_fm(&owned)
+    }
+
+    /// The pre-optimization emptiness oracle: eliminate every dim *and*
+    /// every parameter in fixed reverse order, then inspect the
+    /// constant residue.
+    fn rows_empty_fm(&self, rows: &[Constraint]) -> Result<bool> {
+        // Temporarily view params as dims so FM can eliminate them.
+        let total = self.n_dims() + self.n_params();
+        let wide = Space::anon(total, 0);
+        let mut p = Polyhedron {
+            space: wide,
+            constraints: rows.to_vec(),
+        };
+        for d in (0..total).rev() {
+            p = p.eliminate_dim(d)?;
+        }
+        Ok(p.is_obviously_empty())
+    }
+
+    /// Semantic emptiness over the *rationals*, existentially in the
+    /// parameters: returns `true` iff no rational `(x, q)` satisfies
+    /// the system. (Combined with the per-equality gcd test this is
+    /// exact for the program class in scope; see crate docs.)
+    pub fn is_empty(&self) -> Result<bool> {
+        let _timer = cache::CoreTimer::enter();
+        if self.is_obviously_empty() {
+            return Ok(true);
+        }
+        cache::empty_memo(&self.constraints, || self.rows_empty(&self.constraints))
     }
 
     /// Emptiness given a *context* polyhedron over the parameters
@@ -445,6 +774,7 @@ impl Polyhedron {
     /// The lexicographically smallest integer point of a
     /// non-parametric bounded polytope, or `None` if empty.
     pub fn sample_point(&self) -> Result<Option<Vec<i64>>> {
+        let _timer = cache::CoreTimer::enter();
         if self.n_params() != 0 {
             return Err(PolyError::Unbounded);
         }
@@ -492,31 +822,42 @@ impl Polyhedron {
     /// the constraint count — use after eliminations that are known to
     /// pile up rows (`simplify` alone is only syntactic).
     pub fn remove_redundant(&self) -> Result<Polyhedron> {
-        let mut rows = self.as_ineq_rows();
+        let _timer = cache::CoreTimer::enter();
+        let rows = self.prune_rows(self.as_ineq_rows(), usize::MAX)?;
         // Re-fold equalities afterwards via Polyhedron::new/simplify.
+        Ok(Polyhedron::new(self.space.clone(), rows))
+    }
+
+    /// Bounded exact prune used between elimination steps: same probe
+    /// as [`Polyhedron::remove_redundant`] but capped at `max_probes`
+    /// feasibility tests, so it stays cheap even on blown-up systems.
+    fn prune_exact_bounded(&self, max_probes: usize) -> Result<Polyhedron> {
+        let rows = self.prune_rows(self.as_ineq_rows(), max_probes)?;
+        Ok(Polyhedron::new(self.space.clone(), rows))
+    }
+
+    /// Shared redundancy-probe loop. One probe buffer is reused across
+    /// iterations: the candidate row is swapped for its negation in
+    /// place and restored (or removed) after the test — no per-probe
+    /// clone of the whole system.
+    fn prune_rows(&self, mut rows: Vec<Constraint>, max_probes: usize) -> Result<Vec<Constraint>> {
+        let before = rows.len();
+        let mut probe = rows.clone();
+        let mut probes = 0usize;
         let mut k = 0;
-        while k < rows.len() {
-            if rows.len() == 1 {
-                break;
-            }
-            let mut probe: Vec<Constraint> = rows
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != k)
-                .map(|(_, c)| c.clone())
-                .collect();
-            probe.push(rows[k].negate_ineq());
-            let test = Polyhedron {
-                space: self.space.clone(),
-                constraints: probe,
-            };
-            if test.is_empty()? {
+        while k < rows.len() && rows.len() > 1 && probes < max_probes {
+            probe[k] = rows[k].negate_ineq();
+            probes += 1;
+            if self.rows_empty(&probe)? {
                 rows.remove(k);
+                probe.remove(k);
             } else {
+                probe[k] = rows[k].clone();
                 k += 1;
             }
         }
-        Ok(Polyhedron::new(self.space.clone(), rows))
+        cache::count_fm_pruned(before - rows.len());
+        Ok(rows)
     }
 
     /// Reorder dims according to `order` (new dim `i` = old dim

@@ -89,6 +89,7 @@ impl PolyUnion {
     /// each element exactly once even when reference data spaces
     /// overlap (§3.1.3 of the paper).
     pub fn disjoint_pieces(&self) -> Result<Vec<Polyhedron>> {
+        let _timer = crate::cache::CoreTimer::enter();
         let mut out: Vec<Polyhedron> = Vec::new();
         let mut seen: Vec<Polyhedron> = Vec::new();
         for m in &self.members {

@@ -39,6 +39,25 @@ fn interval_box(ranges: &[(i64, i64)]) -> Polyhedron {
     Polyhedron::new(space, rows)
 }
 
+/// RAII guard flipping the polyhedral core into naive mode, restoring
+/// fast mode on drop even when an assertion unwinds. The flag is
+/// process-global: a concurrent test observing the flipped mode merely
+/// takes the other (semantically identical) code path.
+struct NaiveModeGuard;
+
+impl NaiveModeGuard {
+    fn on() -> Self {
+        polymem::poly::set_naive_mode(true);
+        NaiveModeGuard
+    }
+}
+
+impl Drop for NaiveModeGuard {
+    fn drop(&mut self) {
+        polymem::poly::set_naive_mode(false);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -274,6 +293,73 @@ proptest! {
         let cfg = polymem::machine::MachineConfig::geforce_8800_gtx();
         polymem::machine::execute_blocked(&kernel, &[n], &mut st1, &cfg, false).unwrap();
         prop_assert_eq!(st0.data("Out").unwrap(), st1.data("Out").unwrap());
+    }
+
+    #[test]
+    fn pruned_projection_matches_naive_pointwise(
+        lo0 in -4i64..4, w0 in 0i64..6,
+        lo1 in -4i64..4, w1 in 0i64..6,
+        lo2 in -4i64..4, w2 in 0i64..6,
+        c1 in -12i64..20, c2 in -12i64..20,
+        keep in 0usize..3,
+    ) {
+        // The optimized projection pipeline (greedy elimination order,
+        // syntactic + bounded exact pruning, memoization) must describe
+        // exactly the same integer set as the naive fixed-order,
+        // prune-free Fourier–Motzkin it replaced.
+        let mut p = interval_box(&[(lo0, lo0 + w0), (lo1, lo1 + w1), (lo2, lo2 + w2)]);
+        p.add_constraint(Constraint::ineq(vec![-1, -1, 0, c1]));
+        p.add_constraint(Constraint::ineq(vec![0, 1, -1, c2]));
+        let fast = p.project_onto(&[keep]).unwrap();
+        let naive = {
+            let _guard = NaiveModeGuard::on();
+            p.project_onto(&[keep]).unwrap()
+        };
+        for x in -16..=16 {
+            prop_assert_eq!(
+                fast.contains(&[x], &[]),
+                naive.contains(&[x], &[]),
+                "projections disagree at x = {}", x
+            );
+        }
+    }
+
+    #[test]
+    fn rational_emptiness_implies_tightened_fm_emptiness(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-3i64..4, 3..4), -6i64..7, 0i64..2), 2..8)
+    ) {
+        // One-directional invariant across the emptiness oracles: the
+        // fast path decides *rational* feasibility (capped rational FM,
+        // escalating to phase-1 simplex), while the naive path runs
+        // integer-tightening FM, which proves at least as much — so a
+        // fast-path "empty" must always be confirmed by the naive
+        // path, and so must a direct simplex "infeasible". The
+        // converse may legitimately differ (tightening can prove
+        // integer emptiness of rationally feasible systems).
+        let cs: Vec<Constraint> = rows
+            .iter()
+            .map(|(coef, cst, kind)| {
+                let mut r = coef.clone();
+                r.push(*cst);
+                if *kind == 1 { Constraint::eq(r) } else { Constraint::ineq(r) }
+            })
+            .collect();
+        let p = Polyhedron::new(Space::anon(3, 0), cs);
+        let fast_empty = p.is_empty().unwrap();
+        let naive_empty = {
+            let _guard = NaiveModeGuard::on();
+            p.is_empty().unwrap()
+        };
+        if fast_empty {
+            prop_assert!(naive_empty, "fast path claims empty, naive FM disagrees");
+        }
+        if let Ok(feasible) = polymem::poly::simplex::feasible(p.constraints(), 3) {
+            if !feasible {
+                prop_assert!(naive_empty, "simplex claims infeasible, naive FM disagrees");
+                prop_assert!(fast_empty, "simplex claims infeasible, fast path disagrees");
+            }
+        }
     }
 
     #[test]
