@@ -23,6 +23,7 @@ pub mod access;
 pub mod alloc;
 pub mod cache;
 pub mod dataspace;
+pub mod descriptors;
 pub mod liveness;
 pub mod movement;
 pub mod partition;
@@ -32,6 +33,9 @@ pub use access::LocalAccess;
 pub use alloc::{LocalBuffer, UnionBound};
 pub use cache::{analyze_symbolic, parametrize_dims, SymbolicPlan};
 pub use dataspace::{AccessId, RefInfo};
+pub use descriptors::{
+    build_transfers, transfer_list, Direction, TransferDescriptor, TransferList, TransferPlan,
+};
 pub use liveness::LivenessPlan;
 pub use movement::MovementCode;
 pub use reuse::{ReuseDecision, DEFAULT_DELTA};

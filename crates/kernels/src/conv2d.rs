@@ -99,6 +99,17 @@ pub fn blocked_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
     }
 }
 
+/// Like [`blocked_kernel`], but only `iT` spans thread blocks while
+/// `jT` runs sequentially inside each block, so the double-buffered
+/// DMA pipeline can prefetch the next output tile's input halo while
+/// the current one computes (conv2d carries no dependences at all).
+pub fn blocked_seq_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
+    let mut k = blocked_kernel(ti, tj, use_scratchpad);
+    k.block_dims = vec!["iT".into()];
+    k.seq_dims = vec!["jT".into()];
+    k
+}
+
 /// Analytic profile (used by the extension experiment in
 /// EXPERIMENTS.md): same structure as ME's, with the extra `W` stage.
 pub fn profile(

@@ -128,6 +128,18 @@ pub fn blocked_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
     }
 }
 
+/// Like [`blocked_kernel`], but only `iT` spans thread blocks while
+/// `jT` runs sequentially inside each block — the double-buffered
+/// DMA pipeline prefetches the next position tile's search window
+/// while the current one computes (ME is embarrassingly parallel, so
+/// every group overlaps).
+pub fn blocked_seq_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel {
+    let mut k = blocked_kernel(ti, tj, use_scratchpad);
+    k.block_dims = vec!["iT".into()];
+    k.seq_dims = vec!["jT".into()];
+    k
+}
+
 /// The §4.3 cost model for ME over tile sizes `(ti, tj, tk, tl)`.
 pub fn cost_model(size: &MeSize) -> CostModel {
     let p = program();

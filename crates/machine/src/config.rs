@@ -72,6 +72,23 @@ pub struct MachineConfig {
     /// instances of the same shape (compile-once-per-shape) instead of
     /// re-running the §3 analysis per sub-tile.
     pub plan_cache: bool,
+    /// Tagged DMA channels per outer unit (Cell MFC queue depth /
+    /// GPU memory-pipe width). `0` disables the DMA transfer engine
+    /// entirely (movement is charged per element as before).
+    pub dma_channels: u64,
+    /// Fixed cycles to set up one DMA descriptor (command issue +
+    /// address translation), paid per descriptor.
+    pub dma_setup_cycles: f64,
+    /// Sustained DMA bandwidth in bytes per core cycle, paid on top of
+    /// the setup cost for each descriptor's payload.
+    pub dma_bytes_per_cycle: f64,
+    /// Software-pipeline the `seq_dims` sub-tile loop: issue move-in
+    /// for sub-tile t+1 and move-out for t−1 asynchronously while
+    /// computing t. Requires 2× the buffer footprint (typed
+    /// [`DoubleBufferOverflow`](crate::MachineError::DoubleBufferOverflow)
+    /// otherwise) and is disabled per group by seq-carried flow
+    /// dependences.
+    pub double_buffer: bool,
 }
 
 impl MachineConfig {
@@ -96,6 +113,12 @@ impl MachineConfig {
             max_blocks_per_outer: 8,
             enum_budget: DEFAULT_ENUM_BUDGET,
             plan_cache: true,
+            // Coalescing hardware: a half-warp's worth of outstanding
+            // wide transactions, ~64 B/cycle aggregate.
+            dma_channels: 8,
+            dma_setup_cycles: 300.0,
+            dma_bytes_per_cycle: 16.0,
+            double_buffer: false,
         }
     }
 
@@ -119,6 +142,11 @@ impl MachineConfig {
             max_blocks_per_outer: 1,
             enum_budget: DEFAULT_ENUM_BUDGET,
             plan_cache: true,
+            // The MFC accepts 16 queued DMA commands per SPE.
+            dma_channels: 16,
+            dma_setup_cycles: 200.0,
+            dma_bytes_per_cycle: 8.0,
+            double_buffer: false,
         }
     }
 
@@ -143,6 +171,11 @@ impl MachineConfig {
             max_blocks_per_outer: 1,
             enum_budget: DEFAULT_ENUM_BUDGET,
             plan_cache: true,
+            // No DMA engine: loads/stores go through the cache.
+            dma_channels: 0,
+            dma_setup_cycles: 0.0,
+            dma_bytes_per_cycle: 8.0,
+            double_buffer: false,
         }
     }
 
@@ -193,6 +226,20 @@ mod tests {
         assert_eq!(g.kind, MachineKind::Gpu);
         assert_eq!(MachineConfig::cell_like().kind, MachineKind::CellLike);
         assert_eq!(MachineConfig::host_cpu().kind, MachineKind::Cpu);
+    }
+
+    #[test]
+    fn dma_presets_are_sane_and_off_by_default() {
+        for cfg in [
+            MachineConfig::geforce_8800_gtx(),
+            MachineConfig::cell_like(),
+            MachineConfig::host_cpu(),
+        ] {
+            assert!(!cfg.double_buffer);
+            assert!(cfg.dma_bytes_per_cycle > 0.0);
+        }
+        assert_eq!(MachineConfig::cell_like().dma_channels, 16);
+        assert_eq!(MachineConfig::host_cpu().dma_channels, 0);
     }
 
     #[test]

@@ -21,18 +21,20 @@
 //! bit-exactly against the reference interpreter.
 
 use crate::config::{MachineConfig, MachineKind};
+use crate::dma::{DmaEngine, DmaStats, DmaTag};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    analyze_program_timed, analyze_symbolic, parametrize_dims, SmemConfig, SmemPlan, SymbolicPlan,
+    analyze_program_timed, analyze_symbolic, parametrize_dims, transfer_list, AccessId, Direction,
+    SmemConfig, SmemPlan, SymbolicPlan,
 };
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
 use polymem_poly::bounds::{bound_cascade, DimBounds};
 use polymem_poly::count::{enumerate_points, enumerate_with_cascade};
-use polymem_poly::Polyhedron;
+use polymem_poly::{Constraint, Polyhedron};
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -88,10 +90,32 @@ pub struct ExecStats {
     /// warm-up analysis counts as a miss, as does any block whose
     /// fixed-dim shape differs from the representative).
     pub plan_cache_misses: u64,
+    /// Modeled cycles one block spent (compute + exposed transfer
+    /// time); summed over blocks by [`absorb`](ExecStats::absorb).
+    pub block_cycles: u64,
+    /// Modeled device cycles for the whole launch: per round, the
+    /// slowest block's cycles times the number of occupancy waves,
+    /// plus the device-wide barrier cost (top-level only).
+    pub modeled_cycles: u64,
+    /// Buffer stagings issued asynchronously ahead of compute
+    /// (double-buffer prefetches).
+    pub overlap_groups: u64,
+    /// Buffer stagings forced synchronous by a seq-carried flow
+    /// dependence while double buffering was on.
+    pub sync_groups: u64,
+    /// DMA transfer-engine counters ([`crate::dma`]).
+    pub dma: DmaStats,
 }
 
 impl ExecStats {
-    fn absorb(&mut self, o: &ExecStats) {
+    /// Merge another stats block into this one. Field-complete:
+    /// every counter is summed (`max_smem_words` maxes; `dma`
+    /// delegates to [`DmaStats::absorb`]). `rounds` and
+    /// `modeled_cycles` are incremented at the top level of
+    /// [`execute_blocked_profiled`] and are always zero in per-block
+    /// stats, but they are summed here too so the merge stays correct
+    /// if per-block stats ever carry them.
+    pub fn absorb(&mut self, o: &ExecStats) {
         self.blocks += o.blocks;
         self.instances += o.instances;
         self.global_reads += o.global_reads;
@@ -100,9 +124,15 @@ impl ExecStats {
         self.smem_writes += o.smem_writes;
         self.moved_in += o.moved_in;
         self.moved_out += o.moved_out;
+        self.rounds += o.rounds;
         self.max_smem_words = self.max_smem_words.max(o.max_smem_words);
         self.plan_cache_hits += o.plan_cache_hits;
         self.plan_cache_misses += o.plan_cache_misses;
+        self.block_cycles += o.block_cycles;
+        self.modeled_cycles += o.modeled_cycles;
+        self.overlap_groups += o.overlap_groups;
+        self.sync_groups += o.sync_groups;
+        self.dma.absorb(&o.dma);
     }
 }
 
@@ -400,6 +430,18 @@ pub fn execute_blocked_profiled(
     }
     let cache = cache.as_ref();
 
+    // Double-buffer legality (§3.1.4 dependence information, reused):
+    // read accesses reached by a seq-carried flow dependence within a
+    // block may not be prefetched ahead of the writing sub-tile.
+    // Computed once per launch, shared read-only by all workers.
+    let poisoned: Option<HashSet<AccessId>> =
+        if kernel.use_scratchpad && config.double_buffer && !kernel.seq_dims.is_empty() {
+            Some(overlap_poisoned_reads(kernel)?)
+        } else {
+            None
+        };
+    let poisoned = poisoned.as_ref();
+
     for round in &rounds {
         let mut fixed_round: HashMap<String, i64> = HashMap::new();
         for (n, v) in kernel.round_dims.iter().zip(round) {
@@ -425,7 +467,9 @@ pub fn execute_blocked_profiled(
             for (n, v) in kernel.block_dims.iter().zip(bv) {
                 fixed.insert(n.clone(), *v);
             }
-            execute_one_block(kernel, &fixed, params, store, config, cache, profiler)
+            execute_one_block(
+                kernel, &fixed, params, store, config, cache, profiler, poisoned,
+            )
         };
 
         let results: Vec<(Overlay, ExecStats)> = if parallel && blocks.len() > 1 {
@@ -486,6 +530,8 @@ pub fn execute_blocked_profiled(
         // Merge overlays deterministically, in block order (the
         // device-wide barrier: writes become visible between rounds).
         let t0 = Instant::now();
+        let mut round_max_cycles = 0u64;
+        let mut round_max_words = 0u64;
         for (overlay, bstats) in &results {
             let mut keys: Vec<&(usize, Vec<i64>)> = overlay.keys().collect();
             keys.sort();
@@ -493,11 +539,22 @@ pub fn execute_blocked_profiled(
                 let name = &program.arrays[k.0].name;
                 store.set(name, &k.1, overlay[k])?;
             }
+            round_max_cycles = round_max_cycles.max(bstats.block_cycles);
+            round_max_words = round_max_words.max(bstats.max_smem_words);
             stats.absorb(bstats);
         }
         if let Some(pr) = profiler {
             pr.record(crate::trace::PassKind::Barrier, t0.elapsed());
         }
+        // Device time for this round: the slowest block, times the
+        // number of occupancy waves (§5), plus the barrier cost.
+        let nblocks = results.len() as u64;
+        let conc = config
+            .concurrent_blocks(round_max_words * config.word_bytes)
+            .max(1);
+        let sync = (config.device_sync_base + config.device_sync_per_block * nblocks as f64).round()
+            as u64;
+        stats.modeled_cycles += round_max_cycles * nblocks.div_ceil(conc) + sync;
         stats.rounds += 1;
     }
     if let Some(c) = cache {
@@ -613,11 +670,14 @@ struct Persistent {
 }
 
 /// Write a persistent buffer's contents back to the (overlay of)
-/// global memory, once, at the end of the block.
+/// global memory, once, at the end of the block. The transfer is
+/// modeled as a synchronous DMA list.
 fn writeback_persistent(
     p: &Persistent,
     overlay: &mut Overlay,
     stats: &mut ExecStats,
+    clock: &mut BlockClock,
+    config: &MachineConfig,
 ) -> Result<()> {
     let flat = |idx: &[i64]| -> Option<usize> {
         let mut off: i64 = 0;
@@ -648,10 +708,23 @@ fn writeback_persistent(
         stats.global_writes += 1;
         stats.moved_out += 1;
     })?;
-    match err {
-        Some(e) => Err(e),
-        None => Ok(()),
+    if let Some(e) = err {
+        return Err(e);
     }
+    if clock.dma_on {
+        let list = transfer_list(
+            &p.mc,
+            &p.buffer,
+            Direction::Out,
+            &clock.ext[p.buffer.array],
+            &p.pparams,
+        )?;
+        let tag = clock
+            .dma
+            .issue_list(&list, config.word_bytes, clock.now, clock.now);
+        clock.wait(&tag);
+    }
+    Ok(())
 }
 
 /// Arrays none of whose accesses depend on the kernel's seq dims:
@@ -679,101 +752,215 @@ fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usi
         .collect()
 }
 
-fn execute_one_block(
-    kernel: &BlockedKernel,
-    fixed: &HashMap<String, i64>,
-    params: &[i64],
-    store: &ArrayStore,
-    config: &MachineConfig,
-    cache: Option<&PlanCache>,
-    profiler: Option<&PassProfiler>,
-) -> Result<(Overlay, ExecStats)> {
-    let mut overlay: Overlay = HashMap::new();
-    let mut stats = ExecStats {
-        blocks: 1,
-        ..ExecStats::default()
-    };
-    if kernel.use_scratchpad && !kernel.seq_dims.is_empty() {
-        // Sequential sub-tiles with §4.2 hoisting.
-        let Some(lead) = kernel.program.stmts.first() else {
-            return Ok((overlay, stats));
-        };
-        let seq_vals = enumerate_named(lead, &kernel.seq_dims, params, fixed, config.enum_budget)?;
-        let seqs = if seq_vals.is_empty() {
-            vec![Vec::new()]
-        } else {
-            seq_vals
-        };
-        let hoistable = seq_redundant_arrays(kernel);
-        let mut persistent: HashMap<usize, Persistent> = HashMap::new();
-        for sv in &seqs {
-            let mut f2 = fixed.clone();
-            for (n, v) in kernel.seq_dims.iter().zip(sv) {
-                f2.insert(n.clone(), *v);
-            }
-            run_sub_block(
-                kernel,
-                &f2,
-                params,
-                store,
-                config,
-                cache,
-                profiler,
-                &mut overlay,
-                &mut stats,
-                Some((&hoistable, &mut persistent)),
-            )?;
-        }
-        for p in persistent.values() {
-            if p.dirty {
-                writeback_persistent(p, &mut overlay, &mut stats)?;
-            }
-        }
-    } else {
-        run_sub_block(
-            kernel,
-            fixed,
-            params,
-            store,
-            config,
-            cache,
-            profiler,
-            &mut overlay,
-            &mut stats,
-            None,
-        )?;
-    }
-    Ok((overlay, stats))
+/// Per-block simulated clock plus its DMA engine: `now` advances with
+/// modeled compute cycles, the engine tracks in-flight transfers.
+/// Everything is deterministic integer arithmetic, so block stats are
+/// identical between sequential and parallel execution.
+struct BlockClock {
+    now: u64,
+    dma: DmaEngine,
+    /// DMA modeling enabled (`dma_channels > 0`). When off, movement
+    /// costs nothing in modeled time (the pre-DMA behaviour) and no
+    /// descriptors are built.
+    dma_on: bool,
+    /// Concrete extents of every global array, for flattening
+    /// descriptor addresses.
+    ext: Vec<Vec<i64>>,
 }
 
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-fn run_sub_block(
+impl BlockClock {
+    fn new(program: &Program, params: &[i64], config: &MachineConfig) -> Result<BlockClock> {
+        let dma_on = config.dma_channels > 0;
+        let ext = if dma_on {
+            program
+                .arrays
+                .iter()
+                .map(|a| a.eval_extents(&program.params, params))
+                .collect::<std::result::Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+        Ok(BlockClock {
+            now: 0,
+            dma: DmaEngine::new(config),
+            dma_on,
+            ext,
+        })
+    }
+
+    /// Build the DMA list for one movement entry and queue it. The
+    /// transfer starts no earlier than `earliest` (buffer-reuse
+    /// dependence on the previous sub-tile's move-out).
+    fn issue_movement(
+        &mut self,
+        plan: &SmemPlan,
+        mi: usize,
+        pparams: &[i64],
+        dir: Direction,
+        config: &MachineConfig,
+        earliest: u64,
+    ) -> Result<DmaTag> {
+        if !self.dma_on {
+            return Ok(DmaTag::immediate(self.now));
+        }
+        let mc = &plan.movement[mi];
+        let buf = &plan.buffers[mc.buffer];
+        let list = transfer_list(mc, buf, dir, &self.ext[buf.array], pparams)?;
+        Ok(self
+            .dma
+            .issue_list(&list, config.word_bytes, self.now, earliest))
+    }
+
+    /// Advance the clock to the tag's completion, recording stalls.
+    fn wait(&mut self, tag: &DmaTag) {
+        self.now = self.dma.wait(tag, self.now);
+    }
+}
+
+/// Read accesses reached by a flow dependence carried by a seq dim
+/// within one block (§3.1.4 dependence information, reused): for each
+/// flow dependence, restrict its polyhedron to pairs with equal
+/// round/block dims (same block, same round) and a strictly positive
+/// seq-dim distance (earlier seq dims equal). Non-empty means
+/// prefetching the target's buffer ahead of the writing sub-tile would
+/// read stale data, so its group must stage synchronously.
+fn overlap_poisoned_reads(kernel: &BlockedKernel) -> Result<HashSet<AccessId>> {
+    use polymem_poly::dep::DepKind;
+    let program = &kernel.program;
+    let deps = polymem_core::deps::compute_deps(program, &[DepKind::Flow])?;
+    let mut out = HashSet::new();
+    let pos = |dims: &[String], n: &str| dims.iter().position(|x| x == n);
+    'deps: for d in deps {
+        let src_dims = program.stmts[d.dep.src_stmt].domain.space().dims().to_vec();
+        let dst_dims = program.stmts[d.dep.dst_stmt].domain.space().dims().to_vec();
+        let n_src = d.dep.n_src;
+        let n_cols = d.dep.poly.space().n_cols();
+        let mut base = d.dep.poly.clone();
+        for name in kernel.round_dims.iter().chain(&kernel.block_dims) {
+            if let (Some(s), Some(t)) = (pos(&src_dims, name), pos(&dst_dims, name)) {
+                let mut row = vec![0i64; n_cols];
+                row[s] = 1;
+                row[n_src + t] = -1;
+                base.add_constraint(Constraint::eq(row));
+            }
+        }
+        for (li, name) in kernel.seq_dims.iter().enumerate() {
+            let (Some(s), Some(t)) = (pos(&src_dims, name), pos(&dst_dims, name)) else {
+                continue;
+            };
+            let mut p = base.clone();
+            for prev in &kernel.seq_dims[..li] {
+                if let (Some(ps), Some(pt)) = (pos(&src_dims, prev), pos(&dst_dims, prev)) {
+                    let mut row = vec![0i64; n_cols];
+                    row[ps] = 1;
+                    row[n_src + pt] = -1;
+                    p.add_constraint(Constraint::eq(row));
+                }
+            }
+            // dst[seq] >= src[seq] + 1: carried strictly forward.
+            let mut row = vec![0i64; n_cols];
+            row[s] = -1;
+            row[n_src + t] = 1;
+            row[n_cols - 1] = -1;
+            p.add_constraint(Constraint::ineq(row));
+            if !p.is_empty()? {
+                out.insert(d.dst_access);
+                continue 'deps;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// §4.2 hoisting applies only when the array materialises as exactly
+/// one buffer in the plan: with separate read and write buffers,
+/// parking by array key would keep only the last-parked buffer and
+/// lose the other's writes (the stale-flush rule already treats the
+/// multi-buffer case as unhoistable).
+fn plan_hoists(plan: &SmemPlan, array: usize, hoistable: &HashSet<usize>) -> bool {
+    hoistable.contains(&array) && plan.buffers.iter().filter(|b| b.array == array).count() == 1
+}
+
+/// Whether any poisoned read access is rewritten into the buffer
+/// served by movement entry `mi`.
+fn buffer_poisoned(plan: &SmemPlan, mi: usize, poisoned: &HashSet<AccessId>) -> bool {
+    let b = plan.movement[mi].buffer;
+    plan.rewrites
+        .iter()
+        .any(|(id, la)| la.buffer == b && poisoned.contains(id))
+}
+
+/// Whether the synchronous path would serve this (read-only) buffer
+/// from the §4.2 persistent copy for free: the array is
+/// hoist-eligible and its buffer shape (extents and offsets) does not
+/// shift between the current and the next sub-tile. Prefetching such
+/// a buffer would only add global traffic.
+fn hoist_shortcut_hits(
+    cur: &SubBlock,
+    next: &Staging,
+    bi: usize,
+    array: usize,
+    hoistable: &HashSet<usize>,
+) -> bool {
+    if !plan_hoists(next.source.plan(), array, hoistable) {
+        return false;
+    }
+    match cur.staging.as_ref() {
+        Some(cs) => {
+            let cplan = cs.source.plan();
+            // Plans of consecutive sub-tiles share buffer layout
+            // (same shape class); anything else is unexpected, so be
+            // conservative and keep the synchronous schedule.
+            bi >= cplan.buffers.len()
+                || cplan.buffers[bi].array != array
+                || (cs.local.bufs[bi].1 == next.local.bufs[bi].1
+                    && cs.local.bufs[bi].2 == next.local.bufs[bi].2)
+        }
+        None => true,
+    }
+}
+
+/// One sub-tile's scratchpad state: plan, parameter vector and
+/// allocated local buffers, plus per-movement-entry staging progress
+/// (the pipelined path interleaves entries of two live sub-tiles).
+struct Staging {
+    source: PlanRef,
+    pparams: Vec<i64>,
+    local: LocalStore,
+    words: u64,
+    /// Per movement entry: functional move-in already performed.
+    staged: Vec<bool>,
+    /// In-flight prefetch DMA tags, waited on before compute.
+    tags: Vec<DmaTag>,
+}
+
+/// A sub-block prepared for execution: the restricted program view
+/// and (with `use_scratchpad`) its staging state.
+struct SubBlock {
+    fixed: HashMap<String, i64>,
+    view: Program,
+    staging: Option<Staging>,
+}
+
+/// Restrict the program to one (sub-)block and build its scratchpad
+/// plan and local buffers. Footprint checks are the caller's job (the
+/// synchronous path needs one footprint resident, the double-buffered
+/// path two).
+fn prepare_sub_block(
     kernel: &BlockedKernel,
     fixed: &HashMap<String, i64>,
     params: &[i64],
-    store: &ArrayStore,
     config: &MachineConfig,
     cache: Option<&PlanCache>,
     profiler: Option<&PassProfiler>,
-    overlay: &mut Overlay,
     stats: &mut ExecStats,
-    mut hoist: Option<(
-        &std::collections::HashSet<usize>,
-        &mut HashMap<usize, Persistent>,
-    )>,
-) -> Result<()> {
+) -> Result<SubBlock> {
     let program = &kernel.program;
-
-    // Restrict every statement to this (sub-)block.
     let mut view = program.clone();
     for s in &mut view.stmts {
         s.domain = fix_dims(&s.domain, fixed);
     }
-
-    // Optional scratchpad staging via the §3 pipeline: instantiate
-    // the shared symbolic plan when the cache holds one for this
-    // shape, otherwise analyse this instance from scratch.
-    let staging: Option<(PlanRef, Vec<i64>, LocalStore)> = if kernel.use_scratchpad {
+    let staging = if kernel.use_scratchpad {
         let (source, pparams) = match cache.and_then(|c| c.get(fixed)) {
             Some(sp) => {
                 let ext = sp
@@ -789,104 +976,212 @@ fn run_sub_block(
                 (PlanRef::Owned(plan), params.to_vec())
             }
         };
-        let plan = source.plan();
-        let pparams = &pparams;
-        // A hoisted buffer whose array this sub-tile does not stage
-        // would become invisible to the tile's global accesses: flush
-        // it first.
-        if let Some((_, persistent)) = &mut hoist {
-            // Flush entries whose array this sub-tile does not stage as
-            // exactly one buffer (absent, or split into partitions).
-            let stale: Vec<usize> = persistent
-                .keys()
-                .filter(|a| plan.buffers.iter().filter(|b| b.array == **a).count() != 1)
-                .copied()
-                .collect();
-            for a in stale {
-                let p = persistent.remove(&a).expect("key listed");
-                if p.dirty {
-                    writeback_persistent(&p, overlay, stats)?;
-                }
+        let (bufs, words, n_move) = {
+            let plan = source.plan();
+            let mut bufs = Vec::with_capacity(plan.buffers.len());
+            let mut words = 0u64;
+            for b in &plan.buffers {
+                let extents = b.extents(&pparams)?;
+                let offsets = b.offsets(&pparams)?;
+                let size: i64 = extents.iter().product::<i64>().max(0);
+                words += size as u64;
+                bufs.push((vec![0i64; size as usize], extents, offsets));
             }
-        }
-        let mut bufs = Vec::with_capacity(plan.buffers.len());
-        let mut words = 0u64;
-        for b in &plan.buffers {
-            let extents = b.extents(pparams)?;
-            let offsets = b.offsets(pparams)?;
-            let size: i64 = extents.iter().product::<i64>().max(0);
-            words += size as u64;
-            bufs.push((vec![0i64; size as usize], extents, offsets));
-        }
+            (bufs, words, plan.movement.len())
+        };
         stats.max_smem_words = stats.max_smem_words.max(words);
-        if config.smem_bytes > 0 && words * config.word_bytes > config.smem_bytes {
-            return Err(MachineError::ScratchpadOverflow {
-                requested: words * config.word_bytes,
-                available: config.smem_bytes,
-            });
-        }
-        let mut local = LocalStore { bufs };
-        // Move-in (hoisted buffers reuse the persistent copy for free).
-        let t0 = Instant::now();
-        for mc in &plan.movement {
-            let buf = &plan.buffers[mc.buffer];
-            let name = &program.arrays[buf.array].name;
-            if let Some((hoistable, persistent)) = &mut hoist {
-                if hoistable.contains(&buf.array) {
-                    let shape_matches = persistent.get(&buf.array).is_some_and(|p| {
-                        p.extents == local.bufs[mc.buffer].1 && p.offsets == local.bufs[mc.buffer].2
-                    });
-                    if shape_matches {
-                        let p = persistent.get(&buf.array).expect("checked");
-                        local.bufs[mc.buffer].0.copy_from_slice(&p.data);
-                        continue;
-                    }
-                    // A stale differently-shaped copy must reach global
-                    // memory before this sub-tile stages fresh data.
-                    if let Some(p) = persistent.remove(&buf.array) {
-                        if p.dirty {
-                            writeback_persistent(&p, overlay, stats)?;
-                        }
-                    }
-                }
-            }
-            let mut err = None;
-            polymem_core::smem::movement::for_each_move_in(mc, buf, pparams, &mut |g, l| {
-                if err.is_some() {
-                    return;
-                }
-                match read_global(store, overlay, program, buf.array, name, g) {
-                    Ok(v) => {
-                        if let Err(e) = local.set(mc.buffer, l, v) {
-                            err = Some(e);
-                        }
-                    }
-                    Err(e) => err = Some(e),
-                }
-                stats.global_reads += 1;
-                stats.moved_in += 1;
-            })?;
-            if let Some(e) = err {
-                return Err(e);
-            }
-        }
-        if let Some(pr) = profiler {
-            pr.record(crate::trace::PassKind::MoveIn, t0.elapsed());
-        }
-        Some((source, pparams.clone(), local))
+        Some(Staging {
+            source,
+            pparams,
+            local: LocalStore { bufs },
+            words,
+            staged: vec![false; n_move],
+            tags: Vec::new(),
+        })
     } else {
         None
     };
-    let (plan, pparams, mut local) = match staging {
-        Some((p, pp, l)) => (Some(p), pp, Some(l)),
-        None => (None, Vec::new(), None),
-    };
+    Ok(SubBlock {
+        fixed: fixed.clone(),
+        view,
+        staging,
+    })
+}
 
-    // Enumerate and execute instances in source order (as the
-    // reference interpreter does, restricted to this block). With the
-    // plan cache active, the shared per-shape enumeration plan turns
-    // this into bound evaluation; the per-block projection path is the
-    // fallback (and the whole story in naive mode).
+/// A hoisted buffer whose array this sub-tile does not stage as
+/// exactly one buffer would become invisible to the tile's accesses:
+/// write dirty stale entries back first.
+fn flush_stale_persistent(
+    staging: &Staging,
+    persistent: &mut HashMap<usize, Persistent>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    clock: &mut BlockClock,
+    config: &MachineConfig,
+) -> Result<()> {
+    let plan = staging.source.plan();
+    let mut stale: Vec<usize> = persistent
+        .keys()
+        .filter(|a| plan.buffers.iter().filter(|b| b.array == **a).count() != 1)
+        .copied()
+        .collect();
+    stale.sort_unstable();
+    for a in stale {
+        let p = persistent.remove(&a).expect("key listed");
+        if p.dirty {
+            writeback_persistent(&p, overlay, stats, clock, config)?;
+        }
+    }
+    Ok(())
+}
+
+/// Functionally stage one movement entry's move-in (global → local).
+/// Returns `false` when the hoist shortcut satisfied it from the
+/// persistent copy (no global traffic, nothing for the DMA engine).
+#[allow(clippy::too_many_arguments)]
+fn move_in_buffer(
+    program: &Program,
+    staging: &mut Staging,
+    mi: usize,
+    store: &ArrayStore,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    hoistable: Option<&HashSet<usize>>,
+    persistent: Option<&mut HashMap<usize, Persistent>>,
+    clock: &mut BlockClock,
+    config: &MachineConfig,
+) -> Result<bool> {
+    let Staging {
+        source,
+        pparams,
+        local,
+        staged,
+        ..
+    } = staging;
+    let plan = source.plan();
+    let mc = &plan.movement[mi];
+    let buf = &plan.buffers[mc.buffer];
+    let name = &program.arrays[buf.array].name;
+    staged[mi] = true;
+    if let (Some(h), Some(pers)) = (hoistable, persistent) {
+        if plan_hoists(plan, buf.array, h) {
+            let shape_matches = pers.get(&buf.array).is_some_and(|p| {
+                p.extents == local.bufs[mc.buffer].1 && p.offsets == local.bufs[mc.buffer].2
+            });
+            if shape_matches {
+                let p = pers.get(&buf.array).expect("checked");
+                local.bufs[mc.buffer].0.copy_from_slice(&p.data);
+                return Ok(false);
+            }
+            // A stale differently-shaped copy must reach global
+            // memory before this sub-tile stages fresh data.
+            if let Some(p) = pers.remove(&buf.array) {
+                if p.dirty {
+                    writeback_persistent(&p, overlay, stats, clock, config)?;
+                }
+            }
+        }
+    }
+    let mut err = None;
+    polymem_core::smem::movement::for_each_move_in(mc, buf, pparams, &mut |g, l| {
+        if err.is_some() {
+            return;
+        }
+        match read_global(store, overlay, program, buf.array, name, g) {
+            Ok(v) => {
+                if let Err(e) = local.set(mc.buffer, l, v) {
+                    err = Some(e);
+                }
+            }
+            Err(e) => err = Some(e),
+        }
+        stats.global_reads += 1;
+        stats.moved_in += 1;
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(true),
+    }
+}
+
+/// Functionally apply one movement entry's move-out (local → global
+/// overlay). Hoisted arrays park in `persistent` instead (one
+/// writeback at the end of the block); returns `false` for them.
+fn move_out_buffer(
+    staging: &Staging,
+    mi: usize,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    hoistable: Option<&HashSet<usize>>,
+    persistent: Option<&mut HashMap<usize, Persistent>>,
+) -> Result<bool> {
+    let plan = staging.source.plan();
+    let mc = &plan.movement[mi];
+    let buf = &plan.buffers[mc.buffer];
+    if let (Some(h), Some(pers)) = (hoistable, persistent) {
+        if plan_hoists(plan, buf.array, h) {
+            let dirty = !mc.write_spaces.is_empty();
+            let prev_dirty = pers.get(&buf.array).map(|q| q.dirty).unwrap_or(false);
+            pers.insert(
+                buf.array,
+                Persistent {
+                    buffer: buf.clone(),
+                    mc: mc.clone(),
+                    pparams: staging.pparams.clone(),
+                    data: staging.local.bufs[mc.buffer].0.clone(),
+                    extents: staging.local.bufs[mc.buffer].1.clone(),
+                    offsets: staging.local.bufs[mc.buffer].2.clone(),
+                    dirty: dirty || prev_dirty,
+                },
+            );
+            return Ok(false);
+        }
+    }
+    let ls = &staging.local;
+    let mut err = None;
+    polymem_core::smem::movement::for_each_move_out(mc, buf, &staging.pparams, &mut |g, l| {
+        if err.is_some() {
+            return;
+        }
+        match ls.get(mc.buffer, l) {
+            Ok(v) => {
+                overlay.insert((buf.array, g.to_vec()), v);
+            }
+            Err(e) => err = Some(e),
+        }
+        stats.global_writes += 1;
+        stats.moved_out += 1;
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(true),
+    }
+}
+
+/// Enumerate and execute the sub-block's statement instances in
+/// source order, then charge the modeled compute cycles to the block
+/// clock.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn compute_sub_block(
+    kernel: &BlockedKernel,
+    sb: &mut SubBlock,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    clock: &mut BlockClock,
+) -> Result<()> {
+    let program = &kernel.program;
+    let view = &sb.view;
+    let fixed = &sb.fixed;
+    let mut staging = sb.staging.as_mut();
+
+    // With the plan cache active, the shared per-shape enumeration
+    // plan turns this into bound evaluation; the per-block projection
+    // path is the fallback (and the whole story in naive mode).
     let enum_plan = if polymem_poly::cache::naive_mode() {
         None
     } else {
@@ -938,101 +1233,546 @@ fn run_sub_block(
     });
 
     let t0 = Instant::now();
+    let (mut n_inst, mut n_smem, mut n_glob) = (0u64, 0u64, 0u64);
     for (si, point) in &instances {
         let stmt = &view.stmts[*si];
         let mut reads = Vec::with_capacity(stmt.reads.len());
         for (k, r) in stmt.reads.iter().enumerate() {
-            let id = polymem_core::smem::AccessId::read(*si, k);
-            let rewrite = plan.as_ref().and_then(|p| p.plan().rewrites.get(&id));
-            let v = match (rewrite, &local, &plan) {
-                (Some(la), Some(ls), Some(p)) => {
-                    let buf = &p.plan().buffers[la.buffer];
-                    let proj = p.project(*si, point);
-                    let idx = la.local_index(buf, &proj, &pparams)?;
+            let id = AccessId::read(*si, k);
+            let mut staged = None;
+            if let Some(st) = staging.as_mut() {
+                if let Some(la) = st.source.plan().rewrites.get(&id) {
+                    let buf = &st.source.plan().buffers[la.buffer];
+                    let proj = st.source.project(*si, point);
+                    let idx = la.local_index(buf, &proj, &st.pparams)?;
                     stats.smem_reads += 1;
-                    ls.get(la.buffer, &idx)?
+                    n_smem += 1;
+                    staged = Some(st.local.get(la.buffer, &idx)?);
                 }
-                _ => {
+            }
+            let v = match staged {
+                Some(v) => v,
+                None => {
                     let idx = r.map.apply(point, params)?;
                     let name = &program.arrays[r.array].name;
                     stats.global_reads += 1;
+                    n_glob += 1;
                     read_global(store, overlay, program, r.array, name, &idx)?
                 }
             };
             reads.push(v);
         }
         let value = stmt.body.eval(&reads, point, params)?;
-        let wid = polymem_core::smem::AccessId::write(*si);
-        let rewrite = plan.as_ref().and_then(|p| p.plan().rewrites.get(&wid));
-        match (rewrite, &mut local, &plan) {
-            (Some(la), Some(ls), Some(p)) => {
-                let buf = &p.plan().buffers[la.buffer];
-                let proj = p.project(*si, point);
-                let idx = la.local_index(buf, &proj, &pparams)?;
+        let wid = AccessId::write(*si);
+        let mut staged = false;
+        if let Some(st) = staging.as_mut() {
+            if let Some(la) = st.source.plan().rewrites.get(&wid) {
+                let buf = &st.source.plan().buffers[la.buffer];
+                let proj = st.source.project(*si, point);
+                let idx = la.local_index(buf, &proj, &st.pparams)?;
                 stats.smem_writes += 1;
-                ls.set(la.buffer, &idx, value)?;
-            }
-            _ => {
-                let idx = stmt.write.map.apply(point, params)?;
-                stats.global_writes += 1;
-                overlay.insert((stmt.write.array, idx), value);
+                n_smem += 1;
+                st.local.set(la.buffer, &idx, value)?;
+                staged = true;
             }
         }
+        if !staged {
+            let idx = stmt.write.map.apply(point, params)?;
+            stats.global_writes += 1;
+            n_glob += 1;
+            overlay.insert((stmt.write.array, idx), value);
+        }
         stats.instances += 1;
+        n_inst += 1;
     }
     if let Some(pr) = profiler {
         pr.record(crate::trace::PassKind::Compute, t0.elapsed());
     }
+    let l = config.global_latency / config.global_overlap.max(1.0);
+    let cycles = n_inst as f64 * config.cycles_per_op
+        + n_smem as f64 * config.smem_latency
+        + n_glob as f64 * l;
+    clock.now += cycles.round() as u64;
+    Ok(())
+}
 
-    // Move-out; hoisted buffers park in `persistent` instead (one
-    // writeback at the end of the block).
-    if let (Some(p), Some(ls)) = (&plan, &local) {
-        let t0 = Instant::now();
-        let plan = p.plan();
-        for mc in &plan.movement {
-            let buf = &plan.buffers[mc.buffer];
-            if let Some((hoistable, persistent)) = &mut hoist {
-                if hoistable.contains(&buf.array) {
-                    let dirty = !mc.write_spaces.is_empty();
-                    let prev_dirty = persistent.get(&buf.array).map(|q| q.dirty).unwrap_or(false);
-                    persistent.insert(
-                        buf.array,
-                        Persistent {
-                            buffer: buf.clone(),
-                            mc: mc.clone(),
-                            pparams: pparams.clone(),
-                            data: ls.bufs[mc.buffer].0.clone(),
-                            extents: ls.bufs[mc.buffer].1.clone(),
-                            offsets: ls.bufs[mc.buffer].2.clone(),
-                            dirty: dirty || prev_dirty,
-                        },
-                    );
-                    continue;
+#[allow(clippy::too_many_arguments)]
+fn execute_one_block(
+    kernel: &BlockedKernel,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
+    poisoned: Option<&HashSet<AccessId>>,
+) -> Result<(Overlay, ExecStats)> {
+    let mut overlay: Overlay = HashMap::new();
+    let mut stats = ExecStats {
+        blocks: 1,
+        ..ExecStats::default()
+    };
+    let mut clock = BlockClock::new(&kernel.program, params, config)?;
+    if kernel.use_scratchpad && !kernel.seq_dims.is_empty() {
+        // Sequential sub-tiles with §4.2 hoisting.
+        let Some(lead) = kernel.program.stmts.first() else {
+            return Ok((overlay, stats));
+        };
+        let seq_vals = enumerate_named(lead, &kernel.seq_dims, params, fixed, config.enum_budget)?;
+        let seqs = if seq_vals.is_empty() {
+            vec![Vec::new()]
+        } else {
+            seq_vals
+        };
+        let hoistable = seq_redundant_arrays(kernel);
+        let mut persistent: HashMap<usize, Persistent> = HashMap::new();
+        match poisoned {
+            Some(poisoned) if config.double_buffer && seqs.len() > 1 => {
+                execute_block_pipelined(
+                    kernel,
+                    fixed,
+                    params,
+                    store,
+                    config,
+                    cache,
+                    profiler,
+                    &mut overlay,
+                    &mut stats,
+                    &mut clock,
+                    &seqs,
+                    &hoistable,
+                    &mut persistent,
+                    poisoned,
+                )?;
+            }
+            _ => {
+                for sv in &seqs {
+                    let mut f2 = fixed.clone();
+                    for (n, v) in kernel.seq_dims.iter().zip(sv) {
+                        f2.insert(n.clone(), *v);
+                    }
+                    run_sub_block(
+                        kernel,
+                        &f2,
+                        params,
+                        store,
+                        config,
+                        cache,
+                        profiler,
+                        &mut overlay,
+                        &mut stats,
+                        Some((&hoistable, &mut persistent)),
+                        &mut clock,
+                    )?;
                 }
             }
-            let mut err = None;
-            polymem_core::smem::movement::for_each_move_out(mc, buf, &pparams, &mut |g, l| {
-                if err.is_some() {
-                    return;
-                }
-                match ls.get(mc.buffer, l) {
-                    Ok(v) => {
-                        overlay.insert((buf.array, g.to_vec()), v);
-                    }
-                    Err(e) => err = Some(e),
-                }
-                stats.global_writes += 1;
-                stats.moved_out += 1;
-            })?;
-            if let Some(e) = err {
-                return Err(e);
+        }
+        // Deterministic writeback order (DMA timing depends on it).
+        let mut arrays: Vec<usize> = persistent.keys().copied().collect();
+        arrays.sort_unstable();
+        for a in arrays {
+            let p = &persistent[&a];
+            if p.dirty {
+                writeback_persistent(p, &mut overlay, &mut stats, &mut clock, config)?;
+            }
+        }
+    } else {
+        run_sub_block(
+            kernel,
+            fixed,
+            params,
+            store,
+            config,
+            cache,
+            profiler,
+            &mut overlay,
+            &mut stats,
+            None,
+            &mut clock,
+        )?;
+    }
+    clock.now = clock.dma.drain(clock.now);
+    stats.block_cycles = clock.now;
+    stats.dma = clock.dma.stats.clone();
+    Ok((overlay, stats))
+}
+
+/// One sub-block, fully synchronous: stage in, compute, stage out,
+/// each DMA list waited on at issue.
+#[allow(clippy::too_many_arguments)]
+fn run_sub_block(
+    kernel: &BlockedKernel,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    mut hoist: Option<(&HashSet<usize>, &mut HashMap<usize, Persistent>)>,
+    clock: &mut BlockClock,
+) -> Result<()> {
+    let mut sb = prepare_sub_block(kernel, fixed, params, config, cache, profiler, stats)?;
+    if let Some(st) = &sb.staging {
+        if config.smem_bytes > 0 && st.words * config.word_bytes > config.smem_bytes {
+            return Err(MachineError::ScratchpadOverflow {
+                requested: st.words * config.word_bytes,
+                available: config.smem_bytes,
+            });
+        }
+    }
+    if let Some(n_move) = sb
+        .staging
+        .as_ref()
+        .map(|st| st.source.plan().movement.len())
+    {
+        let t0 = Instant::now();
+        if let (Some(st), Some((_, persistent))) = (&sb.staging, hoist.as_mut()) {
+            flush_stale_persistent(st, persistent, overlay, stats, clock, config)?;
+        }
+        for mi in 0..n_move {
+            let st = sb.staging.as_mut().expect("staged");
+            let real = move_in_buffer(
+                &kernel.program,
+                st,
+                mi,
+                store,
+                overlay,
+                stats,
+                hoist.as_ref().map(|(h, _)| *h),
+                hoist.as_mut().map(|(_, p)| &mut **p),
+                clock,
+                config,
+            )?;
+            if real {
+                let st = sb.staging.as_ref().expect("staged");
+                let tag = clock.issue_movement(
+                    st.source.plan(),
+                    mi,
+                    &st.pparams,
+                    Direction::In,
+                    config,
+                    clock.now,
+                )?;
+                clock.wait(&tag);
+            }
+        }
+        if let Some(pr) = profiler {
+            pr.record(crate::trace::PassKind::MoveIn, t0.elapsed());
+        }
+    }
+    compute_sub_block(
+        kernel, &mut sb, params, store, config, cache, profiler, overlay, stats, clock,
+    )?;
+    if let Some(n_move) = sb
+        .staging
+        .as_ref()
+        .map(|st| st.source.plan().movement.len())
+    {
+        let t0 = Instant::now();
+        for mi in 0..n_move {
+            let st = sb.staging.as_ref().expect("staged");
+            let real = move_out_buffer(
+                st,
+                mi,
+                overlay,
+                stats,
+                hoist.as_ref().map(|(h, _)| *h),
+                hoist.as_mut().map(|(_, p)| &mut **p),
+            )?;
+            if real {
+                let st = sb.staging.as_ref().expect("staged");
+                let tag = clock.issue_movement(
+                    st.source.plan(),
+                    mi,
+                    &st.pparams,
+                    Direction::Out,
+                    config,
+                    clock.now,
+                )?;
+                clock.wait(&tag);
             }
         }
         if let Some(pr) = profiler {
             pr.record(crate::trace::PassKind::MoveOut, t0.elapsed());
         }
     }
+    Ok(())
+}
 
+/// Stage every movement entry prefetching skipped, synchronously:
+/// the stale-persistent flush, hoisted-copy shortcuts, and groups
+/// pinned by a seq-carried flow dependence (counted in `sync_groups`
+/// when `count_denied`). Transfers start no earlier than `earliest`.
+#[allow(clippy::too_many_arguments)]
+fn stage_remaining_sync(
+    kernel: &BlockedKernel,
+    sb: &mut SubBlock,
+    store: &ArrayStore,
+    config: &MachineConfig,
+    profiler: Option<&PassProfiler>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    hoistable: &HashSet<usize>,
+    persistent: &mut HashMap<usize, Persistent>,
+    clock: &mut BlockClock,
+    poisoned: &HashSet<AccessId>,
+    earliest: u64,
+    count_denied: bool,
+) -> Result<()> {
+    if sb.staging.is_none() {
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    if let Some(st) = &sb.staging {
+        flush_stale_persistent(st, persistent, overlay, stats, clock, config)?;
+    }
+    let n_move = sb
+        .staging
+        .as_ref()
+        .map_or(0, |st| st.source.plan().movement.len());
+    for mi in 0..n_move {
+        if sb.staging.as_ref().expect("staged").staged[mi] {
+            continue;
+        }
+        let denied = {
+            let plan = sb.staging.as_ref().expect("staged").source.plan();
+            !plan_hoists(
+                plan,
+                plan.buffers[plan.movement[mi].buffer].array,
+                hoistable,
+            ) && buffer_poisoned(plan, mi, poisoned)
+        };
+        let st = sb.staging.as_mut().expect("staged");
+        let real = move_in_buffer(
+            &kernel.program,
+            st,
+            mi,
+            store,
+            overlay,
+            stats,
+            Some(hoistable),
+            Some(persistent),
+            clock,
+            config,
+        )?;
+        if real {
+            let st = sb.staging.as_ref().expect("staged");
+            let tag = clock.issue_movement(
+                st.source.plan(),
+                mi,
+                &st.pparams,
+                Direction::In,
+                config,
+                earliest,
+            )?;
+            clock.wait(&tag);
+            if count_denied && denied {
+                stats.sync_groups += 1;
+            }
+        }
+    }
+    if let Some(pr) = profiler {
+        pr.record(crate::trace::PassKind::MoveIn, t0.elapsed());
+    }
+    Ok(())
+}
+
+/// Software-pipelined sub-tile loop (double buffering): while
+/// sub-tile t computes, the move-in for t+1 is in flight on the DMA
+/// channels, and t's move-out is issued right after its compute and
+/// overlaps t+1. Functional semantics stay identical to the
+/// synchronous schedule: prefetched groups carry no seq-dim flow
+/// dependence (checked by the caller via `overlap_poisoned_reads`),
+/// and everything else — hoisted copies, poisoned groups — stages
+/// after the previous sub-tile's move-out, exactly as in the
+/// synchronous path.
+#[allow(clippy::too_many_arguments)]
+fn execute_block_pipelined(
+    kernel: &BlockedKernel,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    profiler: Option<&PassProfiler>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    clock: &mut BlockClock,
+    seqs: &[Vec<i64>],
+    hoistable: &HashSet<usize>,
+    persistent: &mut HashMap<usize, Persistent>,
+    poisoned: &HashSet<AccessId>,
+) -> Result<()> {
+    let fixed_for = |sv: &[i64]| {
+        let mut f2 = fixed.clone();
+        for (n, v) in kernel.seq_dims.iter().zip(sv) {
+            f2.insert(n.clone(), *v);
+        }
+        f2
+    };
+    let wb = config.word_bytes;
+    let mut cur = prepare_sub_block(
+        kernel,
+        &fixed_for(&seqs[0]),
+        params,
+        config,
+        cache,
+        profiler,
+        stats,
+    )?;
+    if let Some(st) = &cur.staging {
+        if config.smem_bytes > 0 && st.words * wb > config.smem_bytes {
+            return Err(MachineError::ScratchpadOverflow {
+                requested: st.words * wb,
+                available: config.smem_bytes,
+            });
+        }
+    }
+    // Sub-tile 0 stages synchronously: nothing to overlap with yet.
+    stage_remaining_sync(
+        kernel, &mut cur, store, config, profiler, overlay, stats, hoistable, persistent, clock,
+        poisoned, 0, false,
+    )?;
+    let mut reuse_ready = clock.now;
+    for t in 0..seqs.len() {
+        // Prepare t+1 and prefetch its overlap-legal, non-hoisted
+        // groups; the transfers fly while t computes. Functionally the
+        // copies happen before t's writes, which is exactly what the
+        // legality check licenses.
+        let mut next = if t + 1 < seqs.len() {
+            let mut nx = prepare_sub_block(
+                kernel,
+                &fixed_for(&seqs[t + 1]),
+                params,
+                config,
+                cache,
+                profiler,
+                stats,
+            )?;
+            let cw = cur.staging.as_ref().map_or(0, |s| s.words);
+            let nw = nx.staging.as_ref().map_or(0, |s| s.words);
+            if config.smem_bytes > 0 && (cw + nw) * wb > config.smem_bytes {
+                return Err(MachineError::DoubleBufferOverflow {
+                    requested: (cw + nw) * wb,
+                    available: config.smem_bytes,
+                });
+            }
+            let t0 = Instant::now();
+            let n_move = nx
+                .staging
+                .as_ref()
+                .map_or(0, |st| st.source.plan().movement.len());
+            for mi in 0..n_move {
+                {
+                    let nst = nx.staging.as_ref().expect("staged");
+                    let plan = nst.source.plan();
+                    let bi = plan.movement[mi].buffer;
+                    let array = plan.buffers[bi].array;
+                    // Only read-only, dependence-free buffers the
+                    // hoist shortcut cannot satisfy prefetch: a
+                    // written buffer's move-in may read locations the
+                    // previous sub-tile wrote (an output/anti
+                    // dependence the flow-dep check does not cover).
+                    if !plan.movement[mi].write_spaces.is_empty()
+                        || buffer_poisoned(plan, mi, poisoned)
+                        || hoist_shortcut_hits(&cur, nst, bi, array, hoistable)
+                    {
+                        continue;
+                    }
+                }
+                let st = nx.staging.as_mut().expect("staged");
+                let real = move_in_buffer(
+                    &kernel.program,
+                    st,
+                    mi,
+                    store,
+                    overlay,
+                    stats,
+                    None,
+                    None,
+                    clock,
+                    config,
+                )?;
+                if real {
+                    let st = nx.staging.as_ref().expect("staged");
+                    let tag = clock.issue_movement(
+                        st.source.plan(),
+                        mi,
+                        &st.pparams,
+                        Direction::In,
+                        config,
+                        reuse_ready,
+                    )?;
+                    nx.staging.as_mut().expect("staged").tags.push(tag);
+                    stats.overlap_groups += 1;
+                }
+            }
+            if let Some(pr) = profiler {
+                pr.record(crate::trace::PassKind::MoveIn, t0.elapsed());
+            }
+            Some(nx)
+        } else {
+            None
+        };
+        // The prefetches for `cur` (issued while t−1 computed) must
+        // have landed before its compute touches the buffers.
+        if let Some(st) = cur.staging.as_mut() {
+            let tags = std::mem::take(&mut st.tags);
+            for tag in &tags {
+                clock.wait(tag);
+            }
+        }
+        compute_sub_block(
+            kernel, &mut cur, params, store, config, cache, profiler, overlay, stats, clock,
+        )?;
+        // Move-out of t: applied functionally now (same order as the
+        // synchronous schedule), its DMA time overlapping t+1's
+        // compute. Move-in for t+2 reuses these slots, so it starts
+        // no earlier than `out_done`.
+        let mut out_done = clock.now;
+        if let Some(n_move) = cur
+            .staging
+            .as_ref()
+            .map(|st| st.source.plan().movement.len())
+        {
+            let t0 = Instant::now();
+            for mi in 0..n_move {
+                let st = cur.staging.as_ref().expect("staged");
+                let real =
+                    move_out_buffer(st, mi, overlay, stats, Some(hoistable), Some(persistent))?;
+                if real {
+                    let st = cur.staging.as_ref().expect("staged");
+                    let tag = clock.issue_movement(
+                        st.source.plan(),
+                        mi,
+                        &st.pparams,
+                        Direction::Out,
+                        config,
+                        clock.now,
+                    )?;
+                    out_done = out_done.max(tag.done);
+                }
+            }
+            if let Some(pr) = profiler {
+                pr.record(crate::trace::PassKind::MoveOut, t0.elapsed());
+            }
+        }
+        // Stage what prefetching skipped; these must observe t's
+        // writes, so they run after its move-out.
+        if let Some(nx) = next.as_mut() {
+            stage_remaining_sync(
+                kernel, nx, store, config, profiler, overlay, stats, hoistable, persistent, clock,
+                poisoned, out_done, true,
+            )?;
+        }
+        reuse_ready = out_done;
+        match next {
+            Some(nx) => cur = nx,
+            None => break,
+        }
+    }
     Ok(())
 }
 
@@ -1265,5 +2005,225 @@ mod tests {
             exec_program(&p, &[8], &mut r).unwrap();
             r.data("C").unwrap().to_vec()
         });
+    }
+
+    /// The window2d kernel with the `j` tile loop kept sequential
+    /// inside each block — the shape the double-buffered pipeline
+    /// targets.
+    fn blocked_seq() -> BlockedKernel {
+        let p = window2d();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4), ("j", 4)], "T")).unwrap();
+        BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into()],
+            seq_dims: vec!["jT".into()],
+            use_scratchpad: true,
+        }
+    }
+
+    fn run_seq(double_buffer: bool, params: &[i64]) -> (ArrayStore, ExecStats) {
+        let k = blocked_seq();
+        let p = window2d();
+        let mut st = ArrayStore::for_program(&p, params).unwrap();
+        st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+        let mut cfg = MachineConfig::cell_like();
+        cfg.double_buffer = double_buffer;
+        let stats = execute_blocked(&k, params, &mut st, &cfg, false).unwrap();
+        (st, stats)
+    }
+
+    #[test]
+    fn absorb_accumulates_every_field() {
+        // Explicit struct literals (no `..`) so a future field forces
+        // this test — and `absorb` — to be revisited.
+        let mk = |x: u64| ExecStats {
+            blocks: x,
+            instances: x + 1,
+            global_reads: x + 2,
+            global_writes: x + 3,
+            smem_reads: x + 4,
+            smem_writes: x + 5,
+            moved_in: x + 6,
+            moved_out: x + 7,
+            rounds: x + 8,
+            max_smem_words: x + 9,
+            plan_cache_hits: x + 10,
+            plan_cache_misses: x + 11,
+            block_cycles: x + 12,
+            modeled_cycles: x + 13,
+            overlap_groups: x + 14,
+            sync_groups: x + 15,
+            dma: DmaStats {
+                descriptors: x + 16,
+                elements: x + 17,
+                bytes: x + 18,
+                channel_busy_cycles: vec![x, x + 19],
+                stall_cycles: x + 20,
+                bytes_hist: vec![x + 21],
+            },
+        };
+        let mut a = mk(100);
+        let b = mk(1);
+        a.absorb(&b);
+        assert_eq!(a.blocks, 101);
+        assert_eq!(a.instances, 103);
+        assert_eq!(a.global_reads, 105);
+        assert_eq!(a.global_writes, 107);
+        assert_eq!(a.smem_reads, 109);
+        assert_eq!(a.smem_writes, 111);
+        assert_eq!(a.moved_in, 113);
+        assert_eq!(a.moved_out, 115);
+        assert_eq!(a.rounds, 117);
+        assert_eq!(a.max_smem_words, 109); // max, not sum
+        assert_eq!(a.plan_cache_hits, 121);
+        assert_eq!(a.plan_cache_misses, 123);
+        assert_eq!(a.block_cycles, 125);
+        assert_eq!(a.modeled_cycles, 127);
+        assert_eq!(a.overlap_groups, 129);
+        assert_eq!(a.sync_groups, 131);
+        assert_eq!(a.dma.descriptors, 133);
+        assert_eq!(a.dma.elements, 135);
+        assert_eq!(a.dma.bytes, 137);
+        assert_eq!(a.dma.channel_busy_cycles, vec![101, 139]);
+        assert_eq!(a.dma.stall_cycles, 141);
+        assert_eq!(a.dma.bytes_hist, vec![143]);
+    }
+
+    #[test]
+    fn double_buffer_is_bit_exact_and_overlaps() {
+        let (off_st, off) = run_seq(false, &[16]);
+        let (on_st, on) = run_seq(true, &[16]);
+        assert_eq!(on_st.data("C").unwrap(), off_st.data("C").unwrap());
+        assert_eq!(
+            on_st.data("C").unwrap(),
+            reference(&[16]).data("C").unwrap()
+        );
+        // Identical functional traffic, different schedule.
+        assert_eq!(on.moved_in, off.moved_in);
+        assert_eq!(on.moved_out, off.moved_out);
+        assert_eq!(on.instances, off.instances);
+        // The read-only A buffers prefetch ahead of compute…
+        assert!(on.overlap_groups > 0, "no prefetches issued");
+        assert_eq!(off.overlap_groups, 0);
+        // …which hides transfer latency: modeled time cannot get
+        // worse, and the DMA engine reports coalesced descriptors.
+        assert!(on.modeled_cycles <= off.modeled_cycles);
+        assert!(on.dma.descriptors > 0);
+        assert!(on.dma.descriptors < on.moved_in + on.moved_out);
+        assert!(on.dma.overlap_fraction() > 0.0);
+    }
+
+    #[test]
+    fn double_buffer_parallel_is_deterministic() {
+        let k = blocked_seq();
+        let p = window2d();
+        let mut run = |parallel: bool| {
+            let mut st = ArrayStore::for_program(&p, &[13]).unwrap();
+            st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+            let mut cfg = MachineConfig::cell_like();
+            cfg.double_buffer = true;
+            let stats = execute_blocked(&k, &[13], &mut st, &cfg, parallel).unwrap();
+            (st, stats)
+        };
+        let (seq, s1) = run(false);
+        let (par, s2) = run(true);
+        assert_eq!(seq.data("C").unwrap(), par.data("C").unwrap());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn double_buffer_overflow_is_typed() {
+        // Find the single-buffer footprint, then give the machine
+        // room for one footprint but not two.
+        let (_, off) = run_seq(false, &[16]);
+        let words = off.max_smem_words;
+        assert!(words > 0);
+        let k = blocked_seq();
+        let p = window2d();
+        let mut run = |double_buffer: bool| {
+            let mut st = ArrayStore::for_program(&p, &[16]).unwrap();
+            st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
+            let mut cfg = MachineConfig::cell_like();
+            cfg.double_buffer = double_buffer;
+            cfg.smem_bytes = words * cfg.word_bytes + cfg.word_bytes;
+            execute_blocked(&k, &[16], &mut st, &cfg, false)
+        };
+        assert!(run(false).is_ok(), "one footprint must still fit");
+        match run(true) {
+            Err(MachineError::DoubleBufferOverflow {
+                requested,
+                available,
+            }) => {
+                assert!(requested > available);
+            }
+            other => panic!("expected DoubleBufferOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_carried_dep_forces_sync_staging() {
+        // A[s][i] = A[s-1][i] + 1 carries a flow dependence on the
+        // seq dim `s`, so A's group must stage synchronously; the
+        // independent Out[s][i] = B2[s][i] * 2 statement still
+        // prefetches B2. Both must stay bit-exact.
+        let mut b = ProgramBuilder::new("d", ["N"]);
+        b.array("A", &[LinExpr::c(4), v("N")]);
+        b.array("B2", &[LinExpr::c(4), v("N")]);
+        b.array("Out", &[LinExpr::c(4), v("N")]);
+        b.stmt("S1")
+            .loops(&[
+                ("s", LinExpr::c(1), LinExpr::c(3)),
+                ("i", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("A", &[v("s"), v("i")])
+            .read("A", &[v("s") - 1, v("i")])
+            .body(Expr::add(Expr::Read(0), Expr::Const(1)))
+            .done();
+        b.stmt("S2")
+            .loops(&[
+                ("s", LinExpr::c(1), LinExpr::c(3)),
+                ("i", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("Out", &[v("s"), v("i")])
+            .read("B2", &[v("s"), v("i")])
+            .body(Expr::mul(Expr::Read(0), Expr::Const(2)))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+        let k = BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into()],
+            seq_dims: vec!["s".into()],
+            use_scratchpad: true,
+        };
+        let mut run = |double_buffer: bool| {
+            let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+            st.fill_with("A", |ix| ix[1]).unwrap();
+            st.fill_with("B2", |ix| ix[0] * 10 + ix[1]).unwrap();
+            let mut cfg = MachineConfig::cell_like();
+            cfg.double_buffer = double_buffer;
+            let stats = execute_blocked(&k, &[8], &mut st, &cfg, false).unwrap();
+            (st, stats)
+        };
+        let (off_st, off) = run(false);
+        let (on_st, on) = run(true);
+        for a in ["A", "Out"] {
+            assert_eq!(on_st.data(a).unwrap(), off_st.data(a).unwrap(), "{a}");
+        }
+        // The recurrence result is the sequential one.
+        for i in 0..8 {
+            assert_eq!(on_st.get("A", &[3, i]).unwrap(), i + 3);
+        }
+        assert_eq!(off.sync_groups, 0);
+        assert!(
+            on.sync_groups > 0,
+            "seq-carried dep must pin a group synchronous"
+        );
+        assert!(
+            on.overlap_groups > 0,
+            "independent group must still prefetch"
+        );
     }
 }

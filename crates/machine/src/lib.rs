@@ -30,11 +30,13 @@
 //! by the ratios this model captures explicitly.
 
 pub mod config;
+pub mod dma;
 pub mod exec;
 pub mod profile;
 pub mod trace;
 
 pub use config::{MachineConfig, MachineKind};
+pub use dma::{DmaEngine, DmaStats, DmaTag};
 pub use exec::{execute_blocked, execute_blocked_profiled, BlockedKernel, ExecStats};
 pub use profile::{KernelProfile, TimeBreakdown};
 pub use trace::{PassKind, PassProfiler, PassReport, Phase, Timeline};
@@ -53,6 +55,17 @@ pub enum MachineError {
     /// A block requires more scratchpad than the machine has.
     ScratchpadOverflow {
         /// Bytes requested by one block.
+        requested: u64,
+        /// Bytes available per outer-level unit.
+        available: u64,
+    },
+    /// Double buffering needs two sub-tile footprints resident at
+    /// once and the sum does not fit the scratchpad. Distinct from
+    /// [`ScratchpadOverflow`](MachineError::ScratchpadOverflow) so
+    /// callers can fall back to synchronous staging instead of
+    /// failing the whole mapping.
+    DoubleBufferOverflow {
+        /// Bytes needed for the two live sub-tile footprints.
         requested: u64,
         /// Bytes available per outer-level unit.
         available: u64,
@@ -83,6 +96,14 @@ impl fmt::Display for MachineError {
             } => write!(
                 f,
                 "scratchpad overflow: block needs {requested} B, unit has {available} B"
+            ),
+            MachineError::DoubleBufferOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "double-buffer overflow: two sub-tile footprints need {requested} B, \
+                 unit has {available} B"
             ),
             MachineError::EnumerationBudget { budget } => {
                 write!(f, "enumeration budget exhausted: more than {budget} points")

@@ -38,6 +38,10 @@ pub enum Phase {
     Global,
     /// Device-wide synchronisation (inter-block barriers).
     Barrier,
+    /// DMA transfer time hidden under compute (double buffering).
+    DmaTransfer,
+    /// DMA transfer time the compute had to wait for (exposed).
+    DmaStall,
 }
 
 impl Phase {
@@ -49,6 +53,8 @@ impl Phase {
             Phase::Scratchpad => "smem",
             Phase::Global => "global",
             Phase::Barrier => "barrier",
+            Phase::DmaTransfer => "dma",
+            Phase::DmaStall => "dma-stall",
         }
     }
 
@@ -59,6 +65,8 @@ impl Phase {
             Phase::Scratchpad => '▓',
             Phase::Global => '░',
             Phase::Barrier => '|',
+            Phase::DmaTransfer => '~',
+            Phase::DmaStall => '!',
         }
     }
 }
@@ -91,6 +99,35 @@ impl Timeline {
             segments,
             total_ms: t.total_ms,
         })
+    }
+
+    /// Expand a launch's DMA counters into a timeline: channel-busy
+    /// transfer time split into the part hidden under compute and the
+    /// part the compute had to wait for (stalls). The total is the
+    /// aggregate channel-busy time, so
+    /// `fraction(Phase::DmaTransfer)` is the engine's overlap
+    /// fraction.
+    pub fn from_dma(dma: &crate::dma::DmaStats, machine: &MachineConfig) -> Timeline {
+        let busy = dma.total_busy_cycles();
+        let stall = dma.stall_cycles.min(busy);
+        let hidden = busy - stall;
+        let mut segments = Vec::new();
+        if hidden > 0 {
+            segments.push(Segment {
+                phase: Phase::DmaTransfer,
+                ms: machine.cycles_to_ms(hidden as f64),
+            });
+        }
+        if stall > 0 {
+            segments.push(Segment {
+                phase: Phase::DmaStall,
+                ms: machine.cycles_to_ms(stall as f64),
+            });
+        }
+        Timeline {
+            segments,
+            total_ms: machine.cycles_to_ms(busy as f64),
+        }
     }
 
     /// Fraction of total time spent in a phase.
@@ -427,6 +464,30 @@ mod tests {
         let tl = Timeline::from_profile(&KernelProfile::default(), &m).unwrap();
         assert_eq!(tl.fraction(Phase::Compute), 0.0);
         let _ = tl.render(10);
+    }
+
+    #[test]
+    fn dma_timeline_splits_hidden_and_exposed_time() {
+        use crate::dma::DmaStats;
+        let m = MachineConfig::geforce_8800_gtx();
+        let dma = DmaStats {
+            descriptors: 4,
+            elements: 64,
+            bytes: 256,
+            channel_busy_cycles: vec![100, 50],
+            stall_cycles: 30,
+            bytes_hist: vec![4],
+        };
+        let tl = Timeline::from_dma(&dma, &m);
+        assert_eq!(tl.segments.len(), 2);
+        assert!((tl.fraction(Phase::DmaStall) - 30.0 / 150.0).abs() < 1e-9);
+        assert!((tl.fraction(Phase::DmaTransfer) - dma.overlap_fraction()).abs() < 1e-9);
+        let text = tl.render(20);
+        assert!(text.contains("dma-stall"), "{text}");
+        // No DMA activity: empty timeline, render does not panic.
+        let tl0 = Timeline::from_dma(&DmaStats::default(), &m);
+        assert!(tl0.segments.is_empty());
+        let _ = tl0.render(10);
     }
 
     #[test]

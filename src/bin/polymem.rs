@@ -29,6 +29,12 @@ fn profile_requested() -> bool {
         || std::env::var("POLYMEM_PROFILE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// `--double-buffer` on the command line: map one tile dimension to a
+/// sequential intra-block loop and overlap its DMA with compute.
+fn double_buffer_requested() -> bool {
+    std::env::args().any(|a| a == "--double-buffer")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
@@ -124,7 +130,9 @@ fn usage(msg: &str) -> ExitCode {
          \n\
          `analyze` and `run` accept --profile (or POLYMEM_PROFILE=1) to\n\
          print a pass-level wall-clock profile; `run` also reports plan\n\
-         cache hit/miss counters."
+         cache hit/miss counters, and accepts --double-buffer to map one\n\
+         tile dimension sequentially and overlap its DMA with compute\n\
+         (DMA statistics and the channel timeline appear under --profile)."
     );
     ExitCode::FAILURE
 }
@@ -276,7 +284,9 @@ fn emit(name: &str, cuda: bool) -> ExitCode {
 }
 
 fn run(name: &str, size: i64) -> ExitCode {
-    let gpu = MachineConfig::geforce_8800_gtx();
+    let db = double_buffer_requested();
+    let mut gpu = MachineConfig::geforce_8800_gtx();
+    gpu.double_buffer = db;
     let (kernel, params, check): (BlockedKernel, Vec<i64>, &str) = match name {
         "me" => {
             let s = me::MeSize {
@@ -284,7 +294,12 @@ fn run(name: &str, size: i64) -> ExitCode {
                 nj: size,
                 ws: 4,
             };
-            (me::blocked_kernel(4, 4, true), me::params(&s), "Sad")
+            let k = if db {
+                me::blocked_seq_kernel(4, 4, true)
+            } else {
+                me::blocked_kernel(4, 4, true)
+            };
+            (k, me::params(&s), "Sad")
         }
         "jacobi" => {
             let s = jacobi::JacobiSize { n: size, t: 8 };
@@ -294,19 +309,30 @@ fn run(name: &str, size: i64) -> ExitCode {
                 "A",
             )
         }
-        "jacobi2d" => (
-            jacobi2d::stepwise_kernel(4, 4, true),
-            jacobi2d::params(3, size),
-            "A",
-        ),
-        "matmul" => (matmul::blocked_kernel(4, 4, 8, true), vec![size], "C"),
+        "jacobi2d" => {
+            let k = if db {
+                jacobi2d::stepwise_seq_kernel(4, 4, true)
+            } else {
+                jacobi2d::stepwise_kernel(4, 4, true)
+            };
+            (k, jacobi2d::params(3, size), "A")
+        }
+        "matmul" => {
+            let k = if db {
+                matmul::blocked_kernel_hoisted(4, 4, 8, true)
+            } else {
+                matmul::blocked_kernel(4, 4, 8, true)
+            };
+            (k, vec![size], "C")
+        }
         "conv2d" => {
             let s = conv2d::ConvSize { n: size, k: 3 };
-            (
-                conv2d::blocked_kernel(4, 4, true),
-                conv2d::params(&s),
-                "Out",
-            )
+            let k = if db {
+                conv2d::blocked_seq_kernel(4, 4, true)
+            } else {
+                conv2d::blocked_kernel(4, 4, true)
+            };
+            (k, conv2d::params(&s), "Out")
         }
         _ => return usage("unknown kernel"),
     };
@@ -363,8 +389,27 @@ fn run(name: &str, size: i64) -> ExitCode {
         "  plan cache hits/misses {}/{}",
         stats.plan_cache_hits, stats.plan_cache_misses
     );
+    if stats.dma.descriptors > 0 {
+        println!(
+            "  dma: {} descriptors, {} bytes ({:.1} B/desc), overlap fraction {:.2}, prefetched/forced-sync groups {}/{}",
+            stats.dma.descriptors,
+            stats.dma.bytes,
+            stats.dma.mean_descriptor_bytes(),
+            stats.dma.overlap_fraction(),
+            stats.overlap_groups,
+            stats.sync_groups,
+        );
+    }
     if let Some(pr) = &profiler {
         print!("{}", pr.report().render());
+        if stats.dma.total_busy_cycles() > 0 {
+            println!("DMA channel timeline (hidden vs exposed):");
+            print!(
+                "{}",
+                polymem::machine::Timeline::from_dma(&stats.dma, &gpu).render(64)
+            );
+            print!("{}", stats.dma.render());
+        }
     }
     if ok {
         ExitCode::SUCCESS

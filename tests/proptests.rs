@@ -232,6 +232,72 @@ proptest! {
     }
 
     #[test]
+    fn descriptors_cover_movement_exactly(
+        off1 in 0i64..4, off2 in 0i64..4, w in 1i64..4,
+        tile in 1i64..5, n in 4i64..12,
+    ) {
+        // The coalesced DMA list for each buffer must enumerate exactly
+        // the same (global, local) element pairs, in exactly the same
+        // order, as the per-element move-in/move-out nests it replaces
+        // — descriptors change the granularity of movement, never its
+        // contents.
+        use polymem::core::smem::descriptors::{transfer_list, flatten_index, Direction};
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") + 8, v("N") + 8]);
+        b.array("Out", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+                ("k", LinExpr::c(0), LinExpr::c(w)),
+            ])
+            .write("Out", &[v("i"), v("j")])
+            .read("Out", &[v("i"), v("j")])
+            .read("A", &[v("i") + off1, v("j") + off2 + v("k")])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", tile), ("j", tile)], "T")).unwrap();
+        let plan = analyze_program(
+            &t,
+            &SmemConfig {
+                sample_params: vec![n],
+                delta: 0.0,
+                must_copy_all: true,
+                ..SmemConfig::default()
+            },
+        )
+        .unwrap();
+        use polymem::core::smem::movement::{for_each_move_in, for_each_move_out};
+        prop_assert!(!plan.movement.is_empty(), "nothing staged — vacuous test");
+        for mc in &plan.movement {
+            let buf = &plan.buffers[mc.buffer];
+            let arr_ext = t.arrays[buf.array].eval_extents(&t.params, &[n]).unwrap();
+            let buf_ext = buf.extents(&[n]).unwrap();
+            for dir in [Direction::In, Direction::Out] {
+                let mut reference: Vec<(i64, i64)> = Vec::new();
+                let mut push = |g: &[i64], l: &[i64]| {
+                    reference.push((
+                        flatten_index(g, &arr_ext),
+                        flatten_index(l, &buf_ext),
+                    ));
+                };
+                match dir {
+                    Direction::In => for_each_move_in(mc, buf, &[n], &mut push).unwrap(),
+                    Direction::Out => for_each_move_out(mc, buf, &[n], &mut push).unwrap(),
+                }
+                let list = transfer_list(mc, buf, dir, &arr_ext, &[n]).unwrap();
+                let mut got: Vec<(i64, i64)> = Vec::new();
+                list.for_each(&mut |g, l| got.push((g, l)));
+                prop_assert_eq!(&got, &reference, "direction {:?}", dir);
+                prop_assert_eq!(list.elements, reference.len() as u64);
+                // Coalescing must never *increase* the operation count.
+                prop_assert!(list.descriptors.len() as u64 <= list.elements.max(1));
+            }
+        }
+    }
+
+    #[test]
     fn random_tilings_preserve_semantics(
         t1 in 1i64..7, t2 in 1i64..7, n in 2i64..10,
     ) {
