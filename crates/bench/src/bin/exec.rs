@@ -1,0 +1,337 @@
+//! Compiled-execution harness.
+//!
+//! Runs the five built-in kernels on the GPU and Cell machine models
+//! with the compiled block execution engine off (per-point
+//! interpreter) and on (bytecode bodies + strided address streams),
+//! then
+//!
+//! * verifies outputs are bit-exact against the reference interpreter
+//!   and between the two engines, and that every deterministic
+//!   counter matches (`ExecStats` equality ignores only wall-clock
+//!   compute time);
+//! * measures the compute-phase wall time (`ExecStats::compute_ns`,
+//!   best of three runs) in both modes;
+//! * in full mode, asserts the compiled engine speeds up the compute
+//!   phase by at least 5x on matmul and jacobi2d, the two kernels
+//!   whose compute phases dominate; smoke mode (CI) reports the
+//!   speedups without gating them, since the tiny smoke sizes are
+//!   timer-granularity bound;
+//! * writes `BENCH_exec.json` with the per-kernel numbers.
+//!
+//! ```sh
+//! cargo run --release -p polymem-bench --bin exec            # full
+//! cargo run --release -p polymem-bench --bin exec -- --smoke # CI
+//! ```
+//!
+//! `POLYMEM_EXEC_CHECK=1` additionally runs the interpreter as an
+//! oracle beside every compiled block (outside the timed window) and
+//! panics on any divergence — the CI job sets it.
+//!
+//! Exits non-zero on any check failure.
+
+use polymem_ir::{exec_program, ArrayStore, Program};
+use polymem_kernels::{conv2d, jacobi, jacobi2d, matmul, me};
+use polymem_machine::{execute_blocked, BlockedKernel, ExecStats, MachineConfig};
+
+struct Case {
+    name: &'static str,
+    program: Program,
+    kernel: BlockedKernel,
+    params: Vec<i64>,
+    base: ArrayStore,
+    check: &'static str,
+}
+
+fn store_for(program: &Program, params: &[i64], init: impl FnOnce(&mut ArrayStore)) -> ArrayStore {
+    let mut st = ArrayStore::for_program(program, params).expect("store");
+    init(&mut st);
+    st
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    let size = if smoke {
+        me::MeSize {
+            ni: 16,
+            nj: 16,
+            ws: 2,
+        }
+    } else {
+        me::MeSize {
+            ni: 32,
+            nj: 32,
+            ws: 3,
+        }
+    };
+    let p = me::program();
+    let prm = me::params(&size);
+    out.push(Case {
+        name: "me",
+        base: store_for(&p, &prm, |st| me::init_store(st, 7)),
+        program: p,
+        kernel: me::blocked_seq_kernel(4, 4, true),
+        params: prm,
+        check: "Sad",
+    });
+
+    let s = if smoke {
+        jacobi::JacobiSize { n: 32, t: 2 }
+    } else {
+        jacobi::JacobiSize { n: 256, t: 4 }
+    };
+    let p = jacobi::program();
+    let prm = jacobi::params(&s);
+    out.push(Case {
+        name: "jacobi",
+        base: store_for(&p, &prm, |st| jacobi::init_store(st, 8)),
+        program: p,
+        kernel: jacobi::stepwise_kernel(16, true),
+        params: prm,
+        check: "A",
+    });
+
+    let (t, n) = if smoke { (2, 8) } else { (4, 32) };
+    let p = jacobi2d::program();
+    let prm = jacobi2d::params(t, n);
+    out.push(Case {
+        name: "jacobi2d",
+        base: store_for(&p, &prm, |st| jacobi2d::init_store(st, 9)),
+        program: p,
+        kernel: jacobi2d::stepwise_seq_kernel(4, if smoke { 4 } else { 8 }, true),
+        params: prm,
+        check: "A",
+    });
+
+    let n = if smoke { 8 } else { 32 };
+    let p = matmul::program();
+    let prm = vec![n];
+    out.push(Case {
+        name: "matmul",
+        base: store_for(&p, &prm, |st| matmul::init_store(st, 10)),
+        program: p,
+        kernel: matmul::blocked_kernel_hoisted(
+            if smoke { 4 } else { 8 },
+            if smoke { 4 } else { 8 },
+            if smoke { 4 } else { 8 },
+            true,
+        ),
+        params: prm,
+        check: "C",
+    });
+
+    let s = if smoke {
+        conv2d::ConvSize { n: 7, k: 3 }
+    } else {
+        conv2d::ConvSize { n: 23, k: 3 }
+    };
+    let p = conv2d::program();
+    let prm = conv2d::params(&s);
+    out.push(Case {
+        name: "conv2d",
+        base: store_for(&p, &prm, |st| conv2d::init_store(st, 11)),
+        program: p,
+        kernel: conv2d::blocked_seq_kernel(3, if smoke { 3 } else { 5 }, true),
+        params: prm,
+        check: "Out",
+    });
+
+    out
+}
+
+struct ModeResult {
+    stats: ExecStats,
+    store: ArrayStore,
+    /// Best-of-three compute-phase wall time.
+    min_compute_ns: u64,
+}
+
+struct MachineResult {
+    machine: &'static str,
+    interp: ModeResult,
+    compiled: ModeResult,
+    bit_exact: bool,
+    stats_equal: bool,
+}
+
+struct KernelResult {
+    name: &'static str,
+    machines: Vec<MachineResult>,
+}
+
+impl MachineResult {
+    /// Compute-phase speedup: interpreted over compiled wall time.
+    fn speedup(&self) -> f64 {
+        self.interp.min_compute_ns as f64 / self.compiled.min_compute_ns.max(1) as f64
+    }
+}
+
+fn run_mode(case: &Case, cfg: &MachineConfig, compiled: bool) -> ModeResult {
+    let mut config = cfg.clone();
+    config.compiled_exec = compiled;
+    let mut best: Option<ModeResult> = None;
+    for _ in 0..3 {
+        let mut store = case.base.clone();
+        let stats = execute_blocked(&case.kernel, &case.params, &mut store, &config, false)
+            .expect("execution succeeds");
+        let ns = stats.compute_ns;
+        if best.as_ref().is_none_or(|b| ns < b.min_compute_ns) {
+            best = Some(ModeResult {
+                stats,
+                store,
+                min_compute_ns: ns,
+            });
+        }
+    }
+    best.expect("three runs")
+}
+
+fn run_case(case: &Case) -> KernelResult {
+    let reference = {
+        let mut st = case.base.clone();
+        exec_program(&case.program, &case.params, &mut st).expect("reference interpreter");
+        st
+    };
+    let mut machines = Vec::new();
+    for (label, cfg) in [
+        ("gpu", MachineConfig::geforce_8800_gtx()),
+        ("cell", MachineConfig::cell_like()),
+    ] {
+        let interp = run_mode(case, &cfg, false);
+        let compiled = run_mode(case, &cfg, true);
+        let want = reference.data(case.check).expect("reference output");
+        let bit_exact = interp.store.data(case.check).expect("interp output") == want
+            && compiled.store.data(case.check).expect("compiled output") == want;
+        // `ExecStats` equality compares every deterministic counter
+        // (instances, memory traffic, plan-cache hits, modeled cycles,
+        // DMA) and ignores wall-clock compute time.
+        let stats_equal = interp.stats == compiled.stats;
+        machines.push(MachineResult {
+            machine: label,
+            interp,
+            compiled,
+            bit_exact,
+            stats_equal,
+        });
+    }
+    KernelResult {
+        name: case.name,
+        machines,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
+    s
+}
+
+fn write_json(path: &str, mode: &str, kernels: &[KernelResult], target: f64, pass: bool) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n      \"runs\": [\n",
+            json_escape_free(k.name)
+        ));
+        for (j, m) in k.machines.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"machine\": \"{}\", \"interp_compute_ns\": {}, \
+                 \"compiled_compute_ns\": {}, \"speedup\": {:.2}, \
+                 \"instances\": {}, \"bit_exact\": {}, \"stats_equal\": {} }}{}\n",
+                json_escape_free(m.machine),
+                m.interp.min_compute_ns,
+                m.compiled.min_compute_ns,
+                m.speedup(),
+                m.compiled.stats.instances,
+                m.bit_exact,
+                m.stats_equal,
+                if j + 1 == k.machines.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_target\": {target:.1},\n  \"pass\": {pass}\n}}\n"
+    ));
+    std::fs::write(path, out).expect("write BENCH_exec.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let target = 5.0;
+    let check = std::env::var("POLYMEM_EXEC_CHECK").is_ok_and(|v| v == "1");
+
+    println!(
+        "compiled-execution harness ({mode} mode{})\n",
+        if check { ", oracle cross-check on" } else { "" }
+    );
+    let mut results = Vec::new();
+    for case in cases(smoke) {
+        let r = run_case(&case);
+        for m in &r.machines {
+            println!(
+                "{:<9} [{:<4}] compute {:>12} -> {:>12} ns ({:6.2}x)  instances {:>8}  bit-exact: {}  stats: {}",
+                r.name,
+                m.machine,
+                m.interp.min_compute_ns,
+                m.compiled.min_compute_ns,
+                m.speedup(),
+                m.compiled.stats.instances,
+                if m.bit_exact { "yes" } else { "NO" },
+                if m.stats_equal { "equal" } else { "DIFFER" },
+            );
+        }
+        results.push(r);
+    }
+
+    let mut failures = Vec::new();
+
+    // Both engines bit-exact against the reference, identical
+    // counters, on every kernel and both machines.
+    for r in &results {
+        for m in &r.machines {
+            if !m.bit_exact {
+                failures.push(format!("{}[{}]: output mismatch", r.name, m.machine));
+            }
+            if !m.stats_equal {
+                failures.push(format!("{}[{}]: counter mismatch", r.name, m.machine));
+            }
+        }
+    }
+
+    // The speedup gate: compute-phase-dominated kernels must get at
+    // least `target`x from the compiled engine. Full mode only —
+    // smoke sizes finish in microseconds and measure the timer.
+    if !smoke {
+        for name in ["matmul", "jacobi2d"] {
+            let r = results.iter().find(|r| r.name == name).expect("case");
+            for m in &r.machines {
+                if m.speedup() < target {
+                    failures.push(format!(
+                        "{name}[{}]: compute speedup {:.2}x below {target}x",
+                        m.machine,
+                        m.speedup()
+                    ));
+                }
+            }
+        }
+    }
+
+    let pass = failures.is_empty();
+    write_json("BENCH_exec.json", mode, &results, target, pass);
+    for f in &failures {
+        eprintln!("FAILED: {f}");
+    }
+    println!("\nwrote BENCH_exec.json (pass: {pass})");
+    if !pass {
+        std::process::exit(1);
+    }
+}

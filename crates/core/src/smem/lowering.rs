@@ -1,0 +1,271 @@
+//! Strided (flat-offset) lowering of affine accesses.
+//!
+//! The compiled block execution engine replaces per-point
+//! `AffineMap::apply` + multi-index bounds checks with a single flat
+//! offset per access, updated incrementally as the instance iterator
+//! carries. This module provides the machinery:
+//!
+//! * [`LoweredRow`] — one output dimension of an affine access split
+//!   into coefficients over the *enumerated* dims (the kept symbolic
+//!   block dims), coefficients over the *extended* parameters
+//!   (program params followed by the fixed block-origin dims), and a
+//!   constant — exactly the column layout
+//!   [`parametrize_dims`](crate::smem::cache::parametrize_dims)
+//!   produces;
+//! * [`row_major_weights`] — the flattening weights of a row-major
+//!   array;
+//! * [`prove_flat`] — per block, collapse rows × weights into a base
+//!   offset and per-dim strides *and prove them safe*: every row must
+//!   stay inside its target extent over the enumerated box, and every
+//!   partial sum of the strided walk must stay in `i64`. If any proof
+//!   fails the caller keeps a guarded (checked-per-point) path.
+//!
+//! All arithmetic here is checked: an overflow never produces a wrong
+//! offset, it produces `None`, which downgrades the access to the
+//! guarded path.
+
+use polymem_poly::AffineMap;
+
+/// One output dimension of an affine access in lowered form: the
+/// value is `Σ kcoef[k]·point[k] + Σ pcoef[p]·ext_params[p] + konst`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoweredRow {
+    /// Coefficients over the enumerated (kept) dims.
+    pub kcoef: Vec<i64>,
+    /// Coefficients over the extended parameters.
+    pub pcoef: Vec<i64>,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl LoweredRow {
+    /// The row's parameter-dependent constant at concrete extended
+    /// parameter values, i.e. its value at `point = 0`. `None` on
+    /// overflow.
+    pub fn constant_at(&self, ext_params: &[i64]) -> Option<i64> {
+        let mut acc = self.konst;
+        for (&c, &p) in self.pcoef.iter().zip(ext_params) {
+            acc = acc.checked_add(c.checked_mul(p)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluate the row at a concrete point (checked).
+    pub fn eval(&self, point: &[i64], ext_params: &[i64]) -> Option<i64> {
+        let mut acc = self.constant_at(ext_params)?;
+        for (&c, &x) in self.kcoef.iter().zip(point) {
+            acc = acc.checked_add(c.checked_mul(x)?)?;
+        }
+        Some(acc)
+    }
+
+    /// Interval of the row over a per-dim box of the enumerated dims
+    /// (`boxes[k] = (lo, hi)`, inclusive). `None` on overflow.
+    pub fn interval(&self, boxes: &[(i64, i64)], ext_params: &[i64]) -> Option<(i64, i64)> {
+        let mut lo = self.constant_at(ext_params)?;
+        let mut hi = lo;
+        for (&c, &(blo, bhi)) in self.kcoef.iter().zip(boxes) {
+            let (a, b) = mul_interval(c, blo, bhi)?;
+            lo = lo.checked_add(a)?;
+            hi = hi.checked_add(b)?;
+        }
+        Some((lo, hi))
+    }
+}
+
+/// `(c·lo, c·hi)` sorted, checked.
+fn mul_interval(c: i64, lo: i64, hi: i64) -> Option<(i64, i64)> {
+    let a = c.checked_mul(lo)?;
+    let b = c.checked_mul(hi)?;
+    Some((a.min(b), a.max(b)))
+}
+
+/// Split an affine map with column layout `[dims, params, 1]` into
+/// one [`LoweredRow`] per output dimension.
+pub fn lower_rows(map: &AffineMap) -> Vec<LoweredRow> {
+    let n_in = map.n_in();
+    let n_par = map.in_space().n_params();
+    let m = map.matrix();
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            LoweredRow {
+                kcoef: row[..n_in].to_vec(),
+                pcoef: row[n_in..n_in + n_par].to_vec(),
+                konst: row[n_in + n_par],
+            }
+        })
+        .collect()
+}
+
+/// Row-major flattening weights of an array with the given extents:
+/// `weights[r] = Π extents[r+1..]`. `None` if any extent is negative
+/// or the array size overflows `i64`.
+pub fn row_major_weights(extents: &[i64]) -> Option<Vec<i64>> {
+    if extents.iter().any(|&e| e < 0) {
+        return None;
+    }
+    let mut w = vec![1i64; extents.len()];
+    for r in (0..extents.len().saturating_sub(1)).rev() {
+        w[r] = w[r + 1].checked_mul(extents[r + 1])?;
+    }
+    Some(w)
+}
+
+/// A proven strided address stream: the flat offset of the access at
+/// an enumerated point `p` is `base + Σ strides[k]·p[k]`, guaranteed
+/// in-bounds and overflow-free for every point of the proven box.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatAffine {
+    /// Flat offset at `p = 0` (already relative to the buffer
+    /// origin, i.e. the target's per-dim offsets are subtracted).
+    pub base: i64,
+    /// Per-enumerated-dim flat strides.
+    pub strides: Vec<i64>,
+}
+
+/// Try to lower an access (its [`LoweredRow`]s) into a proven
+/// [`FlatAffine`] for one block.
+///
+/// * `ext_params` — concrete extended parameter values for the block;
+/// * `extents`/`offsets` — the target storage's per-dim extents and
+///   origin (`offsets = None` ⇒ all zero, the global-array case);
+/// * `boxes` — inclusive per-dim bounds of the enumerated dims,
+///   covering every point the block will visit.
+///
+/// Returns `None` (caller keeps a guarded path) unless it can prove,
+/// for every point in the box: each row lands inside
+/// `[offset_r, offset_r + extent_r)`, and every partial sum of
+/// `base + Σ strides[k]·p[k]` stays in `i64`. Per-row containment is
+/// what makes the flat offset equal the multi-index flattening — the
+/// final sum needs no separate range check.
+pub fn prove_flat(
+    rows: &[LoweredRow],
+    ext_params: &[i64],
+    weights: &[i64],
+    extents: &[i64],
+    offsets: Option<&[i64]>,
+    boxes: &[(i64, i64)],
+) -> Option<FlatAffine> {
+    if rows.len() != extents.len() || weights.len() != extents.len() {
+        return None;
+    }
+    let n_dims = boxes.len();
+    if boxes.iter().any(|&(lo, hi)| lo > hi) {
+        // Empty box: the block visits no point of this statement, so
+        // any stream is vacuously safe (it will never be evaluated).
+        return Some(FlatAffine {
+            base: 0,
+            strides: vec![0; n_dims],
+        });
+    }
+    let mut base = 0i64;
+    let mut strides = vec![0i64; n_dims];
+    for (r, row) in rows.iter().enumerate() {
+        if row.kcoef.len() != n_dims {
+            return None;
+        }
+        let off_r = offsets.map_or(0, |o| o[r]);
+        // Row containment proof over the box.
+        let (lo, hi) = row.interval(boxes, ext_params)?;
+        if lo < off_r || hi >= off_r.checked_add(extents[r])? {
+            return None;
+        }
+        // Fold this row into the flat base/strides.
+        let w = weights[r];
+        let c0 = row.constant_at(ext_params)?.checked_sub(off_r)?;
+        base = base.checked_add(w.checked_mul(c0)?)?;
+        for (k, &c) in row.kcoef.iter().enumerate() {
+            strides[k] = strides[k].checked_add(w.checked_mul(c)?)?;
+        }
+    }
+    // No-overflow proof for the incremental walk: every partial sum
+    // `base + Σ_{k<j} strides[k]·p[k]` must stay in i64 over the box.
+    let mut lo = base;
+    let mut hi = base;
+    for (k, &s) in strides.iter().enumerate() {
+        let (blo, bhi) = boxes[k];
+        let (a, b) = mul_interval(s, blo, bhi)?;
+        lo = lo.checked_add(a)?;
+        hi = hi.checked_add(b)?;
+    }
+    Some(FlatAffine { base, strides })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(kcoef: &[i64], pcoef: &[i64], konst: i64) -> LoweredRow {
+        LoweredRow {
+            kcoef: kcoef.to_vec(),
+            pcoef: pcoef.to_vec(),
+            konst,
+        }
+    }
+
+    #[test]
+    fn weights_are_row_major() {
+        assert_eq!(row_major_weights(&[3, 4, 5]).unwrap(), vec![20, 5, 1]);
+        assert_eq!(row_major_weights(&[7]).unwrap(), vec![1]);
+        assert_eq!(row_major_weights(&[]).unwrap(), Vec::<i64>::new());
+        assert!(row_major_weights(&[2, i64::MAX, i64::MAX]).is_none());
+        assert!(row_major_weights(&[2, -1]).is_none());
+    }
+
+    #[test]
+    fn proven_stream_matches_pointwise_flattening() {
+        // A[i+1][j+p] over i in 0..3, j in 0..4, extents 5×8, p = 2.
+        let rows = [row(&[1, 0], &[0], 1), row(&[0, 1], &[1], 0)];
+        let ext = [5i64, 8];
+        let w = row_major_weights(&ext).unwrap();
+        let boxes = [(0i64, 3i64), (0i64, 4i64)];
+        let fa = prove_flat(&rows, &[2], &w, &ext, None, &boxes).unwrap();
+        for i in 0..=3 {
+            for j in 0..=4 {
+                let flat = fa.base + fa.strides[0] * i + fa.strides[1] * j;
+                let want = (i + 1) * 8 + (j + 2);
+                assert_eq!(flat, want, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_shift_the_base() {
+        // Local buffer with origin g = (2, 3): L[(i) - 2][(j) - 3].
+        let rows = [row(&[1, 0], &[], 0), row(&[0, 1], &[], 0)];
+        let ext = [4i64, 4];
+        let w = row_major_weights(&ext).unwrap();
+        let boxes = [(2i64, 5i64), (3i64, 6i64)];
+        let fa = prove_flat(&rows, &[], &w, &ext, Some(&[2, 3]), &boxes).unwrap();
+        assert_eq!(fa.base + fa.strides[0] * 2 + fa.strides[1] * 3, 0);
+        assert_eq!(fa.base + fa.strides[0] * 5 + fa.strides[1] * 6, 15);
+    }
+
+    #[test]
+    fn out_of_extent_row_fails_the_proof() {
+        // A[i+1] over i in 0..4 against extent 4: i = 3 lands at 4.
+        let rows = [row(&[1], &[], 1)];
+        let w = row_major_weights(&[4]).unwrap();
+        assert!(prove_flat(&rows, &[], &w, &[4], None, &[(0, 3)]).is_none());
+        // In-extent variant passes.
+        assert!(prove_flat(&rows, &[], &w, &[4], None, &[(0, 2)]).is_some());
+    }
+
+    #[test]
+    fn overflow_in_any_step_fails_the_proof() {
+        let rows = [row(&[i64::MAX / 2], &[], 0)];
+        let w = [1i64];
+        assert!(prove_flat(&rows, &[], &w, &[i64::MAX], None, &[(0, 4)]).is_none());
+    }
+
+    #[test]
+    fn empty_box_is_trivially_proven() {
+        // lo > hi: the block visits nothing, so even a wildly
+        // out-of-extent row proves (it will never be evaluated).
+        let rows = [row(&[1], &[], 1_000_000)];
+        let w = row_major_weights(&[4]).unwrap();
+        let fa = prove_flat(&rows, &[], &w, &[4], None, &[(3, 0)]);
+        assert!(fa.is_some());
+    }
+}

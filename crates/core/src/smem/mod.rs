@@ -25,6 +25,7 @@ pub mod cache;
 pub mod dataspace;
 pub mod descriptors;
 pub mod liveness;
+pub mod lowering;
 pub mod movement;
 pub mod partition;
 pub mod reuse;
@@ -37,6 +38,7 @@ pub use descriptors::{
     build_transfers, transfer_list, Direction, TransferDescriptor, TransferList, TransferPlan,
 };
 pub use liveness::LivenessPlan;
+pub use lowering::{lower_rows, prove_flat, row_major_weights, FlatAffine, LoweredRow};
 pub use movement::MovementCode;
 pub use reuse::{ReuseDecision, DEFAULT_DELTA};
 

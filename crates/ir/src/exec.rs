@@ -13,10 +13,26 @@ use polymem_poly::count::enumerate_points;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
+/// One array's storage: flat row-major data plus its extents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ArrayEntry {
+    name: String,
+    data: Vec<i64>,
+    extents: Vec<i64>,
+}
+
 /// Flat row-major storage for every array of a program.
+///
+/// Arrays are held in *program declaration order* and addressable two
+/// ways: by name (convenient, one hash lookup) or by dense id
+/// ([`ArrayStore::id_of`] + the `*_by_id` accessors, no hashing).
+/// When the store was built with [`ArrayStore::for_program`], the id
+/// of an array equals its index in `program.arrays`, so executors can
+/// resolve names once per program and run every access id-based.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArrayStore {
-    arrays: HashMap<String, (Vec<i64>, Vec<i64>)>, // name -> (data, extents)
+    index: HashMap<String, usize>,
+    entries: Vec<ArrayEntry>,
 }
 
 impl ArrayStore {
@@ -29,7 +45,10 @@ impl ArrayStore {
                 got: params.len(),
             });
         }
-        let mut arrays = HashMap::new();
+        let mut store = ArrayStore {
+            index: HashMap::new(),
+            entries: Vec::with_capacity(program.arrays.len()),
+        };
         for a in &program.arrays {
             let extents = a.eval_extents(&program.params, params)?;
             if extents.iter().any(|&e| e < 0) {
@@ -39,63 +58,122 @@ impl ArrayStore {
                 });
             }
             let size: i64 = extents.iter().product();
-            arrays.insert(a.name.clone(), (vec![0i64; size as usize], extents));
+            store.index.insert(a.name.clone(), store.entries.len());
+            store.entries.push(ArrayEntry {
+                name: a.name.clone(),
+                data: vec![0i64; size as usize],
+                extents,
+            });
         }
-        Ok(ArrayStore { arrays })
+        Ok(store)
+    }
+
+    fn entry(&self, array: &str) -> Result<&ArrayEntry> {
+        self.index
+            .get(array)
+            .map(|&id| &self.entries[id])
+            .ok_or_else(|| IrError::UnknownArray(array.to_string()))
+    }
+
+    fn entry_mut(&mut self, array: &str) -> Result<&mut ArrayEntry> {
+        match self.index.get(array) {
+            Some(&id) => Ok(&mut self.entries[id]),
+            None => Err(IrError::UnknownArray(array.to_string())),
+        }
+    }
+
+    /// Dense id of an array (its index in the originating program's
+    /// declaration order), or `None` if unknown.
+    pub fn id_of(&self, array: &str) -> Option<usize> {
+        self.index.get(array).copied()
+    }
+
+    /// Name of the array with dense id `id`.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn name_of(&self, id: usize) -> &str {
+        &self.entries[id].name
     }
 
     /// Read one element (row-major).
     pub fn get(&self, array: &str, index: &[i64]) -> Result<i64> {
-        let (data, extents) = self
-            .arrays
-            .get(array)
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))?;
-        let off = flat_offset(array, index, extents)?;
-        Ok(data[off])
+        let e = self.entry(array)?;
+        let off = flat_offset(&e.name, index, &e.extents)?;
+        Ok(e.data[off])
     }
 
     /// Write one element (row-major).
     pub fn set(&mut self, array: &str, index: &[i64], value: i64) -> Result<()> {
-        let (data, extents) = self
-            .arrays
-            .get_mut(array)
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))?;
-        let off = flat_offset(array, index, extents)?;
-        data[off] = value;
+        let e = self.entry_mut(array)?;
+        let off = flat_offset(&e.name, index, &e.extents)?;
+        e.data[off] = value;
+        Ok(())
+    }
+
+    /// Read one element by dense id (no name hashing).
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn get_by_id(&self, id: usize, index: &[i64]) -> Result<i64> {
+        let e = &self.entries[id];
+        let off = flat_offset(&e.name, index, &e.extents)?;
+        Ok(e.data[off])
+    }
+
+    /// Write one element by dense id (no name hashing).
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn set_by_id(&mut self, id: usize, index: &[i64], value: i64) -> Result<()> {
+        let e = &mut self.entries[id];
+        let off = flat_offset(&e.name, index, &e.extents)?;
+        e.data[off] = value;
         Ok(())
     }
 
     /// Borrow an array's flat data.
     pub fn data(&self, array: &str) -> Result<&[i64]> {
-        self.arrays
-            .get(array)
-            .map(|(d, _)| d.as_slice())
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))
+        Ok(self.entry(array)?.data.as_slice())
     }
 
     /// Mutably borrow an array's flat data.
     pub fn data_mut(&mut self, array: &str) -> Result<&mut [i64]> {
-        self.arrays
-            .get_mut(array)
-            .map(|(d, _)| d.as_mut_slice())
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))
+        Ok(self.entry_mut(array)?.data.as_mut_slice())
+    }
+
+    /// Borrow an array's flat data by dense id.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn data_by_id(&self, id: usize) -> &[i64] {
+        &self.entries[id].data
+    }
+
+    /// Mutably borrow an array's flat data by dense id.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn data_mut_by_id(&mut self, id: usize) -> &mut [i64] {
+        &mut self.entries[id].data
     }
 
     /// An array's extents.
     pub fn extents(&self, array: &str) -> Result<&[i64]> {
-        self.arrays
-            .get(array)
-            .map(|(_, e)| e.as_slice())
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))
+        Ok(self.entry(array)?.extents.as_slice())
+    }
+
+    /// An array's extents by dense id.
+    ///
+    /// # Panics
+    /// If `id` is out of range.
+    pub fn extents_by_id(&self, id: usize) -> &[i64] {
+        &self.entries[id].extents
     }
 
     /// Fill an array by calling `f` with each multi-index.
     pub fn fill_with(&mut self, array: &str, mut f: impl FnMut(&[i64]) -> i64) -> Result<()> {
-        let (data, extents) = self
-            .arrays
-            .get_mut(array)
-            .ok_or_else(|| IrError::UnknownArray(array.to_string()))?;
-        let extents = extents.clone();
+        let ArrayEntry { data, extents, .. } = self.entry_mut(array)?;
         let mut idx = vec![0i64; extents.len()];
         for cell in data.iter_mut() {
             *cell = f(&idx);
@@ -113,7 +191,7 @@ impl ArrayStore {
 
     /// Names of all arrays.
     pub fn array_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.arrays.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.entries.iter().map(|e| e.name.as_str()).collect();
         names.sort_unstable();
         names
     }
@@ -139,6 +217,23 @@ fn flat_offset(array: &str, index: &[i64], extents: &[i64]) -> Result<usize> {
     Ok(off as usize)
 }
 
+/// Resolve every program array to its dense store id, once.
+///
+/// `ids[k]` is the store id of `program.arrays[k]`; accesses carry
+/// array indices into `program.arrays`, so executors index this table
+/// instead of hashing names per access.
+pub fn resolve_array_ids(program: &Program, store: &ArrayStore) -> Result<Vec<usize>> {
+    program
+        .arrays
+        .iter()
+        .map(|a| {
+            store
+                .id_of(&a.name)
+                .ok_or_else(|| IrError::UnknownArray(a.name.clone()))
+        })
+        .collect()
+}
+
 /// Execute one statement instance against a store.
 pub fn exec_statement_instance(
     program: &Program,
@@ -147,10 +242,23 @@ pub fn exec_statement_instance(
     params: &[i64],
     store: &mut ArrayStore,
 ) -> Result<()> {
+    let ids = resolve_array_ids(program, store)?;
+    exec_resolved(program, &ids, stmt_idx, point, params, store)
+}
+
+/// Execute one statement instance with pre-resolved array ids.
+fn exec_resolved(
+    program: &Program,
+    ids: &[usize],
+    stmt_idx: usize,
+    point: &[i64],
+    params: &[i64],
+    store: &mut ArrayStore,
+) -> Result<()> {
     let stmt = &program.stmts[stmt_idx];
     let read_one = |acc: &Access, store: &ArrayStore| -> Result<i64> {
         let idx = acc.map.apply(point, params)?;
-        store.get(&program.arrays[acc.array].name, &idx)
+        store.get_by_id(ids[acc.array], &idx)
     };
     let mut reads = Vec::with_capacity(stmt.reads.len());
     for r in &stmt.reads {
@@ -158,7 +266,7 @@ pub fn exec_statement_instance(
     }
     let value = stmt.body.eval(&reads, point, params)?;
     let widx = stmt.write.map.apply(point, params)?;
-    store.set(&program.arrays[stmt.write.array].name, &widx, value)
+    store.set_by_id(ids[stmt.write.array], &widx, value)
 }
 
 /// Execute a whole program in source order.
@@ -196,8 +304,11 @@ pub fn exec_program(program: &Program, params: &[i64], store: &mut ArrayStore) -
             o => o,
         }
     });
+    // Resolve array names to dense ids once; the instance loop then
+    // performs no per-access name hashing.
+    let ids = resolve_array_ids(program, store)?;
     for (si, point) in &instances {
-        exec_statement_instance(program, *si, point, params, store)?;
+        exec_resolved(program, &ids, *si, point, params, store)?;
     }
     Ok(())
 }

@@ -16,15 +16,19 @@
 //!   and the arithmetic expression tree of statement bodies;
 //! * [`program`] — arrays, statements, programs;
 //! * [`builder`] — ergonomic construction of affine loop nests;
-//! * [`exec`] — the reference sequential interpreter (source order).
+//! * [`exec`] — the reference sequential interpreter (source order);
+//! * [`bytecode`] — flat stack-machine lowering of statement bodies
+//!   for the compiled block execution engine.
 
 pub mod builder;
+pub mod bytecode;
 pub mod exec;
 pub mod expr;
 pub mod parse;
 pub mod program;
 
 pub use builder::{DomainBuilder, ProgramBuilder};
+pub use bytecode::{BodyCode, ByteOp};
 pub use exec::{exec_program, exec_statement_instance, ArrayStore};
 pub use expr::{Expr, LinExpr};
 pub use parse::parse_program;

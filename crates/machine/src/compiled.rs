@@ -1,0 +1,863 @@
+//! Compiled block execution: bytecode bodies + strided address streams.
+//!
+//! The interpreter in [`crate::exec`] walks every statement instance
+//! through `Expr::eval` and `AffineMap::apply`, allocating index
+//! vectors and hashing multi-index overlay keys per point. This module
+//! lowers everything that is invariant across a block *shape* — the
+//! set of fixed (block-origin) dims — exactly once, next to the cached
+//! [`SymbolicPlan`]:
+//!
+//! * statement bodies compile to flat stack bytecode
+//!   ([`polymem_ir::BodyCode`]), validated ahead of time;
+//! * every affine access lowers to [`LoweredRow`]s over the kept dims
+//!   and extended parameters, and per block to a proven base offset +
+//!   per-dim strides ([`prove_flat`]) updated incrementally as the
+//!   instance cursor carries — no `map.apply`, no `local_index`, no
+//!   per-point allocation;
+//! * instances are emitted directly in interleaved source order by a
+//!   k-way merge of per-statement lexicographic cursors over the
+//!   shared bound cascade — no materialize + sort.
+//!
+//! Accesses whose in-bounds / no-overflow proof fails degrade to a
+//! *guarded* stream (checked per point, typed errors), and any shape
+//! that cannot be compiled at all falls back to the interpreter, which
+//! stays authoritative (`POLYMEM_EXEC_CHECK=1` cross-checks every
+//! block against it).
+
+use crate::config::MachineConfig;
+use crate::exec::{budget_error, ExecStats, LocalStore};
+use crate::overlay::Overlay;
+use crate::{MachineError, Result};
+use polymem_core::smem::{
+    lower_rows, parametrize_dims, prove_flat, row_major_weights, AccessId, LoweredRow, SymbolicPlan,
+};
+use polymem_ir::{ArrayStore, BodyCode, IrError, Program};
+use polymem_poly::bounds::{all_param_bounds, bound_cascade, DimBounds};
+use polymem_poly::{PolyError, Polyhedron};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Per-launch state shared (read-only) by every block worker: the
+/// hoisted common-prefix depth matrix, global array extents and
+/// row-major weights, the compiled statement bodies, and the per-shape
+/// compiled-stream cache.
+pub(crate) struct LaunchShared {
+    /// `common[a][b]` = shared loop-dim prefix of statements `a`, `b`.
+    pub common: Vec<Vec<usize>>,
+    /// Concrete extents of every global array, in program order.
+    pub ext: Vec<Vec<i64>>,
+    /// Row-major flattening weights per array (`None` if the array
+    /// size overflows `i64` — flat addressing then stays guarded).
+    pub weights: Vec<Option<Vec<i64>>>,
+    /// Compiled statement bodies, or `None` if any body failed to
+    /// compile (the whole launch then uses the interpreter).
+    pub bodies: Option<Vec<BodyCode>>,
+    /// Per-shape compiled streams; `None` when compiled execution is
+    /// disabled (config, naive mode, or uncompilable bodies).
+    pub compiled: Option<CompiledCache>,
+    /// `POLYMEM_EXEC_CHECK=1`: run the interpreter as an oracle beside
+    /// every compiled block and panic on divergence.
+    pub exec_check: bool,
+}
+
+impl LaunchShared {
+    pub fn new(program: &Program, params: &[i64], config: &MachineConfig) -> Result<LaunchShared> {
+        let n = program.stmts.len();
+        let mut common = vec![vec![0usize; n]; n];
+        for (a, row) in common.iter_mut().enumerate() {
+            for (b, c) in row.iter_mut().enumerate() {
+                *c = program.common_depth(a, b);
+            }
+        }
+        let mut ext = Vec::with_capacity(program.arrays.len());
+        for a in &program.arrays {
+            ext.push(a.eval_extents(&program.params, params)?);
+        }
+        let weights = ext.iter().map(|e| row_major_weights(e)).collect();
+        let bodies: Option<Vec<BodyCode>> = program
+            .stmts
+            .iter()
+            .map(|s| {
+                BodyCode::compile(
+                    &s.body,
+                    s.reads.len(),
+                    s.domain.space().dims().len(),
+                    params.len(),
+                )
+                .ok()
+            })
+            .collect();
+        let compiled =
+            (config.compiled_exec && !polymem_poly::cache::naive_mode() && bodies.is_some())
+                .then(CompiledCache::new);
+        let exec_check = std::env::var("POLYMEM_EXEC_CHECK").is_ok_and(|v| v == "1");
+        Ok(LaunchShared {
+            common,
+            ext,
+            weights,
+            bodies,
+            compiled,
+            exec_check,
+        })
+    }
+}
+
+/// Memo of one [`CompiledShape`] per block shape (sorted fixed-dim
+/// names), mirroring the plan cache: warmed lazily, `None` parked for
+/// shapes that fail to compile so same-shape blocks skip the retry.
+pub(crate) struct CompiledCache {
+    shapes: RwLock<HashMap<Vec<String>, Option<Arc<CompiledShape>>>>,
+}
+
+impl CompiledCache {
+    pub fn new() -> CompiledCache {
+        CompiledCache {
+            shapes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The compiled shape for this sub-block's fixed-dim set, built on
+    /// first use. `plan` must be the shared symbolic scratchpad plan
+    /// of the same shape (or `None` when no scratchpad is in play).
+    pub fn shape(
+        &self,
+        fixed: &HashMap<String, i64>,
+        program: &Program,
+        plan: Option<&SymbolicPlan>,
+    ) -> Option<Arc<CompiledShape>> {
+        let mut key: Vec<String> = fixed.keys().cloned().collect();
+        key.sort();
+        if let Some(entry) = self.shapes.read().unwrap().get(&key) {
+            return entry.clone();
+        }
+        let built = CompiledShape::build(program, &key, plan).map(Arc::new);
+        let mut map = self.shapes.write().unwrap();
+        map.entry(key).or_insert(built).clone()
+    }
+}
+
+/// Where a lowered access lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// Global array (program array index) via the overlay/store.
+    Global { array: usize },
+    /// Scratchpad buffer of the block's [`LocalStore`].
+    Local { buffer: usize },
+}
+
+/// One access of one statement, lowered to rows over
+/// `[kept dims, extended params, 1]`.
+#[derive(Clone, Debug)]
+pub(crate) struct AccTemplate {
+    pub target: Target,
+    pub rows: Vec<LoweredRow>,
+}
+
+/// Everything shape-invariant about one statement: the parametrized
+/// domain, its bound cascade, context-free per-dim boxes, the
+/// kept/fixed dim layout, and the lowered accesses.
+pub(crate) struct ShapeStmt {
+    /// Statement domain with the fixed dims turned into parameters.
+    pub domain: Polyhedron,
+    pub cascade: Vec<DimBounds>,
+    /// Context-free parametric bounds of each kept dim (the proof box).
+    pub boxes: Vec<DimBounds>,
+    /// Original dim index of each kept dim, in order.
+    pub kept: Vec<usize>,
+    /// `(original dim index, index into the fixed-name list)`.
+    pub fixed_pos: Vec<(usize, usize)>,
+    /// Dim count of the original (full-space) statement domain.
+    pub n_full: usize,
+    pub reads: Vec<AccTemplate>,
+    pub write: AccTemplate,
+}
+
+/// The per-shape compilation product: one [`ShapeStmt`] per statement.
+pub(crate) struct CompiledShape {
+    /// Fixed-dim names in the order their values extend the params.
+    pub fixed: Vec<String>,
+    pub stmts: Vec<ShapeStmt>,
+}
+
+impl CompiledShape {
+    pub fn build(
+        program: &Program,
+        fixed_names: &[String],
+        plan: Option<&SymbolicPlan>,
+    ) -> Option<CompiledShape> {
+        let sym = parametrize_dims(program, fixed_names).ok()?;
+        let n_ext = program.params.len() + fixed_names.len();
+        let mut stmts = Vec::with_capacity(program.stmts.len());
+        for (si, (orig, ss)) in program.stmts.iter().zip(&sym.stmts).enumerate() {
+            let cascade = bound_cascade(&ss.domain).ok()?;
+            let boxes = all_param_bounds(&ss.domain).ok()?;
+            let orig_dims = orig.domain.space().dims();
+            let kept: Vec<usize> = (0..orig_dims.len())
+                .filter(|&i| !fixed_names.contains(&orig_dims[i]))
+                .collect();
+            let fixed_pos: Vec<(usize, usize)> = (0..orig_dims.len())
+                .filter_map(|i| {
+                    fixed_names
+                        .iter()
+                        .position(|n| *n == orig_dims[i])
+                        .map(|fi| (i, fi))
+                })
+                .collect();
+            if let Some(sp) = plan {
+                // The plan's projection must agree with our dim layout,
+                // or local-access rows would read the wrong cursor dims.
+                if sp.kept_dims.get(si) != Some(&kept) {
+                    return None;
+                }
+            }
+            let lower = |id: AccessId, array: usize, map: &polymem_poly::AffineMap| match plan
+                .and_then(|sp| sp.plan.rewrites.get(&id))
+            {
+                Some(la) => {
+                    if la.map.n_in() != kept.len() || la.map.in_space().n_params() != n_ext {
+                        return None;
+                    }
+                    Some(AccTemplate {
+                        target: Target::Local { buffer: la.buffer },
+                        rows: lower_rows(&la.map),
+                    })
+                }
+                None => {
+                    if map.n_in() != kept.len() || map.in_space().n_params() != n_ext {
+                        return None;
+                    }
+                    Some(AccTemplate {
+                        target: Target::Global { array },
+                        rows: lower_rows(map),
+                    })
+                }
+            };
+            let reads = ss
+                .reads
+                .iter()
+                .enumerate()
+                .map(|(k, r)| lower(AccessId::read(si, k), r.array, &r.map))
+                .collect::<Option<Vec<_>>>()?;
+            let write = lower(AccessId::write(si), ss.write.array, &ss.write.map)?;
+            stmts.push(ShapeStmt {
+                domain: ss.domain.clone(),
+                cascade,
+                boxes,
+                kept,
+                fixed_pos,
+                n_full: orig_dims.len(),
+                reads,
+                write,
+            });
+        }
+        Some(CompiledShape {
+            fixed: fixed_names.to_vec(),
+            stmts,
+        })
+    }
+
+    /// `params ++ fixed values`, or `None` on a shape mismatch.
+    pub fn ext_params(&self, params: &[i64], fixed: &HashMap<String, i64>) -> Option<Vec<i64>> {
+        if fixed.len() != self.fixed.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(params.len() + self.fixed.len());
+        out.extend_from_slice(params);
+        for name in &self.fixed {
+            out.push(*fixed.get(name)?);
+        }
+        Some(out)
+    }
+}
+
+/// A per-block address stream: proven (incremental partial sums, no
+/// checks) or guarded (evaluated and bounds-checked per point).
+enum Addr<'s> {
+    Proven {
+        base: i64,
+        strides: Vec<i64>,
+        /// `part[k] = base + Σ_{j≤k} strides[j]·point[j]`.
+        part: Vec<i64>,
+    },
+    Guarded {
+        rows: &'s [LoweredRow],
+    },
+}
+
+struct AccInst<'s> {
+    target: Target,
+    addr: Addr<'s>,
+}
+
+impl AccInst<'_> {
+    /// Recompute the partial sums from depth `from` after a carry.
+    /// Proven streams never overflow here (that is what the proof is).
+    #[inline]
+    fn carry(&mut self, point: &[i64], from: usize) {
+        if let Addr::Proven {
+            base,
+            strides,
+            part,
+        } = &mut self.addr
+        {
+            for k in from..strides.len() {
+                let prev = if k == 0 { *base } else { part[k - 1] };
+                part[k] = prev + strides[k] * point[k];
+            }
+        }
+    }
+
+    /// Current flat offset of a proven stream.
+    #[inline]
+    fn offset(&self) -> usize {
+        match &self.addr {
+            Addr::Proven { base, part, .. } => *part.last().unwrap_or(base) as usize,
+            Addr::Guarded { .. } => unreachable!("offset() on guarded stream"),
+        }
+    }
+}
+
+struct StmtInst<'s> {
+    reads: Vec<AccInst<'s>>,
+    write: AccInst<'s>,
+}
+
+impl StmtInst<'_> {
+    fn carry(&mut self, point: &[i64], from: usize) {
+        for acc in &mut self.reads {
+            acc.carry(point, from);
+        }
+        self.write.carry(point, from);
+    }
+}
+
+/// Lexicographic instance cursor over one statement's bound cascade —
+/// an iterative replica of the recursive scan in
+/// `polymem_poly::count`, with identical budget and membership
+/// semantics, plus carry-depth tracking for incremental addressing.
+pub(crate) struct Cursor<'a> {
+    st: &'a ShapeStmt,
+    ep: &'a [i64],
+    budget: u64,
+    /// Kept-dim coordinates.
+    pub point: Vec<i64>,
+    /// Inclusive upper bound at each descended depth.
+    hi: Vec<i64>,
+    /// Full-space point (fixed dims pre-filled, kept dims synced).
+    pub full: Vec<i64>,
+    visited: u64,
+    /// Shallowest kept depth whose value changed since the previous
+    /// accepted point.
+    changed: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(st: &'a ShapeStmt, ep: &'a [i64], budget: u64) -> Cursor<'a> {
+        let n = st.cascade.len();
+        Cursor {
+            st,
+            ep,
+            budget,
+            point: vec![0; n],
+            hi: vec![0; n],
+            full: vec![0i64; st.n_full],
+            visited: 0,
+            changed: 0,
+        }
+    }
+
+    /// Pre-fill the fixed full-space dims from the extended params
+    /// (`ep` is `params ++ fixed values`; `n_params` = `params.len()`).
+    fn fill_fixed(&mut self, n_params: usize) {
+        for &(d, fi) in &self.st.fixed_pos {
+            self.full[d] = self.ep[n_params + fi];
+        }
+    }
+
+    /// Position at the first accepted point. `Ok(false)` = empty.
+    pub fn first(&mut self) -> polymem_poly::Result<bool> {
+        self.changed = 0;
+        if self.st.cascade.is_empty() {
+            if !self.st.domain.contains(&[], self.ep) {
+                return Ok(false);
+            }
+            self.visited += 1;
+            if self.visited > self.budget {
+                return Err(PolyError::TooManyPoints {
+                    budget: self.budget,
+                });
+            }
+            return Ok(true);
+        }
+        self.seek(0)
+    }
+
+    /// Advance to the next accepted point; `Ok(Some(d))` reports the
+    /// shallowest changed depth, `Ok(None)` exhaustion.
+    pub fn advance(&mut self) -> polymem_poly::Result<Option<usize>> {
+        let n = self.st.cascade.len();
+        if n == 0 {
+            return Ok(None);
+        }
+        self.changed = n;
+        match self.bump_below(n) {
+            Some(d) => {
+                if self.seek(d)? {
+                    Ok(Some(self.changed))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Descend from `depth`, bumping outward on empty ranges and
+    /// rejected leaves, until a point is accepted or space runs out.
+    fn seek(&mut self, mut depth: usize) -> polymem_poly::Result<bool> {
+        let n = self.st.cascade.len();
+        loop {
+            while depth < n {
+                let Some((lo, hi)) =
+                    self.st.cascade[depth].eval_range(&self.point[..depth], self.ep)
+                else {
+                    return Err(PolyError::Unbounded);
+                };
+                if lo > hi {
+                    match self.bump_below(depth) {
+                        Some(d) => {
+                            depth = d;
+                            continue;
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                self.point[depth] = lo;
+                self.hi[depth] = hi;
+                depth += 1;
+            }
+            if self.st.domain.contains(&self.point, self.ep) {
+                self.visited += 1;
+                if self.visited > self.budget {
+                    return Err(PolyError::TooManyPoints {
+                        budget: self.budget,
+                    });
+                }
+                for k in self.changed..n {
+                    self.full[self.st.kept[k]] = self.point[k];
+                }
+                return Ok(true);
+            }
+            match self.bump_below(n) {
+                Some(d) => depth = d,
+                None => return Ok(false),
+            }
+        }
+    }
+
+    /// Increment the deepest incrementable dim strictly below `depth`;
+    /// returns the depth to re-descend from.
+    fn bump_below(&mut self, depth: usize) -> Option<usize> {
+        let mut k = depth;
+        while k > 0 {
+            k -= 1;
+            if self.point[k] < self.hi[k] {
+                self.point[k] += 1;
+                self.changed = self.changed.min(k);
+                return Some(k + 1);
+            }
+        }
+        None
+    }
+}
+
+/// `a` (statement `a_si` at its cursor's point) precedes `b` in
+/// interleaved source order: common-prefix dims first, then statement
+/// index. Distinct statements, so the order is strict.
+fn earlier(a_si: usize, a: &Cursor, b_si: usize, b: &Cursor, common: &[Vec<usize>]) -> bool {
+    let c = common[a_si][b_si];
+    match a.full[..c].cmp(&b.full[..c]) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a_si < b_si,
+    }
+}
+
+/// Evaluate a guarded access at one point: checked row evaluation,
+/// per-dim bounds checks against `extents` (after subtracting
+/// `offsets`), checked flattening. Mirrors the interpreter's typed
+/// errors exactly.
+fn guarded_offset(
+    rows: &[LoweredRow],
+    point: &[i64],
+    ep: &[i64],
+    extents: &[i64],
+    offsets: Option<&[i64]>,
+    scratch: &mut Vec<i64>,
+    name: impl FnOnce() -> String,
+) -> Result<usize> {
+    const OVERFLOW: MachineError =
+        MachineError::Ir(IrError::Arithmetic("overflow in address computation"));
+    scratch.clear();
+    for (r, row) in rows.iter().enumerate() {
+        let v = row.eval(point, ep).ok_or(OVERFLOW)?;
+        let rel = v.checked_sub(offsets.map_or(0, |o| o[r])).ok_or(OVERFLOW)?;
+        scratch.push(rel);
+    }
+    if scratch.len() != extents.len()
+        || scratch
+            .iter()
+            .zip(extents)
+            .any(|(&rel, &e)| rel < 0 || rel >= e)
+    {
+        return Err(MachineError::Ir(IrError::OutOfBounds {
+            array: name(),
+            index: scratch.clone(),
+        }));
+    }
+    let mut flat: i64 = 0;
+    for (&rel, &e) in scratch.iter().zip(extents) {
+        flat = flat
+            .checked_mul(e)
+            .and_then(|f| f.checked_add(rel))
+            .ok_or(OVERFLOW)?;
+    }
+    Ok(flat as usize)
+}
+
+/// Instance/traffic counts of one compiled compute phase, for the
+/// cycle model (identical to the interpreter's tallies).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CompiledCounts {
+    pub n_inst: u64,
+    pub n_smem: u64,
+    pub n_glob: u64,
+}
+
+/// Run one sub-block's compute phase through the compiled engine.
+///
+/// Returns `Ok(None)` — *before any effect* — when this block cannot
+/// take the compiled path (shape mismatch, unbounded boxes, foreign
+/// store); the caller then runs the interpreter. After the first
+/// instance executes, errors are hard and mirror the interpreter's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_compiled<'s>(
+    shape: &'s CompiledShape,
+    launch: &LaunchShared,
+    program: &Program,
+    params: &[i64],
+    fixed: &HashMap<String, i64>,
+    store: &ArrayStore,
+    mut local: Option<&mut LocalStore>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    budget: u64,
+) -> Result<Option<CompiledCounts>> {
+    let Some(bodies) = launch.bodies.as_ref() else {
+        return Ok(None);
+    };
+    let Some(ep) = shape.ext_params(params, fixed) else {
+        return Ok(None);
+    };
+    // Resolve store ids once and insist the store agrees with the
+    // launch extents (flat offsets are only valid against them).
+    let mut sids = Vec::with_capacity(program.arrays.len());
+    for (a, decl) in program.arrays.iter().enumerate() {
+        match store.id_of(&decl.name) {
+            Some(id) if store.extents_by_id(id) == launch.ext[a].as_slice() => sids.push(id),
+            _ => return Ok(None),
+        }
+    }
+    // A local target without a staged local store cannot run compiled.
+    let needs_local = shape.stmts.iter().any(|st| {
+        st.reads
+            .iter()
+            .chain(std::iter::once(&st.write))
+            .any(|t| matches!(t.target, Target::Local { .. }))
+    });
+    if needs_local && local.is_none() {
+        return Ok(None);
+    }
+    let lweights: Vec<Option<Vec<i64>>> = local
+        .as_deref()
+        .map(|l| l.bufs.iter().map(|b| row_major_weights(&b.1)).collect())
+        .unwrap_or_default();
+
+    // Instantiate address streams and cursors for every statement —
+    // all soft-fallback exits happen in this phase, before any effect.
+    let n_stmts = shape.stmts.len();
+    let mut insts: Vec<StmtInst> = Vec::with_capacity(n_stmts);
+    let mut cursors: Vec<Cursor> = Vec::with_capacity(n_stmts);
+    let n_params = params.len();
+    for st in &shape.stmts {
+        let mut boxes = Vec::with_capacity(st.boxes.len());
+        for b in &st.boxes {
+            match b.eval_range(&[], &ep) {
+                Some(r) => boxes.push(r),
+                None => return Ok(None),
+            }
+        }
+        let make = |t: &'s AccTemplate| -> AccInst<'s> {
+            let proven = match t.target {
+                Target::Global { array } => launch.weights[array]
+                    .as_ref()
+                    .and_then(|w| prove_flat(&t.rows, &ep, w, &launch.ext[array], None, &boxes)),
+                Target::Local { buffer } => {
+                    let l = local.as_deref().expect("checked above");
+                    let (_, ext_b, off_b) = &l.bufs[buffer];
+                    lweights[buffer]
+                        .as_ref()
+                        .and_then(|w| prove_flat(&t.rows, &ep, w, ext_b, Some(off_b), &boxes))
+                }
+            };
+            let addr = match proven {
+                Some(fa) => Addr::Proven {
+                    base: fa.base,
+                    part: vec![0; fa.strides.len()],
+                    strides: fa.strides,
+                },
+                None => Addr::Guarded { rows: &t.rows },
+            };
+            AccInst {
+                target: t.target,
+                addr,
+            }
+        };
+        insts.push(StmtInst {
+            reads: st.reads.iter().map(make).collect(),
+            write: make(&st.write),
+        });
+        let mut cur = Cursor::new(st, &ep, budget);
+        cur.fill_fixed(n_params);
+        cursors.push(cur);
+    }
+    let mut alive = vec![false; n_stmts];
+    for si in 0..n_stmts {
+        match cursors[si].first() {
+            Ok(a) => alive[si] = a,
+            // Init-phase trouble (unbounded cascade, zero budget):
+            // nothing has run yet, so the interpreter can still own
+            // this block.
+            Err(_) => return Ok(None),
+        }
+        if alive[si] {
+            insts[si].carry(&cursors[si].point, 0);
+        }
+    }
+
+    // K-way merge in interleaved source order.
+    let gdatas: Vec<&[i64]> = sids.iter().map(|&id| store.data_by_id(id)).collect();
+    let mut counts = CompiledCounts::default();
+    let mut reads_buf: Vec<i64> = Vec::new();
+    let mut stack: Vec<i64> = Vec::new();
+    let mut idx: Vec<i64> = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for si in 0..n_stmts {
+            if !alive[si] {
+                continue;
+            }
+            best = Some(match best {
+                None => si,
+                Some(b) => {
+                    if earlier(si, &cursors[si], b, &cursors[b], &launch.common) {
+                        si
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(si) = best else { break };
+        let cur = &cursors[si];
+        reads_buf.clear();
+        for acc in &insts[si].reads {
+            let off = match &acc.addr {
+                Addr::Proven { .. } => acc.offset(),
+                Addr::Guarded { rows } => match acc.target {
+                    Target::Global { array } => guarded_offset(
+                        rows,
+                        &cur.point,
+                        &ep,
+                        &launch.ext[array],
+                        None,
+                        &mut idx,
+                        || program.arrays[array].name.clone(),
+                    )?,
+                    Target::Local { buffer } => {
+                        let l = local.as_deref().expect("checked above");
+                        guarded_offset(
+                            rows,
+                            &cur.point,
+                            &ep,
+                            &l.bufs[buffer].1,
+                            Some(&l.bufs[buffer].2),
+                            &mut idx,
+                            || format!("local buffer {buffer}"),
+                        )?
+                    }
+                },
+            };
+            let v = match acc.target {
+                Target::Local { buffer } => {
+                    stats.smem_reads += 1;
+                    counts.n_smem += 1;
+                    local.as_deref().expect("checked above").bufs[buffer].0[off]
+                }
+                Target::Global { array } => {
+                    stats.global_reads += 1;
+                    counts.n_glob += 1;
+                    match overlay.get(array, off) {
+                        Some(v) => v,
+                        None => gdatas[array][off],
+                    }
+                }
+            };
+            reads_buf.push(v);
+        }
+        let value = bodies[si]
+            .eval(&mut stack, &reads_buf, &cur.full, params)
+            .map_err(MachineError::Ir)?;
+        let wacc = &insts[si].write;
+        let woff = match &wacc.addr {
+            Addr::Proven { .. } => wacc.offset(),
+            Addr::Guarded { rows } => match wacc.target {
+                Target::Global { array } => guarded_offset(
+                    rows,
+                    &cur.point,
+                    &ep,
+                    &launch.ext[array],
+                    None,
+                    &mut idx,
+                    || program.arrays[array].name.clone(),
+                )?,
+                Target::Local { buffer } => {
+                    let l = local.as_deref().expect("checked above");
+                    guarded_offset(
+                        rows,
+                        &cur.point,
+                        &ep,
+                        &l.bufs[buffer].1,
+                        Some(&l.bufs[buffer].2),
+                        &mut idx,
+                        || format!("local buffer {buffer}"),
+                    )?
+                }
+            },
+        };
+        match wacc.target {
+            Target::Local { buffer } => {
+                stats.smem_writes += 1;
+                counts.n_smem += 1;
+                local.as_deref_mut().expect("checked above").bufs[buffer].0[woff] = value;
+            }
+            Target::Global { array } => {
+                stats.global_writes += 1;
+                counts.n_glob += 1;
+                overlay.set(array, woff, value);
+            }
+        }
+        stats.instances += 1;
+        counts.n_inst += 1;
+        match cursors[si].advance().map_err(budget_error)? {
+            Some(ch) => insts[si].carry(&cursors[si].point, ch),
+            None => alive[si] = false,
+        }
+    }
+    Ok(Some(counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_ir::builder::ProgramBuilder;
+    use polymem_ir::expr::{v, Expr, LinExpr};
+
+    fn triangular() -> Program {
+        let mut b = ProgramBuilder::new("tri", ["N"]);
+        b.array("A", &[v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("i")),
+            ])
+            .write("A", &[v("i")])
+            .body(Expr::Const(0))
+            .done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cursor_walks_triangular_domain_in_lex_order() {
+        let p = triangular();
+        let shape = CompiledShape::build(&p, &[], None).unwrap();
+        let st = &shape.stmts[0];
+        let ep = vec![4i64];
+        let mut cur = Cursor::new(st, &ep, 1000);
+        let mut pts = Vec::new();
+        assert!(cur.first().unwrap());
+        loop {
+            pts.push((cur.full.clone(), cur.changed));
+            match cur.advance().unwrap() {
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let want: Vec<Vec<i64>> = (0..4)
+            .flat_map(|i| (0..=i).map(move |j| vec![i, j]))
+            .collect();
+        assert_eq!(pts.iter().map(|p| p.0.clone()).collect::<Vec<_>>(), want);
+        // Carry depths: within a row only j changes (depth 1); across
+        // rows i changes (depth 0). First point reports depth 0.
+        assert_eq!(pts[0].1, 0);
+        assert_eq!(pts[2].1, 1); // (1,1): j carried
+        assert_eq!(pts[3].1, 0); // (2,0): i carried
+    }
+
+    #[test]
+    fn cursor_enforces_the_enumeration_budget() {
+        let p = triangular();
+        let shape = CompiledShape::build(&p, &[], None).unwrap();
+        let ep = vec![4i64];
+        let mut cur = Cursor::new(&shape.stmts[0], &ep, 3);
+        assert!(cur.first().unwrap());
+        let mut n = 1;
+        let err = loop {
+            match cur.advance() {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => panic!("budget never tripped"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(n, 3);
+        assert!(matches!(err, PolyError::TooManyPoints { budget: 3 }));
+    }
+
+    #[test]
+    fn guarded_offset_checks_bounds_and_offsets() {
+        // Row value i + 2 against extent 4: i = 3 lands at 5 → OOB.
+        let rows = vec![LoweredRow {
+            kcoef: vec![1],
+            pcoef: vec![],
+            konst: 2,
+        }];
+        let mut scratch = Vec::new();
+        let off = guarded_offset(&rows, &[1], &[], &[4], None, &mut scratch, || "A".into());
+        assert_eq!(off.unwrap(), 3);
+        let err =
+            guarded_offset(&rows, &[3], &[], &[4], None, &mut scratch, || "A".into()).unwrap_err();
+        match err {
+            MachineError::Ir(IrError::OutOfBounds { array, index }) => {
+                assert_eq!(array, "A");
+                assert_eq!(index, vec![5]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Buffer origin subtraction: value 5 against origin 4 → rel 1.
+        let off = guarded_offset(&rows, &[3], &[], &[4], Some(&[4]), &mut scratch, || {
+            "L".into()
+        });
+        assert_eq!(off.unwrap(), 1);
+    }
+}

@@ -89,6 +89,12 @@ pub struct MachineConfig {
     /// otherwise) and is disabled per group by seq-carried flow
     /// dependences.
     pub double_buffer: bool,
+    /// Run block compute phases through the compiled execution engine
+    /// (bytecode bodies + strided address streams, compiled once per
+    /// block shape) instead of the per-point interpreter. Results are
+    /// bit-identical; the interpreter stays available as a fallback
+    /// and as the `POLYMEM_EXEC_CHECK=1` oracle.
+    pub compiled_exec: bool,
 }
 
 impl MachineConfig {
@@ -119,6 +125,7 @@ impl MachineConfig {
             dma_setup_cycles: 300.0,
             dma_bytes_per_cycle: 16.0,
             double_buffer: false,
+            compiled_exec: true,
         }
     }
 
@@ -147,6 +154,7 @@ impl MachineConfig {
             dma_setup_cycles: 200.0,
             dma_bytes_per_cycle: 8.0,
             double_buffer: false,
+            compiled_exec: true,
         }
     }
 
@@ -176,6 +184,7 @@ impl MachineConfig {
             dma_setup_cycles: 0.0,
             dma_bytes_per_cycle: 8.0,
             double_buffer: false,
+            compiled_exec: true,
         }
     }
 

@@ -20,8 +20,10 @@
 //! the compiler: the test-suite compares final array contents
 //! bit-exactly against the reference interpreter.
 
+use crate::compiled::{run_compiled, LaunchShared};
 use crate::config::{MachineConfig, MachineKind};
 use crate::dma::{DmaEngine, DmaStats, DmaTag};
+use crate::overlay::{flatten, Overlay};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
@@ -61,7 +63,12 @@ pub struct BlockedKernel {
 }
 
 /// Counters collected by the functional executor.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares every *deterministic* counter and ignores
+/// [`compute_ns`](ExecStats::compute_ns), which is wall-clock time and
+/// varies run to run (the parallel-determinism tests assert stats
+/// equality).
+#[derive(Clone, Debug, Default)]
 pub struct ExecStats {
     /// Thread blocks executed.
     pub blocks: u64,
@@ -105,7 +112,35 @@ pub struct ExecStats {
     pub sync_groups: u64,
     /// DMA transfer-engine counters ([`crate::dma`]).
     pub dma: DmaStats,
+    /// Wall-clock nanoseconds spent in block compute phases (compiled
+    /// or interpreted), summed across blocks by
+    /// [`absorb`](ExecStats::absorb). Excluded from equality.
+    pub compute_ns: u64,
 }
+
+impl PartialEq for ExecStats {
+    fn eq(&self, o: &ExecStats) -> bool {
+        self.blocks == o.blocks
+            && self.instances == o.instances
+            && self.global_reads == o.global_reads
+            && self.global_writes == o.global_writes
+            && self.smem_reads == o.smem_reads
+            && self.smem_writes == o.smem_writes
+            && self.moved_in == o.moved_in
+            && self.moved_out == o.moved_out
+            && self.rounds == o.rounds
+            && self.max_smem_words == o.max_smem_words
+            && self.plan_cache_hits == o.plan_cache_hits
+            && self.plan_cache_misses == o.plan_cache_misses
+            && self.block_cycles == o.block_cycles
+            && self.modeled_cycles == o.modeled_cycles
+            && self.overlap_groups == o.overlap_groups
+            && self.sync_groups == o.sync_groups
+            && self.dma == o.dma
+    }
+}
+
+impl Eq for ExecStats {}
 
 impl ExecStats {
     /// Merge another stats block into this one. Field-complete:
@@ -133,6 +168,7 @@ impl ExecStats {
         self.overlap_groups += o.overlap_groups;
         self.sync_groups += o.sync_groups;
         self.dma.absorb(&o.dma);
+        self.compute_ns += o.compute_ns;
     }
 }
 
@@ -341,9 +377,6 @@ impl PlanCache {
     }
 }
 
-/// One block's buffered global writes, applied after its round.
-type Overlay = HashMap<(usize, Vec<i64>), i64>;
-
 /// Execute a mapped kernel functionally.
 ///
 /// `parallel` runs each round's blocks on up to `config.n_outer`
@@ -378,6 +411,10 @@ pub fn execute_blocked_profiled(
     let Some(lead) = program.stmts.first() else {
         return Ok(stats);
     };
+    // Per-launch shared state: hoisted common-depth matrix, global
+    // extents/weights, compiled bodies and the compiled-shape cache.
+    let launch = LaunchShared::new(program, params, config)?;
+    let launch = &launch;
     // Test hook: `POLYMEM_FAULT_PANIC_BLOCK=<idx>` makes the parallel
     // worker for that block index panic (exercises WorkerPanicked).
     let fault_block: Option<usize> = std::env::var("POLYMEM_FAULT_PANIC_BLOCK")
@@ -468,7 +505,7 @@ pub fn execute_blocked_profiled(
                 fixed.insert(n.clone(), *v);
             }
             execute_one_block(
-                kernel, &fixed, params, store, config, cache, profiler, poisoned,
+                kernel, &fixed, params, store, config, cache, profiler, poisoned, launch,
             )
         };
 
@@ -533,12 +570,7 @@ pub fn execute_blocked_profiled(
         let mut round_max_cycles = 0u64;
         let mut round_max_words = 0u64;
         for (overlay, bstats) in &results {
-            let mut keys: Vec<&(usize, Vec<i64>)> = overlay.keys().collect();
-            keys.sort();
-            for k in keys {
-                let name = &program.arrays[k.0].name;
-                store.set(name, &k.1, overlay[k])?;
-            }
+            overlay.merge_into(program, store)?;
             round_max_cycles = round_max_cycles.max(bstats.block_cycles);
             round_max_words = round_max_words.max(bstats.max_smem_words);
             stats.absorb(bstats);
@@ -602,7 +634,7 @@ fn enumerate_named(
 
 /// Map point-budget exhaustion to its typed machine error; everything
 /// else stays a polyhedral error.
-fn budget_error(e: polymem_poly::PolyError) -> MachineError {
+pub(crate) fn budget_error(e: polymem_poly::PolyError) -> MachineError {
     match e {
         polymem_poly::PolyError::TooManyPoints { budget } => {
             MachineError::EnumerationBudget { budget }
@@ -612,9 +644,10 @@ fn budget_error(e: polymem_poly::PolyError) -> MachineError {
 }
 
 /// Local scratchpad storage for one block.
-struct LocalStore {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct LocalStore {
     /// Per buffer id: (flat data, extents, offsets).
-    bufs: Vec<(Vec<i64>, Vec<i64>, Vec<i64>)>,
+    pub(crate) bufs: Vec<(Vec<i64>, Vec<i64>, Vec<i64>)>,
 }
 
 impl LocalStore {
@@ -690,13 +723,18 @@ fn writeback_persistent(
         Some(off as usize)
     };
     let mut err = None;
+    let ext = &clock.ext[p.buffer.array];
     polymem_core::smem::movement::for_each_move_out(&p.mc, &p.buffer, &p.pparams, &mut |g, l| {
         if err.is_some() {
             return;
         }
         match flat(l) {
             Some(off) => {
-                overlay.insert((p.buffer.array, g.to_vec()), p.data[off]);
+                if let Err(e) =
+                    overlay.set_idx(p.buffer.array, &p.buffer.array_name, g, ext, p.data[off])
+                {
+                    err = Some(MachineError::Ir(e));
+                }
             }
             None => {
                 err = Some(MachineError::Ir(polymem_ir::IrError::OutOfBounds {
@@ -764,28 +802,18 @@ struct BlockClock {
     /// descriptors are built.
     dma_on: bool,
     /// Concrete extents of every global array, for flattening
-    /// descriptor addresses.
+    /// descriptor addresses and overlay offsets (shared per launch).
     ext: Vec<Vec<i64>>,
 }
 
 impl BlockClock {
-    fn new(program: &Program, params: &[i64], config: &MachineConfig) -> Result<BlockClock> {
-        let dma_on = config.dma_channels > 0;
-        let ext = if dma_on {
-            program
-                .arrays
-                .iter()
-                .map(|a| a.eval_extents(&program.params, params))
-                .collect::<std::result::Result<Vec<_>, _>>()?
-        } else {
-            Vec::new()
-        };
-        Ok(BlockClock {
+    fn new(ext: Vec<Vec<i64>>, config: &MachineConfig) -> BlockClock {
+        BlockClock {
             now: 0,
             dma: DmaEngine::new(config),
-            dma_on,
+            dma_on: config.dma_channels > 0,
             ext,
-        })
+        }
     }
 
     /// Build the DMA list for one movement entry and queue it. The
@@ -1083,11 +1111,12 @@ fn move_in_buffer(
         }
     }
     let mut err = None;
+    let ext = &clock.ext[buf.array];
     polymem_core::smem::movement::for_each_move_in(mc, buf, pparams, &mut |g, l| {
         if err.is_some() {
             return;
         }
-        match read_global(store, overlay, program, buf.array, name, g) {
+        match read_global(store, overlay, buf.array, name, g, ext) {
             Ok(v) => {
                 if let Err(e) = local.set(mc.buffer, l, v) {
                     err = Some(e);
@@ -1107,6 +1136,7 @@ fn move_in_buffer(
 /// Functionally apply one movement entry's move-out (local → global
 /// overlay). Hoisted arrays park in `persistent` instead (one
 /// writeback at the end of the block); returns `false` for them.
+#[allow(clippy::too_many_arguments)]
 fn move_out_buffer(
     staging: &Staging,
     mi: usize,
@@ -1114,6 +1144,7 @@ fn move_out_buffer(
     stats: &mut ExecStats,
     hoistable: Option<&HashSet<usize>>,
     persistent: Option<&mut HashMap<usize, Persistent>>,
+    ext: &[Vec<i64>],
 ) -> Result<bool> {
     let plan = staging.source.plan();
     let mc = &plan.movement[mi];
@@ -1139,13 +1170,16 @@ fn move_out_buffer(
     }
     let ls = &staging.local;
     let mut err = None;
+    let aext = &ext[buf.array];
     polymem_core::smem::movement::for_each_move_out(mc, buf, &staging.pparams, &mut |g, l| {
         if err.is_some() {
             return;
         }
         match ls.get(mc.buffer, l) {
             Ok(v) => {
-                overlay.insert((buf.array, g.to_vec()), v);
+                if let Err(e) = overlay.set_idx(buf.array, &buf.array_name, g, aext, v) {
+                    err = Some(MachineError::Ir(e));
+                }
             }
             Err(e) => err = Some(e),
         }
@@ -1158,10 +1192,18 @@ fn move_out_buffer(
     }
 }
 
-/// Enumerate and execute the sub-block's statement instances in
-/// source order, then charge the modeled compute cycles to the block
-/// clock.
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+/// Execute the sub-block's statement instances in interleaved source
+/// order, then charge the modeled compute cycles to the block clock.
+///
+/// Dispatch: when the launch compiled (bytecode bodies + a per-shape
+/// [`crate::compiled::CompiledShape`]) and the block's staging plan is
+/// the shared symbolic one (or absent), the compiled engine runs the
+/// instances; otherwise — owned per-block plan, naive mode, shape
+/// compile failure, or a per-block proof obstacle — the interpreter
+/// does, with identical semantics and counters. `POLYMEM_EXEC_CHECK=1`
+/// runs the interpreter as an oracle on cloned state beside every
+/// compiled block (outside the timed window) and panics on divergence.
+#[allow(clippy::too_many_arguments)]
 fn compute_sub_block(
     kernel: &BlockedKernel,
     sb: &mut SubBlock,
@@ -1173,11 +1215,165 @@ fn compute_sub_block(
     overlay: &mut Overlay,
     stats: &mut ExecStats,
     clock: &mut BlockClock,
+    launch: &LaunchShared,
 ) -> Result<()> {
     let program = &kernel.program;
-    let view = &sb.view;
-    let fixed = &sb.fixed;
-    let mut staging = sb.staging.as_mut();
+    let shape = match &launch.compiled {
+        Some(cc) => match sb.staging.as_ref() {
+            None => cc.shape(&sb.fixed, program, None),
+            Some(st) => match &st.source {
+                PlanRef::Shared(sp) => cc.shape(&sb.fixed, program, Some(sp)),
+                // A freshly analysed per-block plan has no shared
+                // shape to key the compiled streams on.
+                PlanRef::Owned(_) => None,
+            },
+        },
+        None => None,
+    };
+
+    // Oracle pass (check mode only): the interpreter runs first on
+    // cloned state, outside the timed window.
+    let oracle = if shape.is_some() && launch.exec_check {
+        let mut ov = overlay.clone();
+        let mut loc = sb.staging.as_ref().map(|st| st.local.clone());
+        let mut sc = ExecStats::default();
+        let staging_arg = match (sb.staging.as_ref(), loc.as_mut()) {
+            (Some(st), Some(l)) => Some((&st.source, st.pparams.as_slice(), l)),
+            _ => None,
+        };
+        let c = interpreted_compute(
+            kernel,
+            &sb.view,
+            &sb.fixed,
+            params,
+            store,
+            config,
+            cache,
+            staging_arg,
+            &mut ov,
+            &mut sc,
+            launch,
+        )?;
+        Some((ov, loc, sc, c))
+    } else {
+        None
+    };
+    let before = oracle.as_ref().map(|_| stats.clone());
+
+    let t0 = Instant::now();
+    let mut counts = None;
+    if let Some(shape) = &shape {
+        let local = sb.staging.as_mut().map(|st| &mut st.local);
+        counts = run_compiled(
+            shape,
+            launch,
+            program,
+            params,
+            &sb.fixed,
+            store,
+            local,
+            overlay,
+            stats,
+            config.enum_budget,
+        )?
+        .map(|c| (c.n_inst, c.n_smem, c.n_glob));
+    }
+    let (n_inst, n_smem, n_glob) = match counts {
+        Some(c) => c,
+        None => {
+            let staging_arg = sb.staging.as_mut().map(|st| {
+                let Staging {
+                    source,
+                    pparams,
+                    local,
+                    ..
+                } = st;
+                (&*source, pparams.as_slice(), local)
+            });
+            interpreted_compute(
+                kernel,
+                &sb.view,
+                &sb.fixed,
+                params,
+                store,
+                config,
+                cache,
+                staging_arg,
+                overlay,
+                stats,
+                launch,
+            )?
+        }
+    };
+    if let Some(pr) = profiler {
+        pr.record(crate::trace::PassKind::Compute, t0.elapsed());
+    }
+    stats.compute_ns += t0.elapsed().as_nanos() as u64;
+
+    if let (Some((ov, loc, sc, oc)), Some(before)) = (oracle, before) {
+        let local_now = sb.staging.as_ref().map(|st| st.local.clone());
+        let deltas = (
+            stats.instances - before.instances,
+            stats.global_reads - before.global_reads,
+            stats.global_writes - before.global_writes,
+            stats.smem_reads - before.smem_reads,
+            stats.smem_writes - before.smem_writes,
+        );
+        let odeltas = (
+            sc.instances,
+            sc.global_reads,
+            sc.global_writes,
+            sc.smem_reads,
+            sc.smem_writes,
+        );
+        assert!(
+            *overlay == ov
+                && local_now == loc
+                && deltas == odeltas
+                && (n_inst, n_smem, n_glob) == oc,
+            "POLYMEM_EXEC_CHECK: compiled execution diverged from the interpreter \
+             (fixed dims {:?}: overlay match {}, local match {}, counters {:?} vs {:?})",
+            sb.fixed,
+            *overlay == ov,
+            local_now == loc,
+            deltas,
+            odeltas,
+        );
+    }
+
+    let l = config.global_latency / config.global_overlap.max(1.0);
+    let cycles = n_inst as f64 * config.cycles_per_op
+        + n_smem as f64 * config.smem_latency
+        + n_glob as f64 * l;
+    clock.now += cycles.round() as u64;
+    Ok(())
+}
+
+/// The reference per-point interpreter for one sub-block's compute
+/// phase: enumerate every statement's instances (shared enumeration
+/// plan when available), sort into interleaved source order, then walk
+/// them through `Expr::eval` and `AffineMap::apply`. Returns the
+/// `(instances, smem accesses, global accesses)` tallies for the cycle
+/// model.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn interpreted_compute(
+    kernel: &BlockedKernel,
+    view: &Program,
+    fixed: &HashMap<String, i64>,
+    params: &[i64],
+    store: &ArrayStore,
+    config: &MachineConfig,
+    cache: Option<&PlanCache>,
+    staging: Option<(&PlanRef, &[i64], &mut LocalStore)>,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    launch: &LaunchShared,
+) -> Result<(u64, u64, u64)> {
+    let program = &kernel.program;
+    let (source, pparams, mut local) = match staging {
+        Some((s, p, l)) => (Some(s), p, Some(l)),
+        None => (None, &[][..], None),
+    };
 
     // With the plan cache active, the shared per-shape enumeration
     // plan turns this into bound evaluation; the per-block projection
@@ -1211,13 +1407,7 @@ fn compute_sub_block(
         })
         .map_err(budget_error)?;
     }
-    let n = view.stmts.len();
-    let mut common = vec![vec![0usize; n]; n];
-    for (a, row) in common.iter_mut().enumerate() {
-        for (b, cell) in row.iter_mut().enumerate() {
-            *cell = view.common_depth(a, b);
-        }
-    }
+    let common = &launch.common;
     instances.sort_by(|(sa, pa), (sb, pb)| {
         let c = common[*sa][*sb];
         for k in 0..c {
@@ -1232,7 +1422,6 @@ fn compute_sub_block(
         }
     });
 
-    let t0 = Instant::now();
     let (mut n_inst, mut n_smem, mut n_glob) = (0u64, 0u64, 0u64);
     for (si, point) in &instances {
         let stmt = &view.stmts[*si];
@@ -1240,14 +1429,19 @@ fn compute_sub_block(
         for (k, r) in stmt.reads.iter().enumerate() {
             let id = AccessId::read(*si, k);
             let mut staged = None;
-            if let Some(st) = staging.as_mut() {
-                if let Some(la) = st.source.plan().rewrites.get(&id) {
-                    let buf = &st.source.plan().buffers[la.buffer];
-                    let proj = st.source.project(*si, point);
-                    let idx = la.local_index(buf, &proj, &st.pparams)?;
+            if let Some(src) = source {
+                if let Some(la) = src.plan().rewrites.get(&id) {
+                    let buf = &src.plan().buffers[la.buffer];
+                    let proj = src.project(*si, point);
+                    let idx = la.local_index(buf, &proj, pparams)?;
                     stats.smem_reads += 1;
                     n_smem += 1;
-                    staged = Some(st.local.get(la.buffer, &idx)?);
+                    staged = Some(
+                        local
+                            .as_deref()
+                            .expect("staged plan implies local store")
+                            .get(la.buffer, &idx)?,
+                    );
                 }
             }
             let v = match staged {
@@ -1257,7 +1451,7 @@ fn compute_sub_block(
                     let name = &program.arrays[r.array].name;
                     stats.global_reads += 1;
                     n_glob += 1;
-                    read_global(store, overlay, program, r.array, name, &idx)?
+                    read_global(store, overlay, r.array, name, &idx, &launch.ext[r.array])?
                 }
             };
             reads.push(v);
@@ -1265,35 +1459,33 @@ fn compute_sub_block(
         let value = stmt.body.eval(&reads, point, params)?;
         let wid = AccessId::write(*si);
         let mut staged = false;
-        if let Some(st) = staging.as_mut() {
-            if let Some(la) = st.source.plan().rewrites.get(&wid) {
-                let buf = &st.source.plan().buffers[la.buffer];
-                let proj = st.source.project(*si, point);
-                let idx = la.local_index(buf, &proj, &st.pparams)?;
+        if let Some(src) = source {
+            if let Some(la) = src.plan().rewrites.get(&wid) {
+                let buf = &src.plan().buffers[la.buffer];
+                let proj = src.project(*si, point);
+                let idx = la.local_index(buf, &proj, pparams)?;
                 stats.smem_writes += 1;
                 n_smem += 1;
-                st.local.set(la.buffer, &idx, value)?;
+                local
+                    .as_deref_mut()
+                    .expect("staged plan implies local store")
+                    .set(la.buffer, &idx, value)?;
                 staged = true;
             }
         }
         if !staged {
+            let a = stmt.write.array;
             let idx = stmt.write.map.apply(point, params)?;
             stats.global_writes += 1;
             n_glob += 1;
-            overlay.insert((stmt.write.array, idx), value);
+            overlay
+                .set_idx(a, &program.arrays[a].name, &idx, &launch.ext[a], value)
+                .map_err(MachineError::Ir)?;
         }
         stats.instances += 1;
         n_inst += 1;
     }
-    if let Some(pr) = profiler {
-        pr.record(crate::trace::PassKind::Compute, t0.elapsed());
-    }
-    let l = config.global_latency / config.global_overlap.max(1.0);
-    let cycles = n_inst as f64 * config.cycles_per_op
-        + n_smem as f64 * config.smem_latency
-        + n_glob as f64 * l;
-    clock.now += cycles.round() as u64;
-    Ok(())
+    Ok((n_inst, n_smem, n_glob))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1306,13 +1498,14 @@ fn execute_one_block(
     cache: Option<&PlanCache>,
     profiler: Option<&PassProfiler>,
     poisoned: Option<&HashSet<AccessId>>,
+    launch: &LaunchShared,
 ) -> Result<(Overlay, ExecStats)> {
-    let mut overlay: Overlay = HashMap::new();
+    let mut overlay = Overlay::new(kernel.program.arrays.len());
     let mut stats = ExecStats {
         blocks: 1,
         ..ExecStats::default()
     };
-    let mut clock = BlockClock::new(&kernel.program, params, config)?;
+    let mut clock = BlockClock::new(launch.ext.clone(), config);
     if kernel.use_scratchpad && !kernel.seq_dims.is_empty() {
         // Sequential sub-tiles with §4.2 hoisting.
         let Some(lead) = kernel.program.stmts.first() else {
@@ -1343,6 +1536,7 @@ fn execute_one_block(
                     &hoistable,
                     &mut persistent,
                     poisoned,
+                    launch,
                 )?;
             }
             _ => {
@@ -1363,6 +1557,7 @@ fn execute_one_block(
                         &mut stats,
                         Some((&hoistable, &mut persistent)),
                         &mut clock,
+                        launch,
                     )?;
                 }
             }
@@ -1389,6 +1584,7 @@ fn execute_one_block(
             &mut stats,
             None,
             &mut clock,
+            launch,
         )?;
     }
     clock.now = clock.dma.drain(clock.now);
@@ -1412,6 +1608,7 @@ fn run_sub_block(
     stats: &mut ExecStats,
     mut hoist: Option<(&HashSet<usize>, &mut HashMap<usize, Persistent>)>,
     clock: &mut BlockClock,
+    launch: &LaunchShared,
 ) -> Result<()> {
     let mut sb = prepare_sub_block(kernel, fixed, params, config, cache, profiler, stats)?;
     if let Some(st) = &sb.staging {
@@ -1463,7 +1660,7 @@ fn run_sub_block(
         }
     }
     compute_sub_block(
-        kernel, &mut sb, params, store, config, cache, profiler, overlay, stats, clock,
+        kernel, &mut sb, params, store, config, cache, profiler, overlay, stats, clock, launch,
     )?;
     if let Some(n_move) = sb
         .staging
@@ -1480,6 +1677,7 @@ fn run_sub_block(
                 stats,
                 hoist.as_ref().map(|(h, _)| *h),
                 hoist.as_mut().map(|(_, p)| &mut **p),
+                &clock.ext,
             )?;
             if real {
                 let st = sb.staging.as_ref().expect("staged");
@@ -1604,6 +1802,7 @@ fn execute_block_pipelined(
     hoistable: &HashSet<usize>,
     persistent: &mut HashMap<usize, Persistent>,
     poisoned: &HashSet<AccessId>,
+    launch: &LaunchShared,
 ) -> Result<()> {
     let fixed_for = |sv: &[i64]| {
         let mut f2 = fixed.clone();
@@ -1725,7 +1924,7 @@ fn execute_block_pipelined(
             }
         }
         compute_sub_block(
-            kernel, &mut cur, params, store, config, cache, profiler, overlay, stats, clock,
+            kernel, &mut cur, params, store, config, cache, profiler, overlay, stats, clock, launch,
         )?;
         // Move-out of t: applied functionally now (same order as the
         // synchronous schedule), its DMA time overlapping t+1's
@@ -1740,8 +1939,15 @@ fn execute_block_pipelined(
             let t0 = Instant::now();
             for mi in 0..n_move {
                 let st = cur.staging.as_ref().expect("staged");
-                let real =
-                    move_out_buffer(st, mi, overlay, stats, Some(hoistable), Some(persistent))?;
+                let real = move_out_buffer(
+                    st,
+                    mi,
+                    overlay,
+                    stats,
+                    Some(hoistable),
+                    Some(persistent),
+                    &clock.ext,
+                )?;
                 if real {
                     let st = cur.staging.as_ref().expect("staged");
                     let tag = clock.issue_movement(
@@ -1776,17 +1982,20 @@ fn execute_block_pipelined(
     Ok(())
 }
 
+/// A global element read: the block's own buffered writes shadow the
+/// store. Overlay lookups go through the flat row-major offset; an
+/// index that does not flatten falls through to `store.get`, whose
+/// typed out-of-bounds error is authoritative.
 fn read_global(
     store: &ArrayStore,
     overlay: &Overlay,
-    program: &Program,
     array: usize,
     name: &str,
     idx: &[i64],
+    ext: &[i64],
 ) -> Result<i64> {
-    let _ = program;
-    if let Some(v) = overlay.get(&(array, idx.to_vec())) {
-        return Ok(*v);
+    if let Some(v) = flatten(idx, ext).and_then(|off| overlay.get(array, off)) {
+        return Ok(v);
     }
     Ok(store.get(name, idx)?)
 }
@@ -2054,6 +2263,7 @@ mod tests {
             modeled_cycles: x + 13,
             overlap_groups: x + 14,
             sync_groups: x + 15,
+            compute_ns: x + 22,
             dma: DmaStats {
                 descriptors: x + 16,
                 elements: x + 17,
@@ -2088,6 +2298,7 @@ mod tests {
         assert_eq!(a.dma.channel_busy_cycles, vec![101, 139]);
         assert_eq!(a.dma.stall_cycles, 141);
         assert_eq!(a.dma.bytes_hist, vec![143]);
+        assert_eq!(a.compute_ns, 145); // wall time sums across workers
     }
 
     #[test]
@@ -2118,7 +2329,7 @@ mod tests {
     fn double_buffer_parallel_is_deterministic() {
         let k = blocked_seq();
         let p = window2d();
-        let mut run = |parallel: bool| {
+        let run = |parallel: bool| {
             let mut st = ArrayStore::for_program(&p, &[13]).unwrap();
             st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
             let mut cfg = MachineConfig::cell_like();
@@ -2141,7 +2352,7 @@ mod tests {
         assert!(words > 0);
         let k = blocked_seq();
         let p = window2d();
-        let mut run = |double_buffer: bool| {
+        let run = |double_buffer: bool| {
             let mut st = ArrayStore::for_program(&p, &[16]).unwrap();
             st.fill_with("A", |ix| ix[0] * 1000 + ix[1]).unwrap();
             let mut cfg = MachineConfig::cell_like();
@@ -2198,7 +2409,7 @@ mod tests {
             seq_dims: vec!["s".into()],
             use_scratchpad: true,
         };
-        let mut run = |double_buffer: bool| {
+        let run = |double_buffer: bool| {
             let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
             st.fill_with("A", |ix| ix[1]).unwrap();
             st.fill_with("B2", |ix| ix[0] * 10 + ix[1]).unwrap();

@@ -29,9 +29,11 @@
 //! gaps, tile-size optima, thread-block sweet spots), which are driven
 //! by the ratios this model captures explicitly.
 
+mod compiled;
 pub mod config;
 pub mod dma;
 pub mod exec;
+mod overlay;
 pub mod profile;
 pub mod trace;
 

@@ -1,0 +1,176 @@
+//! Randomized bit-exactness: the compiled block execution engine must
+//! agree with the per-point interpreter — same array contents, same
+//! deterministic counters — across random affine accesses, random
+//! statement bodies, random block shapes, scratchpad staging on/off
+//! and double buffering on/off. Plus a directed check that an
+//! out-of-bounds access on the compiled engine's guarded addressing
+//! path surfaces as the same typed error the interpreter raises.
+
+use polymem_core::tiling::transform::{tile_program, TileSpec};
+use polymem_ir::expr::v;
+use polymem_ir::{exec_program, ArrayStore, Expr, IrError, LinExpr, Program, ProgramBuilder};
+use polymem_machine::{execute_blocked, BlockedKernel, MachineConfig, MachineError};
+use proptest::prelude::*;
+
+/// A 2-D two-statement program with randomized affine reads and
+/// bodies. All access shapes keep indices inside A's padded extents
+/// for i, j in [0, N-1].
+fn random_program(shape: u8, body_sel: u8, c: (i64, i64, i64, i64)) -> Program {
+    let (c0, c1, swap, c3) = c;
+    let mut b = ProgramBuilder::new("rnd", ["N"]);
+    b.array("A", &[v("N") + 4, v("N") + 4]);
+    b.array("C", &[v("N"), v("N")]);
+    let r1 = if swap == 1 {
+        [v("j") + c3, v("i")]
+    } else {
+        [v("i") + c3, v("j") + c1]
+    };
+    let body = match body_sel {
+        0 => Expr::add(Expr::Read(0), Expr::Read(1)),
+        1 => Expr::mul(Expr::Read(0), Expr::Read(1)),
+        2 => Expr::add(Expr::mul(Expr::Read(0), Expr::Const(3)), Expr::Iter(0)),
+        3 => Expr::sub(Expr::Read(0), Expr::add(Expr::Read(1), Expr::Iter(1))),
+        4 => Expr::add(Expr::div(Expr::Read(0), Expr::Const(3)), Expr::Read(1)),
+        _ => Expr::sub(Expr::mul(Expr::Read(1), Expr::Param(0)), Expr::Read(0)),
+    };
+    b.stmt("S1")
+        .loops(&[
+            ("i", LinExpr::c(0), v("N") - 1),
+            ("j", LinExpr::c(0), v("N") - 1),
+        ])
+        .write("C", &[v("i"), v("j")])
+        .read("A", &[v("i") + c0, v("j") + c1])
+        .read("A", &[r1[0].clone(), r1[1].clone()])
+        .body(body)
+        .done();
+    if shape >= 1 {
+        // A second statement reading the first one's output array, so
+        // interleaved source order across statements matters.
+        b.stmt("S2")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("C", &[v("i"), v("j")])
+            .read("C", &[v("i"), v("j")])
+            .read("A", &[v("j"), v("i")])
+            .body(Expr::add(
+                Expr::mul(Expr::Read(0), Expr::Const(2)),
+                Expr::Read(1),
+            ))
+            .done();
+    }
+    b.build().unwrap()
+}
+
+fn kernel_for(p: &Program, ti: u32, tj: u32, mode: u8) -> BlockedKernel {
+    let t = tile_program(
+        p,
+        &TileSpec::new(&[("i", ti as i64), ("j", tj as i64)], "T"),
+    )
+    .unwrap();
+    match mode {
+        // All-parallel blocks, DRAM-only or staged.
+        0 | 1 => BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into(), "jT".into()],
+            seq_dims: vec![],
+            use_scratchpad: mode == 1,
+        },
+        // Sequential sub-tiles inside each block (sync or pipelined).
+        _ => BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into()],
+            seq_dims: vec!["jT".into()],
+            use_scratchpad: true,
+        },
+    }
+}
+
+fn fresh_store(p: &Program, n: i64) -> ArrayStore {
+    let mut st = ArrayStore::for_program(p, &[n]).unwrap();
+    st.fill_with("A", |ix| ix[0] * 101 + ix[1] * 7 - 50)
+        .unwrap();
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiled and interpreted execution are indistinguishable:
+    /// identical final arrays (both equal to the reference
+    /// interpreter's) and identical deterministic counters.
+    #[test]
+    fn compiled_execution_is_bit_exact(
+        n in 6i64..=11,
+        ti in 2u32..=4,
+        tj in 2u32..=4,
+        mode in 0u8..=3,
+        shape in 0u8..=2,
+        body_sel in 0u8..=5,
+        c in (0i64..=2, 0i64..=2, 0i64..=1, 0i64..=2),
+    ) {
+        let p = random_program(shape, body_sel, c);
+        let k = kernel_for(&p, ti, tj, mode);
+        let mut cfg = if mode >= 2 {
+            MachineConfig::cell_like()
+        } else {
+            MachineConfig::geforce_8800_gtx()
+        };
+        cfg.double_buffer = mode == 3;
+
+        let mut reference = fresh_store(&p, n);
+        exec_program(&p, &[n], &mut reference).unwrap();
+
+        let mut interp = fresh_store(&p, n);
+        cfg.compiled_exec = false;
+        let s_interp = execute_blocked(&k, &[n], &mut interp, &cfg, false).unwrap();
+
+        let mut compiled = fresh_store(&p, n);
+        cfg.compiled_exec = true;
+        let s_compiled = execute_blocked(&k, &[n], &mut compiled, &cfg, false).unwrap();
+
+        prop_assert_eq!(compiled.data("C").unwrap(), reference.data("C").unwrap());
+        prop_assert_eq!(interp.data("C").unwrap(), reference.data("C").unwrap());
+        // `ExecStats` equality covers every deterministic counter and
+        // ignores wall-clock compute time.
+        prop_assert_eq!(s_compiled, s_interp);
+    }
+}
+
+#[test]
+fn guarded_fallback_reports_typed_out_of_bounds() {
+    // A[i + N] can never be proven in-bounds (it never is), so the
+    // compiled engine lowers it to guarded addressing — which must
+    // surface the same typed error as `ArrayStore::get`.
+    let mut b = ProgramBuilder::new("oob", ["N"]);
+    b.array("A", &[v("N")]);
+    b.array("C", &[v("N")]);
+    b.stmt("S")
+        .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+        .write("C", &[v("i")])
+        .read("A", &[v("i") + v("N")])
+        .body(Expr::Read(0))
+        .done();
+    let p = b.build().unwrap();
+    let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+    let k = BlockedKernel {
+        program: t,
+        round_dims: vec![],
+        block_dims: vec!["iT".into()],
+        seq_dims: vec![],
+        use_scratchpad: false,
+    };
+    let mut cfg = MachineConfig::geforce_8800_gtx();
+    cfg.compiled_exec = true;
+    let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+    match execute_blocked(&k, &[8], &mut st, &cfg, false) {
+        Err(MachineError::Ir(IrError::OutOfBounds { array, index })) => {
+            assert_eq!(array, "A");
+            assert_eq!(index, vec![8]);
+        }
+        other => panic!("expected a typed out-of-bounds error, got {other:?}"),
+    }
+}

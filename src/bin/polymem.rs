@@ -35,6 +35,13 @@ fn double_buffer_requested() -> bool {
     std::env::args().any(|a| a == "--double-buffer")
 }
 
+/// `--no-compiled-exec` on the command line: run block compute phases
+/// through the per-point interpreter instead of the compiled engine
+/// (for timing comparisons and fallback debugging).
+fn compiled_exec_disabled() -> bool {
+    std::env::args().any(|a| a == "--no-compiled-exec")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
@@ -132,7 +139,9 @@ fn usage(msg: &str) -> ExitCode {
          print a pass-level wall-clock profile; `run` also reports plan\n\
          cache hit/miss counters, and accepts --double-buffer to map one\n\
          tile dimension sequentially and overlap its DMA with compute\n\
-         (DMA statistics and the channel timeline appear under --profile)."
+         (DMA statistics and the channel timeline appear under --profile).\n\
+         `run` uses the compiled block execution engine by default;\n\
+         --no-compiled-exec selects the per-point interpreter instead."
     );
     ExitCode::FAILURE
 }
@@ -287,6 +296,7 @@ fn run(name: &str, size: i64) -> ExitCode {
     let db = double_buffer_requested();
     let mut gpu = MachineConfig::geforce_8800_gtx();
     gpu.double_buffer = db;
+    gpu.compiled_exec = !compiled_exec_disabled();
     let (kernel, params, check): (BlockedKernel, Vec<i64>, &str) = match name {
         "me" => {
             let s = me::MeSize {
@@ -388,6 +398,15 @@ fn run(name: &str, size: i64) -> ExitCode {
     println!(
         "  plan cache hits/misses {}/{}",
         stats.plan_cache_hits, stats.plan_cache_misses
+    );
+    println!(
+        "  compute phase {:.3} ms wall ({} engine)",
+        stats.compute_ns as f64 / 1e6,
+        if gpu.compiled_exec {
+            "compiled"
+        } else {
+            "interpreted"
+        }
     );
     if stats.dma.descriptors > 0 {
         println!(
