@@ -27,24 +27,10 @@
 //! modeled (deterministic integer cycle counts), so the gates hold on
 //! noisy CI runners too.
 
-use polymem_ir::{exec_program, ArrayStore, Program};
+use polymem_bench::harness::{conclude, json_escape_free, smoke_mode, store_for, Case};
+use polymem_ir::ArrayStore;
 use polymem_kernels::{conv2d, jacobi, jacobi2d, matmul, me};
-use polymem_machine::{execute_blocked, BlockedKernel, ExecStats, MachineConfig};
-
-struct Case {
-    name: &'static str,
-    program: Program,
-    kernel: BlockedKernel,
-    params: Vec<i64>,
-    base: ArrayStore,
-    check: &'static str,
-}
-
-fn store_for(program: &Program, params: &[i64], init: impl FnOnce(&mut ArrayStore)) -> ArrayStore {
-    let mut st = ArrayStore::for_program(program, params).expect("store");
-    init(&mut st);
-    st
-}
+use polymem_machine::{execute_blocked, ExecStats, MachineConfig};
 
 fn cases(smoke: bool) -> Vec<Case> {
     let mut out = Vec::new();
@@ -163,11 +149,7 @@ fn element_moves(s: &ExecStats) -> u64 {
 }
 
 fn run_case(case: &Case) -> KernelResult {
-    let reference = {
-        let mut st = case.base.clone();
-        exec_program(&case.program, &case.params, &mut st).expect("reference interpreter");
-        st
-    };
+    let reference = case.reference();
     let mut machines = Vec::new();
     for (label, cfg) in [
         ("gpu", MachineConfig::geforce_8800_gtx()),
@@ -183,9 +165,8 @@ fn run_case(case: &Case) -> KernelResult {
         };
         let off = run(false);
         let on = run(true);
-        let want = reference.data(case.check).expect("reference output");
-        let bit_exact = off.store.data(case.check).expect("off output") == want
-            && on.store.data(case.check).expect("on output") == want;
+        let bit_exact = case.output_matches(&off.store, &reference)
+            && case.output_matches(&on.store, &reference);
         machines.push(MachineResult {
             machine: label,
             off,
@@ -198,11 +179,6 @@ fn run_case(case: &Case) -> KernelResult {
         has_seq: !case.kernel.seq_dims.is_empty(),
         machines,
     }
-}
-
-fn json_escape_free(s: &str) -> &str {
-    assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
-    s
 }
 
 fn mode_json(m: &ModeResult) -> String {
@@ -223,14 +199,13 @@ fn mode_json(m: &ModeResult) -> String {
     )
 }
 
-fn write_json(
-    path: &str,
+fn render_json(
     mode: &str,
     kernels: &[KernelResult],
     coalesce_ratio: f64,
     ratio_target: f64,
     pass: bool,
-) {
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
     out.push_str("  \"kernels\": [\n");
@@ -263,11 +238,11 @@ fn write_json(
     out.push_str(&format!(
         "  \"coalesce_ratio\": {coalesce_ratio:.2},\n  \"coalesce_target\": {ratio_target:.1},\n  \"pass\": {pass}\n}}\n"
     ));
-    std::fs::write(path, out).expect("write BENCH_dma.json");
+    out
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_mode();
     let mode = if smoke { "smoke" } else { "full" };
     let ratio_target = 10.0;
 
@@ -360,20 +335,12 @@ fn main() {
         failures.push("jacobi: round-only kernel should not prefetch".into());
     }
 
-    let pass = failures.is_empty();
-    write_json(
-        "BENCH_dma.json",
+    let json = render_json(
         mode,
         &results,
         coalesce_ratio,
         ratio_target,
-        pass,
+        failures.is_empty(),
     );
-    for f in &failures {
-        eprintln!("FAILED: {f}");
-    }
-    println!("\nwrote BENCH_dma.json (pass: {pass})");
-    if !pass {
-        std::process::exit(1);
-    }
+    conclude("BENCH_dma.json", &json, &failures);
 }

@@ -29,24 +29,10 @@
 //!
 //! Exits non-zero on any check failure.
 
-use polymem_ir::{exec_program, ArrayStore, Program};
+use polymem_bench::harness::{best_of, conclude, json_escape_free, smoke_mode, store_for, Case};
+use polymem_ir::ArrayStore;
 use polymem_kernels::{conv2d, jacobi, jacobi2d, matmul, me};
-use polymem_machine::{execute_blocked, BlockedKernel, ExecStats, MachineConfig};
-
-struct Case {
-    name: &'static str,
-    program: Program,
-    kernel: BlockedKernel,
-    params: Vec<i64>,
-    base: ArrayStore,
-    check: &'static str,
-}
-
-fn store_for(program: &Program, params: &[i64], init: impl FnOnce(&mut ArrayStore)) -> ArrayStore {
-    let mut st = ArrayStore::for_program(program, params).expect("store");
-    init(&mut st);
-    st
-}
+use polymem_machine::{execute_blocked, ExecStats, MachineConfig};
 
 fn cases(smoke: bool) -> Vec<Case> {
     let mut out = Vec::new();
@@ -169,29 +155,21 @@ impl MachineResult {
 fn run_mode(case: &Case, cfg: &MachineConfig, compiled: bool) -> ModeResult {
     let mut config = cfg.clone();
     config.compiled_exec = compiled;
-    let mut best: Option<ModeResult> = None;
-    for _ in 0..3 {
+    let (ns, (stats, store)) = best_of(3, || {
         let mut store = case.base.clone();
         let stats = execute_blocked(&case.kernel, &case.params, &mut store, &config, false)
             .expect("execution succeeds");
-        let ns = stats.compute_ns;
-        if best.as_ref().is_none_or(|b| ns < b.min_compute_ns) {
-            best = Some(ModeResult {
-                stats,
-                store,
-                min_compute_ns: ns,
-            });
-        }
+        (stats.compute_ns as f64, (stats, store))
+    });
+    ModeResult {
+        stats,
+        store,
+        min_compute_ns: ns as u64,
     }
-    best.expect("three runs")
 }
 
 fn run_case(case: &Case) -> KernelResult {
-    let reference = {
-        let mut st = case.base.clone();
-        exec_program(&case.program, &case.params, &mut st).expect("reference interpreter");
-        st
-    };
+    let reference = case.reference();
     let mut machines = Vec::new();
     for (label, cfg) in [
         ("gpu", MachineConfig::geforce_8800_gtx()),
@@ -199,9 +177,8 @@ fn run_case(case: &Case) -> KernelResult {
     ] {
         let interp = run_mode(case, &cfg, false);
         let compiled = run_mode(case, &cfg, true);
-        let want = reference.data(case.check).expect("reference output");
-        let bit_exact = interp.store.data(case.check).expect("interp output") == want
-            && compiled.store.data(case.check).expect("compiled output") == want;
+        let bit_exact = case.output_matches(&interp.store, &reference)
+            && case.output_matches(&compiled.store, &reference);
         // `ExecStats` equality compares every deterministic counter
         // (instances, memory traffic, plan-cache hits, modeled cycles,
         // DMA) and ignores wall-clock compute time.
@@ -220,12 +197,7 @@ fn run_case(case: &Case) -> KernelResult {
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    assert!(s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()));
-    s
-}
-
-fn write_json(path: &str, mode: &str, kernels: &[KernelResult], target: f64, pass: bool) {
+fn render_json(mode: &str, kernels: &[KernelResult], target: f64, pass: bool) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
     out.push_str("  \"kernels\": [\n");
@@ -260,11 +232,11 @@ fn write_json(path: &str, mode: &str, kernels: &[KernelResult], target: f64, pas
     out.push_str(&format!(
         "  \"speedup_target\": {target:.1},\n  \"pass\": {pass}\n}}\n"
     ));
-    std::fs::write(path, out).expect("write BENCH_exec.json");
+    out
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_mode();
     let mode = if smoke { "smoke" } else { "full" };
     let target = 5.0;
     let check = std::env::var("POLYMEM_EXEC_CHECK").is_ok_and(|v| v == "1");
@@ -325,13 +297,6 @@ fn main() {
         }
     }
 
-    let pass = failures.is_empty();
-    write_json("BENCH_exec.json", mode, &results, target, pass);
-    for f in &failures {
-        eprintln!("FAILED: {f}");
-    }
-    println!("\nwrote BENCH_exec.json (pass: {pass})");
-    if !pass {
-        std::process::exit(1);
-    }
+    let json = render_json(mode, &results, target, failures.is_empty());
+    conclude("BENCH_exec.json", &json, &failures);
 }

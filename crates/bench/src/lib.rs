@@ -12,6 +12,8 @@
 use polymem_kernels::{jacobi, me};
 use polymem_machine::MachineConfig;
 
+pub mod harness;
+
 /// One plotted series: a label and (x, y) points.
 #[derive(Clone, Debug)]
 pub struct Series {

@@ -30,11 +30,13 @@
 //!
 //! [`UnionBound`]: super::UnionBound
 
+use super::hierarchy::{analyze_hierarchy, HierPlan, HierSpec, MemLevel};
 use super::{analyze_program_timed, PassTimes, Result, SmemConfig, SmemError, SmemPlan};
 use polymem_ir::{Access, Program};
 use polymem_linalg::IMat;
 use polymem_poly::{AffineMap, Constraint, ConstraintKind, Polyhedron, Space};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A block-shape-generic scratchpad plan: the result of running the §3
 /// pipeline once on the [`parametrize_dims`] view of a blocked program.
@@ -51,9 +53,21 @@ pub struct SymbolicPlan {
     pub kept_dims: Vec<Vec<usize>>,
     /// Compiler-pass wall-clock times of the one symbolic analysis.
     pub pass_times: PassTimes,
+    /// The recursive level-2 (register-tile) plan, when the mapping
+    /// declares thread dims and at least one frame survives the gates.
+    pub hier: Option<HierPlan>,
 }
 
 impl SymbolicPlan {
+    /// The plan at one memory level: the scratchpad plan always
+    /// exists; the register plan only when the hierarchy produced one.
+    pub fn level(&self, level: MemLevel) -> Option<&SmemPlan> {
+        match level {
+            MemLevel::Scratchpad => Some(&self.plan),
+            MemLevel::Register => self.hier.as_ref().map(|h| &h.plan),
+        }
+    }
+
     /// The extended parameter vector `params ++ fixed values` for one
     /// concrete block instance, or `None` if `fixed` lacks a value for
     /// one of the plan's fixed dims (a shape mismatch — the caller
@@ -191,7 +205,28 @@ pub fn analyze_symbolic(
         fixed: names,
         kept_dims,
         pass_times,
+        hier: None,
     })
+}
+
+/// [`analyze_symbolic`] plus the recursive register-tile level: when
+/// `spec` is given, the §3 pipeline is re-run over the intra-thread
+/// subnest against the level-1 buffers and the surviving frames are
+/// attached as [`SymbolicPlan::hier`]. The time spent in the second
+/// level is recorded as the `hierarchy` pass.
+pub fn analyze_symbolic_hier(
+    program: &Program,
+    fixed: &[(String, i64)],
+    config: &SmemConfig,
+    spec: Option<&HierSpec>,
+) -> Result<SymbolicPlan> {
+    let mut sp = analyze_symbolic(program, fixed, config)?;
+    if let Some(spec) = spec {
+        let t0 = Instant::now();
+        sp.hier = analyze_hierarchy(program, fixed, spec, &sp.plan, config)?;
+        sp.pass_times.hierarchy = t0.elapsed();
+    }
+    Ok(sp)
 }
 
 #[cfg(test)]

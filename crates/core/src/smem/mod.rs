@@ -24,6 +24,7 @@ pub mod alloc;
 pub mod cache;
 pub mod dataspace;
 pub mod descriptors;
+pub mod hierarchy;
 pub mod liveness;
 pub mod lowering;
 pub mod movement;
@@ -32,11 +33,12 @@ pub mod reuse;
 
 pub use access::LocalAccess;
 pub use alloc::{LocalBuffer, UnionBound};
-pub use cache::{analyze_symbolic, parametrize_dims, SymbolicPlan};
+pub use cache::{analyze_symbolic, analyze_symbolic_hier, parametrize_dims, SymbolicPlan};
 pub use dataspace::{AccessId, RefInfo};
 pub use descriptors::{
     build_transfers, transfer_list, Direction, TransferDescriptor, TransferList, TransferPlan,
 };
+pub use hierarchy::{analyze_hierarchy, HierPlan, HierSpec, MemLevel};
 pub use liveness::LivenessPlan;
 pub use lowering::{lower_rows, prove_flat, row_major_weights, FlatAffine, LoweredRow};
 pub use movement::MovementCode;
@@ -179,12 +181,15 @@ pub struct PassTimes {
     pub alloc: Duration,
     /// Move-in / move-out loop-nest generation.
     pub movement: Duration,
+    /// Recursive level-2 (register-tile) planning, including its own
+    /// nested runs of the passes above.
+    pub hierarchy: Duration,
 }
 
 impl PassTimes {
     /// Total time across all passes.
     pub fn total(&self) -> Duration {
-        self.dataspace + self.partition + self.reuse + self.alloc + self.movement
+        self.dataspace + self.partition + self.reuse + self.alloc + self.movement + self.hierarchy
     }
 
     /// Accumulate another run's times into this one.
@@ -194,6 +199,7 @@ impl PassTimes {
         self.reuse += o.reuse;
         self.alloc += o.alloc;
         self.movement += o.movement;
+        self.hierarchy += o.hierarchy;
     }
 }
 

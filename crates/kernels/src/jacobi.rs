@@ -129,6 +129,7 @@ pub fn stepwise_kernel(space_tile: i64, use_scratchpad: bool) -> BlockedKernel {
         round_dims: vec!["t".into()],
         block_dims: vec!["iT".into()],
         seq_dims: vec![],
+        thread_dims: vec!["i".into()],
         use_scratchpad,
     }
 }
@@ -175,6 +176,7 @@ pub fn overlapped_kernel(tt: i64, si: i64, use_scratchpad: bool) -> BlockedKerne
         round_dims: vec!["tT".into()],
         block_dims: vec!["iT".into()],
         seq_dims: vec![],
+        thread_dims: vec![],
         use_scratchpad,
     }
 }

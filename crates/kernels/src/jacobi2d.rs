@@ -94,6 +94,7 @@ pub fn stepwise_kernel(ti: i64, tj: i64, use_scratchpad: bool) -> BlockedKernel 
         round_dims: vec!["t".into()],
         block_dims: vec!["iT".into(), "jT".into()],
         seq_dims: vec![],
+        thread_dims: vec!["i".into()],
         use_scratchpad,
     }
 }

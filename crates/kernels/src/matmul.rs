@@ -73,6 +73,7 @@ pub fn blocked_kernel(ti: i64, tj: i64, tk: i64, use_scratchpad: bool) -> Blocke
         round_dims: vec![],
         block_dims: vec!["iT".into(), "jT".into()],
         seq_dims: vec![],
+        thread_dims: vec!["i".into()],
         use_scratchpad,
     }
 }

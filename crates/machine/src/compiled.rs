@@ -186,6 +186,13 @@ impl CompiledShape {
         fixed_names: &[String],
         plan: Option<&SymbolicPlan>,
     ) -> Option<CompiledShape> {
+        // A level-2 (register-tile) plan stages frames per thread key
+        // during compute — the compiled streams don't model that, so
+        // such shapes run on the interpreter (identical semantics,
+        // frame traffic included in its counters).
+        if plan.is_some_and(|sp| sp.hier.is_some()) {
+            return None;
+        }
         let sym = parametrize_dims(program, fixed_names).ok()?;
         let n_ext = program.params.len() + fixed_names.len();
         let mut stmts = Vec::with_capacity(program.stmts.len());

@@ -95,6 +95,18 @@ pub struct MachineConfig {
     /// bit-identical; the interpreter stays available as a fallback
     /// and as the `POLYMEM_EXEC_CHECK=1` oracle.
     pub compiled_exec: bool,
+    /// Register-file words available per inner process for the
+    /// recursive level-2 plan's frames (register tiles). Frames whose
+    /// running footprint would exceed this stay in scratchpad.
+    pub regs_per_inner: u64,
+    /// Enable the recursive register-tile level: re-run the §3
+    /// pipeline over the intra-thread subnest of each block and stage
+    /// beneficial groups into per-thread frames (smem→reg move-in,
+    /// reg→smem move-out). Off in every preset; `polymem run` turns it
+    /// on unless `--no-hierarchy` is given. Requires the plan cache
+    /// and currently executes through the interpreter (the compiled
+    /// engine falls back when a level-2 plan is attached).
+    pub hierarchy: bool,
 }
 
 impl MachineConfig {
@@ -126,6 +138,11 @@ impl MachineConfig {
             dma_bytes_per_cycle: 16.0,
             double_buffer: false,
             compiled_exec: true,
+            // One warp's worth of 32-bit registers per thread is far
+            // more than any frame set here; 64 words is the gate that
+            // keeps frames row-sized.
+            regs_per_inner: 64,
+            hierarchy: false,
         }
     }
 
@@ -155,6 +172,9 @@ impl MachineConfig {
             dma_bytes_per_cycle: 8.0,
             double_buffer: false,
             compiled_exec: true,
+            // The SPE register file has 128 entries.
+            regs_per_inner: 128,
+            hierarchy: false,
         }
     }
 
@@ -185,6 +205,8 @@ impl MachineConfig {
             dma_bytes_per_cycle: 8.0,
             double_buffer: false,
             compiled_exec: true,
+            regs_per_inner: 16,
+            hierarchy: false,
         }
     }
 

@@ -27,8 +27,8 @@ use crate::overlay::{flatten, Overlay};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    analyze_program_timed, analyze_symbolic, parametrize_dims, transfer_list, AccessId, Direction,
-    SmemConfig, SmemPlan, SymbolicPlan,
+    analyze_program_timed, analyze_symbolic_hier, parametrize_dims, transfer_list, AccessId,
+    Direction, HierPlan, HierSpec, LocalBuffer, SmemConfig, SmemPlan, SymbolicPlan,
 };
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
@@ -58,6 +58,13 @@ pub struct BlockedKernel {
     /// depend on these dims are staged once per block and written back
     /// once at the end.
     pub seq_dims: Vec<String>,
+    /// Dims distributed across the *inner* processes (threads) of one
+    /// block. With [`MachineConfig::hierarchy`] on, the §3 pipeline
+    /// runs a second time over the intra-thread subnest and promotes
+    /// reused scratchpad data into per-thread register frames
+    /// (smem → reg move-in, reg → smem move-out). Empty = no register
+    /// level.
+    pub thread_dims: Vec<String>,
     /// Stage per-block data through scratchpad buffers (§3 pipeline).
     pub use_scratchpad: bool,
 }
@@ -110,6 +117,15 @@ pub struct ExecStats {
     /// Buffer stagings forced synchronous by a seq-carried flow
     /// dependence while double buffering was on.
     pub sync_groups: u64,
+    /// Scratchpad reads avoided because the access hit a register
+    /// frame instead (level-2 hits; charged near-zero latency).
+    pub smem_loads_saved: u64,
+    /// Bytes moved between scratchpad and register frames (level-2
+    /// move-in + move-out traffic).
+    pub reg_bytes_moved: u64,
+    /// Register frame sets staged (one per thread key per sub-block
+    /// compute phase).
+    pub hier_groups: u64,
     /// DMA transfer-engine counters ([`crate::dma`]).
     pub dma: DmaStats,
     /// Wall-clock nanoseconds spent in block compute phases (compiled
@@ -136,6 +152,9 @@ impl PartialEq for ExecStats {
             && self.modeled_cycles == o.modeled_cycles
             && self.overlap_groups == o.overlap_groups
             && self.sync_groups == o.sync_groups
+            && self.smem_loads_saved == o.smem_loads_saved
+            && self.reg_bytes_moved == o.reg_bytes_moved
+            && self.hier_groups == o.hier_groups
             && self.dma == o.dma
     }
 }
@@ -167,6 +186,9 @@ impl ExecStats {
         self.modeled_cycles += o.modeled_cycles;
         self.overlap_groups += o.overlap_groups;
         self.sync_groups += o.sync_groups;
+        self.smem_loads_saved += o.smem_loads_saved;
+        self.reg_bytes_moved += o.reg_bytes_moved;
+        self.hier_groups += o.hier_groups;
         self.dma.absorb(&o.dma);
         self.compute_ns += o.compute_ns;
     }
@@ -345,17 +367,20 @@ impl PlanCache {
         program: &Program,
         rep: &HashMap<String, i64>,
         cfg: &SmemConfig,
+        hier: Option<&HierSpec>,
         profiler: Option<&PassProfiler>,
     ) {
         let mut pairs: Vec<(String, i64)> = rep.iter().map(|(k, v)| (k.clone(), *v)).collect();
         pairs.sort();
         let key: Vec<String> = pairs.iter().map(|p| p.0.clone()).collect();
-        let entry = analyze_symbolic(program, &pairs, cfg).ok().map(|sp| {
-            if let Some(pr) = profiler {
-                pr.absorb_pass_times(&sp.pass_times);
-            }
-            Arc::new(sp)
-        });
+        let entry = analyze_symbolic_hier(program, &pairs, cfg, hier)
+            .ok()
+            .map(|sp| {
+                if let Some(pr) = profiler {
+                    pr.absorb_pass_times(&sp.pass_times);
+                }
+                Arc::new(sp)
+            });
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.plans.write().unwrap().insert(key, entry);
     }
@@ -463,7 +488,33 @@ pub fn execute_blocked_profiled(
                 }
             }
         }
-        c.warm(program, &rep, &smem_config(params, config), profiler);
+        // Register-tile level: analyse the intra-thread subnest of the
+        // representative block with the thread dims as extra fixed
+        // dims. The representative thread values feed Algorithm 1's
+        // volume test exactly like the representative block values do.
+        let hier_spec = if config.hierarchy && !kernel.thread_dims.is_empty() {
+            let tvals =
+                enumerate_named(lead, &kernel.thread_dims, params, &rep, config.enum_budget)?;
+            tvals.first().map(|t0| HierSpec {
+                thread_dims: kernel.thread_dims.clone(),
+                thread_reps: kernel
+                    .thread_dims
+                    .iter()
+                    .cloned()
+                    .zip(t0.iter().copied())
+                    .collect(),
+                regs_per_inner: config.regs_per_inner,
+            })
+        } else {
+            None
+        };
+        c.warm(
+            program,
+            &rep,
+            &smem_config(params, config),
+            hier_spec.as_ref(),
+            profiler,
+        );
     }
     let cache = cache.as_ref();
 
@@ -1349,12 +1400,155 @@ fn compute_sub_block(
     Ok(())
 }
 
+/// Register frames staged for one inner process (thread key) during a
+/// sub-block's interpreted compute phase.
+struct FrameSet {
+    /// The thread-dim values the frames are staged for.
+    key: Vec<i64>,
+    /// `params ++ ext values` at this key — the parameter vector every
+    /// level-2 affine structure evaluates under.
+    pp2: Vec<i64>,
+    /// Frame storage, indexed by level-2 buffer id.
+    frames: LocalStore,
+}
+
+/// The level-1 local index of global array element `g` in buffer
+/// `buf1` (whose concrete offsets are `offsets1`).
+fn level1_index(buf1: &LocalBuffer, offsets1: &[i64], g: &[i64]) -> Vec<i64> {
+    buf1.kept_dims
+        .iter()
+        .zip(offsets1)
+        .map(|(&d, &o)| g[d] - o)
+        .collect()
+}
+
+/// Stage every register frame for one thread key (smem → reg move-in):
+/// allocate the frames at the key's concrete extents, enforce the
+/// register-file capacity at runtime (the plan-time gate only checked
+/// the representative block — frames can grow past it, e.g. on
+/// triangular domains), then run the level-2 movement code against the
+/// backing level-1 buffers. Returns the staged set plus the scratchpad
+/// reads to charge the cycle model.
+#[allow(clippy::too_many_arguments)]
+fn stage_frames(
+    h: &HierPlan,
+    plan1: &SmemPlan,
+    key: Vec<i64>,
+    params: &[i64],
+    fixed: &HashMap<String, i64>,
+    local: &LocalStore,
+    stats: &mut ExecStats,
+    config: &MachineConfig,
+) -> Result<(FrameSet, u64)> {
+    let pp2 = h
+        .ext_params(params, fixed, &key)
+        .expect("hier plan was built from this shape's fixed dims");
+    let mut bufs = Vec::with_capacity(h.plan.buffers.len());
+    let mut words = 0u64;
+    for b in &h.plan.buffers {
+        let extents = b.extents(&pp2)?;
+        let offsets = b.offsets(&pp2)?;
+        let size: i64 = extents.iter().product::<i64>().max(0);
+        words += size as u64;
+        bufs.push((vec![0i64; size as usize], extents, offsets));
+    }
+    if words > h.regs_per_inner {
+        return Err(MachineError::RegisterOverflow {
+            requested: words,
+            available: h.regs_per_inner,
+        });
+    }
+    let mut frames = LocalStore { bufs };
+    let mut n_smem = 0u64;
+    for mc in &h.plan.movement {
+        let buf = &h.plan.buffers[mc.buffer];
+        let buf1 = &plan1.buffers[h.backing[mc.buffer]];
+        let mut err = None;
+        polymem_core::smem::movement::for_each_move_in(mc, buf, &pp2, &mut |g, l| {
+            if err.is_some() {
+                return;
+            }
+            let l1 = level1_index(buf1, &local.bufs[buf1.id].2, g);
+            match local.get(buf1.id, &l1) {
+                Ok(v) => {
+                    if let Err(e) = frames.set(mc.buffer, l, v) {
+                        err = Some(e);
+                    }
+                }
+                Err(e) => err = Some(e),
+            }
+            stats.smem_reads += 1;
+            stats.reg_bytes_moved += config.word_bytes;
+            n_smem += 1;
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    stats.hier_groups += 1;
+    Ok((FrameSet { key, pp2, frames }, n_smem))
+}
+
+/// Flush written register frames back to their level-1 buffers
+/// (reg → smem move-out) before the thread key changes or the compute
+/// phase ends. Read-only frames are dropped for free. Returns the
+/// scratchpad writes to charge the cycle model.
+fn flush_frames(
+    h: &HierPlan,
+    plan1: &SmemPlan,
+    fs: &FrameSet,
+    local: &mut LocalStore,
+    stats: &mut ExecStats,
+    config: &MachineConfig,
+) -> Result<u64> {
+    let mut n_smem = 0u64;
+    for mc in &h.plan.movement {
+        if mc.write_spaces.is_empty() {
+            continue;
+        }
+        let buf = &h.plan.buffers[mc.buffer];
+        let buf1 = &plan1.buffers[h.backing[mc.buffer]];
+        let mut err = None;
+        polymem_core::smem::movement::for_each_move_out(mc, buf, &fs.pp2, &mut |g, l| {
+            if err.is_some() {
+                return;
+            }
+            let l1 = level1_index(buf1, &local.bufs[buf1.id].2, g);
+            match fs.frames.get(mc.buffer, l) {
+                Ok(v) => {
+                    if let Err(e) = local.set(buf1.id, &l1, v) {
+                        err = Some(e);
+                    }
+                }
+                Err(e) => err = Some(e),
+            }
+            stats.smem_writes += 1;
+            stats.reg_bytes_moved += config.word_bytes;
+            n_smem += 1;
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(n_smem)
+}
+
 /// The reference per-point interpreter for one sub-block's compute
 /// phase: enumerate every statement's instances (shared enumeration
 /// plan when available), sort into interleaved source order, then walk
 /// them through `Expr::eval` and `AffineMap::apply`. Returns the
 /// `(instances, smem accesses, global accesses)` tallies for the cycle
 /// model.
+///
+/// When the shared symbolic plan carries a level-2 (register-tile)
+/// plan, the walk additionally stages register frames per thread key:
+/// on every thread-key change the previous key's written frames flush
+/// to scratchpad and the new key's frames stage from it, and accesses
+/// rewritten at level 2 are served from the frames (counted in
+/// `smem_loads_saved`, charged near-zero latency) instead of touching
+/// scratchpad. Flush-on-change keeps cross-key overlap (e.g. sliding
+/// windows) exact — §3.1 partitioning guarantees frames never alias
+/// any other access of the same instance at any thread value.
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn interpreted_compute(
     kernel: &BlockedKernel,
@@ -1374,6 +1568,13 @@ fn interpreted_compute(
         Some((s, p, l)) => (Some(s), p, Some(l)),
         None => (None, &[][..], None),
     };
+    // The level-2 (register-tile) plan rides on the shared symbolic
+    // plan only; owned per-block plans never carry one.
+    let hier: Option<&HierPlan> = source.and_then(|s| match s {
+        PlanRef::Shared(sp) => sp.hier.as_ref(),
+        PlanRef::Owned(_) => None,
+    });
+    let mut cur_frames: Option<FrameSet> = None;
 
     // With the plan cache active, the shared per-shape enumeration
     // plan turns this into bound evaluation; the per-block projection
@@ -1425,23 +1626,55 @@ fn interpreted_compute(
     let (mut n_inst, mut n_smem, mut n_glob) = (0u64, 0u64, 0u64);
     for (si, point) in &instances {
         let stmt = &view.stmts[*si];
+        // Stage the instance's register frames: flush the previous
+        // thread key's written frames, load this key's from
+        // scratchpad. Statements that don't iterate every thread dim
+        // have no key and never touch frames (the thread-complete
+        // gate dropped any group they could alias).
+        if let Some(h) = hier {
+            if let Some(key) = h.thread_key(*si, point) {
+                if cur_frames.as_ref().map(|fs| &fs.key) != Some(&key) {
+                    let plan1 = source.expect("hier implies staging").plan();
+                    let ls = local.as_deref_mut().expect("hier implies local store");
+                    if let Some(fs) = cur_frames.take() {
+                        n_smem += flush_frames(h, plan1, &fs, ls, stats, config)?;
+                    }
+                    let (fs, dn) = stage_frames(h, plan1, key, params, fixed, ls, stats, config)?;
+                    n_smem += dn;
+                    cur_frames = Some(fs);
+                }
+            }
+        }
         let mut reads = Vec::with_capacity(stmt.reads.len());
         for (k, r) in stmt.reads.iter().enumerate() {
             let id = AccessId::read(*si, k);
             let mut staged = None;
-            if let Some(src) = source {
-                if let Some(la) = src.plan().rewrites.get(&id) {
-                    let buf = &src.plan().buffers[la.buffer];
-                    let proj = src.project(*si, point);
-                    let idx = la.local_index(buf, &proj, pparams)?;
-                    stats.smem_reads += 1;
-                    n_smem += 1;
-                    staged = Some(
-                        local
-                            .as_deref()
-                            .expect("staged plan implies local store")
-                            .get(la.buffer, &idx)?,
-                    );
+            // Level-2 hit: serve the read from the register frame at
+            // near-zero cost (no smem access in the cycle model).
+            if let (Some(h), Some(fs)) = (hier, cur_frames.as_ref()) {
+                if let Some(la) = h.plan.rewrites.get(&id) {
+                    let buf = &h.plan.buffers[la.buffer];
+                    let proj = h.project_point(*si, point);
+                    let idx = la.local_index(buf, &proj, &fs.pp2)?;
+                    stats.smem_loads_saved += 1;
+                    staged = Some(fs.frames.get(la.buffer, &idx)?);
+                }
+            }
+            if staged.is_none() {
+                if let Some(src) = source {
+                    if let Some(la) = src.plan().rewrites.get(&id) {
+                        let buf = &src.plan().buffers[la.buffer];
+                        let proj = src.project(*si, point);
+                        let idx = la.local_index(buf, &proj, pparams)?;
+                        stats.smem_reads += 1;
+                        n_smem += 1;
+                        staged = Some(
+                            local
+                                .as_deref()
+                                .expect("staged plan implies local store")
+                                .get(la.buffer, &idx)?,
+                        );
+                    }
                 }
             }
             let v = match staged {
@@ -1459,18 +1692,31 @@ fn interpreted_compute(
         let value = stmt.body.eval(&reads, point, params)?;
         let wid = AccessId::write(*si);
         let mut staged = false;
-        if let Some(src) = source {
-            if let Some(la) = src.plan().rewrites.get(&wid) {
-                let buf = &src.plan().buffers[la.buffer];
-                let proj = src.project(*si, point);
-                let idx = la.local_index(buf, &proj, pparams)?;
-                stats.smem_writes += 1;
-                n_smem += 1;
-                local
-                    .as_deref_mut()
-                    .expect("staged plan implies local store")
-                    .set(la.buffer, &idx, value)?;
+        // Level-2 hit: the write lands in the register frame and
+        // reaches scratchpad once, at the next flush.
+        if let (Some(h), Some(fs)) = (hier, cur_frames.as_mut()) {
+            if let Some(la) = h.plan.rewrites.get(&wid) {
+                let buf = &h.plan.buffers[la.buffer];
+                let proj = h.project_point(*si, point);
+                let idx = la.local_index(buf, &proj, &fs.pp2)?;
+                fs.frames.set(la.buffer, &idx, value)?;
                 staged = true;
+            }
+        }
+        if !staged {
+            if let Some(src) = source {
+                if let Some(la) = src.plan().rewrites.get(&wid) {
+                    let buf = &src.plan().buffers[la.buffer];
+                    let proj = src.project(*si, point);
+                    let idx = la.local_index(buf, &proj, pparams)?;
+                    stats.smem_writes += 1;
+                    n_smem += 1;
+                    local
+                        .as_deref_mut()
+                        .expect("staged plan implies local store")
+                        .set(la.buffer, &idx, value)?;
+                    staged = true;
+                }
             }
         }
         if !staged {
@@ -1484,6 +1730,13 @@ fn interpreted_compute(
         }
         stats.instances += 1;
         n_inst += 1;
+    }
+    // Final flush: the last thread key's written frames must reach
+    // scratchpad before the sub-block's move-out runs.
+    if let (Some(h), Some(fs)) = (hier, cur_frames.take()) {
+        let plan1 = source.expect("hier implies staging").plan();
+        let ls = local.expect("hier implies local store");
+        n_smem += flush_frames(h, plan1, &fs, ls, stats, config)?;
     }
     Ok((n_inst, n_smem, n_glob))
 }
@@ -2033,6 +2286,7 @@ mod tests {
             round_dims: vec![],
             block_dims: vec!["iT".into(), "jT".into()],
             seq_dims: vec![],
+            thread_dims: vec![],
             use_scratchpad,
         }
     }
@@ -2178,6 +2432,7 @@ mod tests {
             round_dims: vec!["r".into()],
             block_dims: vec!["iT".into()],
             seq_dims: vec![],
+            thread_dims: vec![],
             use_scratchpad: false,
         };
         let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
@@ -2198,6 +2453,7 @@ mod tests {
             round_dims: vec![],
             block_dims: vec!["iT".into(), "jT".into()],
             seq_dims: vec![],
+            thread_dims: vec![],
             use_scratchpad: true,
         };
         let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
@@ -2227,6 +2483,7 @@ mod tests {
             round_dims: vec![],
             block_dims: vec!["iT".into()],
             seq_dims: vec!["jT".into()],
+            thread_dims: vec![],
             use_scratchpad: true,
         }
     }
@@ -2263,6 +2520,9 @@ mod tests {
             modeled_cycles: x + 13,
             overlap_groups: x + 14,
             sync_groups: x + 15,
+            smem_loads_saved: x + 23,
+            reg_bytes_moved: x + 24,
+            hier_groups: x + 25,
             compute_ns: x + 22,
             dma: DmaStats {
                 descriptors: x + 16,
@@ -2299,6 +2559,152 @@ mod tests {
         assert_eq!(a.dma.stall_cycles, 141);
         assert_eq!(a.dma.bytes_hist, vec![143]);
         assert_eq!(a.compute_ns, 145); // wall time sums across workers
+        assert_eq!(a.smem_loads_saved, 147);
+        assert_eq!(a.reg_bytes_moved, 149);
+        assert_eq!(a.hier_groups, 151);
+    }
+
+    /// Square matmul C[i][j] += A[i][k] * B[k][j] with i and j tiled,
+    /// mapped with `i` distributed across the inner processes.
+    fn matmul_hier_kernel() -> (Program, BlockedKernel) {
+        let mut b = ProgramBuilder::new("mm", ["N"]);
+        b.array("A", &[v("N"), v("N")]);
+        b.array("B", &[v("N"), v("N")]);
+        b.array("C", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+                ("k", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("C", &[v("i"), v("j")])
+            .read("C", &[v("i"), v("j")])
+            .read("A", &[v("i"), v("k")])
+            .read("B", &[v("k"), v("j")])
+            .body(Expr::add(
+                Expr::Read(0),
+                Expr::mul(Expr::Read(1), Expr::Read(2)),
+            ))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4), ("j", 4)], "T")).unwrap();
+        let k = BlockedKernel {
+            program: t,
+            round_dims: vec![],
+            block_dims: vec!["iT".into(), "jT".into()],
+            seq_dims: vec![],
+            thread_dims: vec!["i".into()],
+            use_scratchpad: true,
+        };
+        (p, k)
+    }
+
+    fn run_hier(
+        k: &BlockedKernel,
+        p: &Program,
+        hierarchy: bool,
+        parallel: bool,
+    ) -> (ArrayStore, ExecStats) {
+        let mut st = ArrayStore::for_program(p, &[8]).unwrap();
+        st.fill_with("A", |ix| ix[0] * 7 + ix[1]).unwrap();
+        st.fill_with("B", |ix| ix[0] - 3 * ix[1]).unwrap();
+        let mut cfg = MachineConfig::geforce_8800_gtx();
+        cfg.hierarchy = hierarchy;
+        let stats = execute_blocked(k, &[8], &mut st, &cfg, parallel).unwrap();
+        (st, stats)
+    }
+
+    #[test]
+    fn hierarchy_is_bit_exact_and_cuts_scratchpad_traffic() {
+        let (p, k) = matmul_hier_kernel();
+        let (st_off, off) = run_hier(&k, &p, false, false);
+        let (st_on, on) = run_hier(&k, &p, true, false);
+        assert_eq!(st_on.data("C").unwrap(), st_off.data("C").unwrap());
+        assert_eq!(st_on.data("C").unwrap(), {
+            let mut r = ArrayStore::for_program(&p, &[8]).unwrap();
+            r.fill_with("A", |ix| ix[0] * 7 + ix[1]).unwrap();
+            r.fill_with("B", |ix| ix[0] - 3 * ix[1]).unwrap();
+            exec_program(&p, &[8], &mut r).unwrap();
+            r.data("C").unwrap().to_vec()
+        });
+        // Reused C and A rows are served from register frames: the
+        // scratchpad sees only B reads plus the frame staging traffic.
+        assert_eq!(off.smem_loads_saved, 0);
+        assert_eq!(off.hier_groups, 0);
+        assert!(on.smem_loads_saved > 0);
+        assert!(on.reg_bytes_moved > 0);
+        // 4 blocks × 4 thread values each.
+        assert_eq!(on.hier_groups, 16);
+        let traffic = |s: &ExecStats| s.smem_reads + s.smem_writes;
+        assert!(
+            traffic(&on) * 2 <= traffic(&off),
+            "expected ≥2× scratchpad-traffic cut: {} vs {}",
+            traffic(&on),
+            traffic(&off)
+        );
+        // Fewer scratchpad accesses at equal functional global traffic
+        // can only lower the modeled time.
+        assert!(on.modeled_cycles <= off.modeled_cycles);
+        assert_eq!(on.global_reads, off.global_reads);
+        assert_eq!(on.global_writes, off.global_writes);
+    }
+
+    #[test]
+    fn hierarchy_parallel_is_deterministic() {
+        let (p, k) = matmul_hier_kernel();
+        let (seq, s1) = run_hier(&k, &p, true, false);
+        let (par, s2) = run_hier(&k, &p, true, true);
+        assert_eq!(seq.data("C").unwrap(), par.data("C").unwrap());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn register_overflow_is_typed() {
+        // Triangular domain: the T frame holds row i's first i+1
+        // elements, so it grows past the representative (i = 0) size.
+        // The plan-time gate passes; the runtime check must trip with
+        // the typed error once a thread value no longer fits.
+        let mut b = ProgramBuilder::new("tri", ["N"]);
+        b.array("T", &[v("N"), v("N")]);
+        b.array("Out", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("i")),
+            ])
+            .write("Out", &[v("i"), v("j")])
+            .read("T", &[v("i"), v("j")])
+            .read("T", &[v("i"), v("j")])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        let p = b.build().unwrap();
+        let k = BlockedKernel {
+            program: p.clone(),
+            round_dims: vec![],
+            block_dims: vec![],
+            seq_dims: vec![],
+            thread_dims: vec!["i".into()],
+            use_scratchpad: true,
+        };
+        let run = |regs: u64| {
+            let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+            st.fill_with("T", |ix| ix[0] * 10 + ix[1]).unwrap();
+            let mut cfg = MachineConfig::geforce_8800_gtx();
+            cfg.hierarchy = true;
+            cfg.regs_per_inner = regs;
+            execute_blocked(&k, &[8], &mut st, &cfg, false)
+        };
+        assert!(run(8).is_ok(), "the largest row (8 words) must fit");
+        match run(4) {
+            Err(MachineError::RegisterOverflow {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 5); // row i = 4 is the first to overflow
+                assert_eq!(available, 4);
+            }
+            other => panic!("expected RegisterOverflow, got {other:?}"),
+        }
     }
 
     #[test]
@@ -2407,6 +2813,7 @@ mod tests {
             round_dims: vec![],
             block_dims: vec!["iT".into()],
             seq_dims: vec!["s".into()],
+            thread_dims: vec![],
             use_scratchpad: true,
         };
         let run = |double_buffer: bool| {

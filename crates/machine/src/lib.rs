@@ -72,6 +72,18 @@ pub enum MachineError {
         /// Bytes available per outer-level unit.
         available: u64,
     },
+    /// One inner process's register frames (the level-2 plan's tiles
+    /// at a concrete thread value) need more words than the machine's
+    /// register file holds. The plan-time gate checks the
+    /// representative block; this is the runtime check for blocks
+    /// whose frames grow beyond it (e.g. triangular domains).
+    RegisterOverflow {
+        /// Words needed by the live frames of one inner process.
+        requested: u64,
+        /// Words available per inner process
+        /// ([`MachineConfig::regs_per_inner`]).
+        available: u64,
+    },
     /// Enumerating rounds/blocks/instances exceeded the configured
     /// point budget ([`MachineConfig::enum_budget`]).
     EnumerationBudget {
@@ -106,6 +118,14 @@ impl fmt::Display for MachineError {
                 f,
                 "double-buffer overflow: two sub-tile footprints need {requested} B, \
                  unit has {available} B"
+            ),
+            MachineError::RegisterOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "register overflow: inner process needs {requested} words, \
+                 register file has {available}"
             ),
             MachineError::EnumerationBudget { budget } => {
                 write!(f, "enumeration budget exhausted: more than {budget} points")

@@ -76,6 +76,7 @@ fn kernel_for(p: &Program, ti: u32, tj: u32, mode: u8) -> BlockedKernel {
             round_dims: vec![],
             block_dims: vec!["iT".into(), "jT".into()],
             seq_dims: vec![],
+            thread_dims: vec![],
             use_scratchpad: mode == 1,
         },
         // Sequential sub-tiles inside each block (sync or pipelined).
@@ -84,6 +85,7 @@ fn kernel_for(p: &Program, ti: u32, tj: u32, mode: u8) -> BlockedKernel {
             round_dims: vec![],
             block_dims: vec!["iT".into()],
             seq_dims: vec!["jT".into()],
+            thread_dims: vec![],
             use_scratchpad: true,
         },
     }
@@ -161,6 +163,7 @@ fn guarded_fallback_reports_typed_out_of_bounds() {
         round_dims: vec![],
         block_dims: vec!["iT".into()],
         seq_dims: vec![],
+        thread_dims: vec![],
         use_scratchpad: false,
     };
     let mut cfg = MachineConfig::geforce_8800_gtx();

@@ -16,10 +16,13 @@
 //! (default: 64 per parameter).
 
 use polymem::core::emit::{emit_staged, EmitOptions};
-use polymem::core::smem::{analyze_program_timed, SmemConfig};
+use polymem::core::smem::{
+    analyze_program_timed, analyze_symbolic_hier, HierSpec, SmemConfig, SmemPlan,
+};
 use polymem::ir::{exec_program, ArrayStore, Program};
 use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me};
 use polymem::machine::{execute_blocked_profiled, BlockedKernel, MachineConfig, PassProfiler};
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 /// `--profile` on the command line, or `POLYMEM_PROFILE=1` in the
@@ -40,6 +43,17 @@ fn double_buffer_requested() -> bool {
 /// (for timing comparisons and fallback debugging).
 fn compiled_exec_disabled() -> bool {
     std::env::args().any(|a| a == "--no-compiled-exec")
+}
+
+/// `--no-hierarchy` on the command line: stage through the scratchpad
+/// only, without the per-inner-process register-tile level.
+fn hierarchy_disabled() -> bool {
+    std::env::args().any(|a| a == "--no-hierarchy")
+}
+
+/// `--json` on the command line: machine-readable output.
+fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
 }
 
 fn main() -> ExitCode {
@@ -128,6 +142,7 @@ fn usage(msg: &str) -> ExitCode {
          commands:\n\
          \x20 figures [4|5|6|7|8]      reproduce the paper's evaluation figures\n\
          \x20 analyze <kernel>         print the scratchpad data-management plan\n\
+         \x20                          (--json: machine-readable two-level dump)\n\
          \x20 emit <kernel> [--cuda]   print the transformed (staged) code\n\
          \x20 search <me|jacobi>       run the paper's tile-size search\n\
          \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
@@ -141,7 +156,10 @@ fn usage(msg: &str) -> ExitCode {
          tile dimension sequentially and overlap its DMA with compute\n\
          (DMA statistics and the channel timeline appear under --profile).\n\
          `run` uses the compiled block execution engine by default;\n\
-         --no-compiled-exec selects the per-point interpreter instead."
+         --no-compiled-exec selects the per-point interpreter instead.\n\
+         `run` stages per-inner-process register tiles when the mapping\n\
+         distributes thread dims; --no-hierarchy keeps all staging in\n\
+         the scratchpad."
     );
     ExitCode::FAILURE
 }
@@ -241,7 +259,149 @@ fn plan_of_timed(
     .expect("analysis succeeds on built-in kernels")
 }
 
+/// The canonical blocked mapping behind `analyze --json`'s per-level
+/// dump (the same synchronous mappings `run` uses).
+fn analyze_mapping(name: &str) -> Option<BlockedKernel> {
+    Some(match name {
+        "me" => me::blocked_kernel(4, 4, true),
+        "jacobi" => jacobi::stepwise_kernel(4, true),
+        "jacobi2d" => jacobi2d::stepwise_kernel(4, 4, true),
+        "matmul" => matmul::blocked_kernel(4, 4, 4, true),
+        "conv2d" => conv2d::blocked_kernel(3, 3, true),
+        _ => return None,
+    })
+}
+
+/// One memory level of the `analyze --json` dump: buffers with their
+/// concrete shapes at the representative block, and per-buffer move
+/// volumes. `ext` is the plan's full parameter vector (program params
+/// plus representative fixed/thread values).
+fn level_json(label: &str, plan: &SmemPlan, ext: &[i64]) -> String {
+    let or_null = |v: Option<String>| v.unwrap_or_else(|| "null".into());
+    let mut out = format!("    {{\n      \"level\": \"{label}\",\n");
+    out.push_str(&format!(
+        "      \"total_words\": {},\n",
+        or_null(plan.total_buffer_words(ext).ok().map(|w| w.to_string()))
+    ));
+    out.push_str("      \"buffers\": [\n");
+    for (i, b) in plan.buffers.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{ \"id\": {i}, \"array\": \"{}\", \"extents\": {}, \"offsets\": {}, \"size_words\": {} }}{}\n",
+            b.array_name,
+            or_null(b.extents(ext).ok().map(|e| format!("{e:?}"))),
+            or_null(b.offsets(ext).ok().map(|o| format!("{o:?}"))),
+            or_null(b.size_words(ext).ok().map(|w| w.to_string())),
+            if i + 1 == plan.buffers.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ],\n      \"movement\": [\n");
+    for (i, mc) in plan.movement.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{ \"buffer\": {}, \"array\": \"{}\", \"move_in\": {}, \"move_out\": {} }}{}\n",
+            mc.buffer,
+            plan.buffers[mc.buffer].array_name,
+            mc.move_in_count(ext),
+            mc.move_out_count(ext),
+            if i + 1 == plan.movement.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ],\n      \"decisions\": [\n");
+    for (i, (array, d)) in plan.decisions.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{ \"array\": \"{array}\", \"beneficial\": {}, \"rank_deficient\": {}, \"overlap_fraction\": {} }}{}\n",
+            d.beneficial,
+            d.order_of_magnitude,
+            or_null(d.overlap_fraction.map(|f| format!("{f:.4}"))),
+            if i + 1 == plan.decisions.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// `analyze <kernel> --json`: the machine-readable two-level plan.
+/// Built-in kernels dump the per-block symbolic plan of their
+/// canonical blocked mapping — the scratchpad level, plus the register
+/// level when the mapping's thread dims yield one. `.poly` sources
+/// have no blocked mapping, so they dump the whole-program scratchpad
+/// plan only.
+fn analyze_json(name: &str) -> ExitCode {
+    let (program, params) = kernel_program(name).expect("checked");
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"kernel\": \"{}\",\n  \"params\": {params:?},\n",
+        program.name
+    ));
+    match analyze_mapping(name) {
+        Some(kernel) => {
+            let gpu = MachineConfig::geforce_8800_gtx();
+            // The representative block and thread instance: every
+            // round/block/seq tile dim and thread dim at 0 (all
+            // built-in mappings start there).
+            let fixed: Vec<(String, i64)> = kernel
+                .round_dims
+                .iter()
+                .chain(&kernel.block_dims)
+                .chain(&kernel.seq_dims)
+                .map(|d| (d.clone(), 0))
+                .collect();
+            let spec = (!kernel.thread_dims.is_empty()).then(|| HierSpec {
+                thread_dims: kernel.thread_dims.clone(),
+                thread_reps: kernel.thread_dims.iter().map(|d| (d.clone(), 0)).collect(),
+                regs_per_inner: gpu.regs_per_inner,
+            });
+            let config = SmemConfig {
+                sample_params: params.clone(),
+                ..SmemConfig::default()
+            };
+            let sp = analyze_symbolic_hier(&kernel.program, &fixed, &config, spec.as_ref())
+                .expect("analysis succeeds on built-in kernels");
+            let fixed_map: HashMap<String, i64> = fixed.iter().cloned().collect();
+            let ext1 = sp
+                .ext_params(&params, &fixed_map)
+                .expect("fixed dims covered");
+            out.push_str(&format!(
+                "  \"mapping\": {{ \"round_dims\": {:?}, \"block_dims\": {:?}, \"seq_dims\": {:?}, \"thread_dims\": {:?} }},\n",
+                kernel.round_dims, kernel.block_dims, kernel.seq_dims, kernel.thread_dims
+            ));
+            out.push_str("  \"levels\": [\n");
+            out.push_str(&level_json("scratchpad", &sp.plan, &ext1));
+            if let Some(h) = &sp.hier {
+                let threads = vec![0i64; h.thread_dims.len()];
+                let ext2 = h
+                    .ext_params(&params, &fixed_map, &threads)
+                    .expect("thread reps covered");
+                out.push_str(",\n");
+                let mut reg = level_json("register", &h.plan, &ext2);
+                // Frames cache level-1 buffers; record which.
+                reg = reg.replacen(
+                    "\"level\": \"register\",",
+                    &format!(
+                        "\"level\": \"register\",\n      \"regs_per_inner\": {},\n      \"backing\": {:?},",
+                        h.regs_per_inner, h.backing
+                    ),
+                    1,
+                );
+                out.push_str(&reg);
+            }
+            out.push_str("\n  ]\n");
+        }
+        None => {
+            let (plan, _) = plan_of_timed(&program, &params);
+            out.push_str("  \"levels\": [\n");
+            out.push_str(&level_json("scratchpad", &plan, &params));
+            out.push_str("\n  ]\n");
+        }
+    }
+    out.push_str("}\n");
+    print!("{out}");
+    ExitCode::SUCCESS
+}
+
 fn analyze(name: &str) -> ExitCode {
+    if json_requested() {
+        return analyze_json(name);
+    }
     let (program, params) = kernel_program(name).expect("checked");
     println!("== {} ==\n{program}", program.name);
     let (plan, times) = plan_of_timed(&program, &params);
@@ -297,6 +457,7 @@ fn run(name: &str, size: i64) -> ExitCode {
     let mut gpu = MachineConfig::geforce_8800_gtx();
     gpu.double_buffer = db;
     gpu.compiled_exec = !compiled_exec_disabled();
+    gpu.hierarchy = !hierarchy_disabled();
     let (kernel, params, check): (BlockedKernel, Vec<i64>, &str) = match name {
         "me" => {
             let s = me::MeSize {
@@ -399,13 +560,23 @@ fn run(name: &str, size: i64) -> ExitCode {
         "  plan cache hits/misses {}/{}",
         stats.plan_cache_hits, stats.plan_cache_misses
     );
+    if stats.hier_groups > 0 {
+        println!(
+            "  register level: {} frame groups, {} smem loads saved, {} bytes through registers",
+            stats.hier_groups, stats.smem_loads_saved, stats.reg_bytes_moved
+        );
+    }
     println!(
         "  compute phase {:.3} ms wall ({} engine)",
         stats.compute_ns as f64 / 1e6,
-        if gpu.compiled_exec {
-            "compiled"
-        } else {
+        if !gpu.compiled_exec {
             "interpreted"
+        } else if stats.hier_groups > 0 {
+            // Register-tile plans stage frames per thread key; the
+            // compiled engine declines those and the interpreter runs.
+            "interpreted, register-tile fallback"
+        } else {
+            "compiled"
         }
     );
     if stats.dma.descriptors > 0 {

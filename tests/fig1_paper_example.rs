@@ -215,6 +215,7 @@ fn executing_through_the_scratchpad_preserves_semantics() {
         round_dims: vec![],
         block_dims: vec![],
         seq_dims: vec![],
+        thread_dims: vec![],
         use_scratchpad: true,
     };
     let cfg = MachineConfig::geforce_8800_gtx();

@@ -350,6 +350,7 @@ proptest! {
             round_dims: vec![],
             block_dims: vec!["iT".into()],
             seq_dims: vec![],
+            thread_dims: vec![],
             use_scratchpad: true,
         };
         let mut st0 = ArrayStore::for_program(&p, &[n]).unwrap();
