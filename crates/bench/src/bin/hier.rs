@@ -27,9 +27,9 @@
 //! ```
 //!
 //! `POLYMEM_EXEC_CHECK=1` additionally runs the reference interpreter
-//! as an oracle beside every compiled block in the hierarchy-off runs
-//! (hierarchy-on plans fall back to the interpreter by design), and
-//! panics on divergence — the CI job sets it.
+//! as an oracle beside every compiled block — hierarchy-on plans
+//! included, now that the compiled engine executes them natively —
+//! and panics on divergence; the CI job sets it.
 //!
 //! Exits non-zero on any check failure. All gated quantities are
 //! deterministic counters, so the gates hold on noisy CI runners too.

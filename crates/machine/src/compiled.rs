@@ -18,6 +18,22 @@
 //!   k-way merge of per-statement lexicographic cursors over the
 //!   shared bound cascade — no materialize + sort.
 //!
+//! Hierarchy (level-2 register-tile) plans execute here too: accesses
+//! the level-2 plan rewrites become *frame* targets, the k-way merge
+//! tracks thread-key change points, and frame fill/flush go through
+//! the exact [`stage_frames`]/[`flush_frames`] protocol the
+//! interpreter uses — so `smem_loads_saved`, `reg_bytes_moved`,
+//! `hier_groups` and the typed `RegisterOverflow` check are
+//! bit-identical between engines.
+//!
+//! With [`MachineConfig::vector_width`] > 1 the inner loop batches up
+//! to that many consecutive innermost-dim instances per dispatch when
+//! every address stream is proven: streaming statements evaluate all
+//! lanes through [`polymem_ir::BodyCode::eval_lanes`], accumulator
+//! statements (a read aliasing the lane-invariant write cell) chain
+//! serially in scalar association order, and anything else bails to
+//! the scalar path. Batching never changes arrays or counters.
+//!
 //! Accesses whose in-bounds / no-overflow proof fails degrade to a
 //! *guarded* stream (checked per point, typed errors), and any shape
 //! that cannot be compiled at all falls back to the interpreter, which
@@ -25,11 +41,12 @@
 //! block against it).
 
 use crate::config::MachineConfig;
-use crate::exec::{budget_error, ExecStats, LocalStore};
+use crate::exec::{budget_error, flush_frames, stage_frames, ExecStats, FrameSet, LocalStore};
 use crate::overlay::Overlay;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    lower_rows, parametrize_dims, prove_flat, row_major_weights, AccessId, LoweredRow, SymbolicPlan,
+    lower_rows, parametrize_dims, prove_flat, row_major_weights, AccessId, HierPlan, LoweredRow,
+    SmemPlan, SymbolicPlan,
 };
 use polymem_ir::{ArrayStore, BodyCode, IrError, Program};
 use polymem_poly::bounds::{all_param_bounds, bound_cascade, DimBounds};
@@ -144,6 +161,11 @@ pub(crate) enum Target {
     Global { array: usize },
     /// Scratchpad buffer of the block's [`LocalStore`].
     Local { buffer: usize },
+    /// Register frame of the level-2 plan: resolved per point through
+    /// the staged [`FrameSet`] (the access id keys
+    /// `HierPlan::plan.rewrites`). Never flat-lowered — frames are
+    /// tiny and re-anchor at every thread-key change.
+    Frame { id: AccessId },
 }
 
 /// One access of one statement, lowered to rows over
@@ -169,6 +191,9 @@ pub(crate) struct ShapeStmt {
     pub fixed_pos: Vec<(usize, usize)>,
     /// Dim count of the original (full-space) statement domain.
     pub n_full: usize,
+    /// The innermost kept dim is a level-2 thread dim — batching along
+    /// it would straddle thread-key (frame staging) boundaries.
+    pub vary_thread: bool,
     pub reads: Vec<AccTemplate>,
     pub write: AccTemplate,
 }
@@ -186,13 +211,7 @@ impl CompiledShape {
         fixed_names: &[String],
         plan: Option<&SymbolicPlan>,
     ) -> Option<CompiledShape> {
-        // A level-2 (register-tile) plan stages frames per thread key
-        // during compute — the compiled streams don't model that, so
-        // such shapes run on the interpreter (identical semantics,
-        // frame traffic included in its counters).
-        if plan.is_some_and(|sp| sp.hier.is_some()) {
-            return None;
-        }
+        let hier = plan.and_then(|sp| sp.hier.as_ref());
         let sym = parametrize_dims(program, fixed_names).ok()?;
         let n_ext = program.params.len() + fixed_names.len();
         let mut stmts = Vec::with_capacity(program.stmts.len());
@@ -218,26 +237,46 @@ impl CompiledShape {
                     return None;
                 }
             }
-            let lower = |id: AccessId, array: usize, map: &polymem_poly::AffineMap| match plan
-                .and_then(|sp| sp.plan.rewrites.get(&id))
-            {
-                Some(la) => {
-                    if la.map.n_in() != kept.len() || la.map.in_space().n_params() != n_ext {
+            // Frame-redirected accesses need a thread key at every
+            // instance of their statement.
+            let keyed = hier
+                .and_then(|h| h.stmt_thread_pos.get(si))
+                .is_some_and(|p| p.is_some());
+            let vary_thread = hier
+                .and_then(|h| h.stmt_thread_pos.get(si))
+                .and_then(|p| p.as_ref())
+                .is_some_and(|pos| kept.last().is_some_and(|vd| pos.contains(vd)));
+            let lower = |id: AccessId, array: usize, map: &polymem_poly::AffineMap| {
+                if hier.is_some_and(|h| h.plan.rewrites.contains_key(&id)) {
+                    // Level-2 frame target: resolved per point against
+                    // the staged FrameSet, nothing to flat-lower here.
+                    if !keyed {
                         return None;
                     }
-                    Some(AccTemplate {
-                        target: Target::Local { buffer: la.buffer },
-                        rows: lower_rows(&la.map),
-                    })
+                    return Some(AccTemplate {
+                        target: Target::Frame { id },
+                        rows: Vec::new(),
+                    });
                 }
-                None => {
-                    if map.n_in() != kept.len() || map.in_space().n_params() != n_ext {
-                        return None;
+                match plan.and_then(|sp| sp.plan.rewrites.get(&id)) {
+                    Some(la) => {
+                        if la.map.n_in() != kept.len() || la.map.in_space().n_params() != n_ext {
+                            return None;
+                        }
+                        Some(AccTemplate {
+                            target: Target::Local { buffer: la.buffer },
+                            rows: lower_rows(&la.map),
+                        })
                     }
-                    Some(AccTemplate {
-                        target: Target::Global { array },
-                        rows: lower_rows(map),
-                    })
+                    None => {
+                        if map.n_in() != kept.len() || map.in_space().n_params() != n_ext {
+                            return None;
+                        }
+                        Some(AccTemplate {
+                            target: Target::Global { array },
+                            rows: lower_rows(map),
+                        })
+                    }
                 }
             };
             let reads = ss
@@ -254,6 +293,7 @@ impl CompiledShape {
                 kept,
                 fixed_pos,
                 n_full: orig_dims.len(),
+                vary_thread,
                 reads,
                 write,
             });
@@ -321,6 +361,17 @@ impl AccInst<'_> {
         match &self.addr {
             Addr::Proven { base, part, .. } => *part.last().unwrap_or(base) as usize,
             Addr::Guarded { .. } => unreachable!("offset() on guarded stream"),
+        }
+    }
+
+    /// Stride of a proven stream along the innermost kept dim; frame
+    /// targets (guarded by construction) report 0 — their lane
+    /// addresses are resolved through the frame index instead.
+    #[inline]
+    fn vary_stride(&self) -> i64 {
+        match &self.addr {
+            Addr::Proven { strides, .. } => *strides.last().unwrap_or(&0),
+            Addr::Guarded { .. } => 0,
         }
     }
 }
@@ -463,6 +514,41 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// Points left in the current innermost run (inclusive distance to
+    /// its upper bound). 0 when the cursor has no kept dims.
+    #[inline]
+    pub fn run_remaining(&self) -> i64 {
+        match (self.hi.last(), self.point.last()) {
+            (Some(h), Some(p)) => h - p,
+            _ => 0,
+        }
+    }
+
+    /// Accepted points the budget still allows beyond the current one.
+    #[inline]
+    pub fn budget_headroom(&self) -> u64 {
+        self.budget.saturating_sub(self.visited)
+    }
+
+    /// Jump `steps` points forward along the current innermost run.
+    /// The caller has already verified domain membership of every
+    /// skipped point and that the budget holds, so this only moves the
+    /// coordinate and the visit count — no re-seek, no carry above the
+    /// innermost depth.
+    pub fn advance_run(&mut self, steps: i64) -> polymem_poly::Result<()> {
+        let n = self.st.cascade.len();
+        debug_assert!(n > 0 && steps >= 0 && self.point[n - 1] + steps <= self.hi[n - 1]);
+        self.visited += steps as u64;
+        if self.visited > self.budget {
+            return Err(PolyError::TooManyPoints {
+                budget: self.budget,
+            });
+        }
+        self.point[n - 1] += steps;
+        self.full[self.st.kept[n - 1]] = self.point[n - 1];
+        Ok(())
+    }
+
     /// Increment the deepest incrementable dim strictly below `depth`;
     /// returns the depth to re-descend from.
     fn bump_below(&mut self, depth: usize) -> Option<usize> {
@@ -483,8 +569,14 @@ impl<'a> Cursor<'a> {
 /// interleaved source order: common-prefix dims first, then statement
 /// index. Distinct statements, so the order is strict.
 fn earlier(a_si: usize, a: &Cursor, b_si: usize, b: &Cursor, common: &[Vec<usize>]) -> bool {
+    earlier_pt(a_si, &a.full, b_si, b, common)
+}
+
+/// [`earlier`] against an explicit full-space point for `a` — the
+/// batcher probes run *endpoints* without moving the cursor.
+fn earlier_pt(a_si: usize, a_full: &[i64], b_si: usize, b: &Cursor, common: &[Vec<usize>]) -> bool {
     let c = common[a_si][b_si];
-    match a.full[..c].cmp(&b.full[..c]) {
+    match a_full[..c].cmp(&b.full[..c]) {
         Ordering::Less => true,
         Ordering::Greater => false,
         Ordering::Equal => a_si < b_si,
@@ -542,12 +634,158 @@ pub(crate) struct CompiledCounts {
     pub n_glob: u64,
 }
 
+/// Level-2 buffer id + frame index of a frame-target access at the
+/// full-space point `full` of statement `si`.
+fn frame_index(
+    id: AccessId,
+    si: usize,
+    full: &[i64],
+    h: &HierPlan,
+    pp2: &[i64],
+) -> Result<(usize, Vec<i64>)> {
+    let la = h
+        .plan
+        .rewrites
+        .get(&id)
+        .expect("frame target from rewrites");
+    let buf = &h.plan.buffers[la.buffer];
+    let proj = h.project_point(si, full);
+    Ok((la.buffer, la.local_index(buf, &proj, pp2)?))
+}
+
+/// Charge the counters for one read of `t` — exactly what the scalar
+/// path (and the interpreter) charges.
+fn charge_read(t: Target, stats: &mut ExecStats, counts: &mut CompiledCounts) {
+    match t {
+        Target::Local { .. } => {
+            stats.smem_reads += 1;
+            counts.n_smem += 1;
+        }
+        Target::Global { .. } => {
+            stats.global_reads += 1;
+            counts.n_glob += 1;
+        }
+        Target::Frame { .. } => stats.smem_loads_saved += 1,
+    }
+}
+
+/// Charge the counters for one write of `t` (frame writes are silent,
+/// like the interpreter's).
+fn charge_write(t: Target, stats: &mut ExecStats, counts: &mut CompiledCounts) {
+    match t {
+        Target::Local { .. } => {
+            stats.smem_writes += 1;
+            counts.n_smem += 1;
+        }
+        Target::Global { .. } => {
+            stats.global_writes += 1;
+            counts.n_glob += 1;
+        }
+        Target::Frame { .. } => {}
+    }
+}
+
+/// Read (and charge) one proven access at lane `l` of a batch. Batch
+/// eligibility guarantees a proven stream, so the lane address is
+/// `offset + l·stride` — frame targets never reach here (they run
+/// scalar).
+fn read_at_lane(
+    acc: &AccInst,
+    l: usize,
+    local: Option<&LocalStore>,
+    overlay: &Overlay,
+    gdatas: &[&[i64]],
+    stats: &mut ExecStats,
+    counts: &mut CompiledCounts,
+) -> i64 {
+    charge_read(acc.target, stats, counts);
+    let off = (acc.offset() as i64 + acc.vary_stride() * l as i64) as usize;
+    match acc.target {
+        Target::Frame { .. } => unreachable!("frame statements are never batched"),
+        Target::Local { buffer } => local.expect("local target implies store").bufs[buffer].0[off],
+        Target::Global { array } => match overlay.get(array, off) {
+            Some(v) => v,
+            None => gdatas[array][off],
+        },
+    }
+}
+
+/// Store `value` through the write access at lane `l` of a batch —
+/// storage only, counters are charged separately (reduction batches
+/// charge per lane but store once).
+fn store_at_lane(
+    wacc: &AccInst,
+    l: usize,
+    value: i64,
+    local: &mut Option<&mut LocalStore>,
+    overlay: &mut Overlay,
+) {
+    let off = (wacc.offset() as i64 + wacc.vary_stride() * l as i64) as usize;
+    match wacc.target {
+        Target::Frame { .. } => unreachable!("frame statements are never batched"),
+        Target::Local { buffer } => {
+            local
+                .as_deref_mut()
+                .expect("local target implies store")
+                .bufs[buffer]
+                .0[off] = value;
+        }
+        Target::Global { array } => overlay.set(array, off, value),
+    }
+}
+
+/// Some read lane would observe some earlier write lane's cell:
+/// `ro + rs·l == wo + ws·m` for any `m < l`. Brute force — lanes ≤ 8.
+fn collides(ro: i64, rs: i64, wo: i64, ws: i64, lanes: usize) -> bool {
+    (1..lanes as i64).any(|l| (0..l).any(|m| ro + rs * l == wo + ws * m))
+}
+
+/// Classify a candidate batch of `lanes` instances of `inst` against
+/// its own write. Returns `false` on an unresolvable read-after-write
+/// conflict (bail to scalar); on `true`, `flags[r]` marks accumulator
+/// reads (read cell == lane-invariant write cell) whose lanes > 0
+/// forward the previous lane's value instead of re-reading. Only
+/// proven streams reach here, so the check is pure offset/stride
+/// arithmetic — no charges, no stores.
+fn classify_batch(inst: &StmtInst, lanes: usize, flags: &mut Vec<bool>) -> bool {
+    let w = &inst.write;
+    flags.clear();
+    flags.resize(inst.reads.len(), false);
+    let (wo, ws) = (w.offset() as i64, w.vary_stride());
+    for (r, acc) in inst.reads.iter().enumerate() {
+        let same_cell = match (w.target, acc.target) {
+            (Target::Global { array: wa }, Target::Global { array }) => array == wa,
+            (Target::Local { buffer: wb }, Target::Local { buffer }) => buffer == wb,
+            // Distinct storage classes never alias (frames are
+            // per-thread copies and never batched anyway).
+            _ => false,
+        };
+        if !same_cell {
+            continue;
+        }
+        let (ro, rs) = (acc.offset() as i64, acc.vary_stride());
+        if rs == 0 && ws == 0 && ro == wo {
+            flags[r] = true;
+        } else if collides(ro, rs, wo, ws, lanes) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Run one sub-block's compute phase through the compiled engine.
 ///
 /// Returns `Ok(None)` — *before any effect* — when this block cannot
 /// take the compiled path (shape mismatch, unbounded boxes, foreign
 /// store); the caller then runs the interpreter. After the first
 /// instance executes, errors are hard and mirror the interpreter's.
+///
+/// Hierarchy plans (`plan.hier`) execute here natively: the merge
+/// tracks each keyed statement's thread key and stages/flushes
+/// register frames through the interpreter's own
+/// [`stage_frames`]/[`flush_frames`] at exactly the key-change points
+/// the interpreter would hit, so every counter (and the typed
+/// `RegisterOverflow`) is bit-identical.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_compiled<'s>(
     shape: &'s CompiledShape,
@@ -557,10 +795,12 @@ pub(crate) fn run_compiled<'s>(
     fixed: &HashMap<String, i64>,
     store: &ArrayStore,
     mut local: Option<&mut LocalStore>,
+    plan: Option<&SymbolicPlan>,
     overlay: &mut Overlay,
     stats: &mut ExecStats,
-    budget: u64,
+    config: &MachineConfig,
 ) -> Result<Option<CompiledCounts>> {
+    let budget = config.enum_budget;
     let Some(bodies) = launch.bodies.as_ref() else {
         return Ok(None);
     };
@@ -576,14 +816,29 @@ pub(crate) fn run_compiled<'s>(
             _ => return Ok(None),
         }
     }
-    // A local target without a staged local store cannot run compiled.
-    let needs_local = shape.stmts.iter().any(|st| {
+    let hier: Option<&HierPlan> = plan.and_then(|sp| sp.hier.as_ref());
+    let plan1: Option<&SmemPlan> = plan.map(|sp| &sp.plan);
+    // A local or frame target without a staged local store cannot run
+    // compiled (frames fill from and flush to the level-1 buffers).
+    let needs_local = hier.is_some()
+        || shape.stmts.iter().any(|st| {
+            st.reads
+                .iter()
+                .chain(std::iter::once(&st.write))
+                .any(|t| !matches!(t.target, Target::Global { .. }))
+        });
+    if needs_local && local.is_none() {
+        return Ok(None);
+    }
+    // A frame target without the hier plan in hand is a caller bug
+    // (shape and plan are cached together) — decline defensively.
+    let has_frames = shape.stmts.iter().any(|st| {
         st.reads
             .iter()
             .chain(std::iter::once(&st.write))
-            .any(|t| matches!(t.target, Target::Local { .. }))
+            .any(|t| matches!(t.target, Target::Frame { .. }))
     });
-    if needs_local && local.is_none() {
+    if has_frames && hier.is_none() {
         return Ok(None);
     }
     let lweights: Vec<Option<Vec<i64>>> = local
@@ -617,6 +872,9 @@ pub(crate) fn run_compiled<'s>(
                         .as_ref()
                         .and_then(|w| prove_flat(&t.rows, &ep, w, ext_b, Some(off_b), &boxes))
                 }
+                // Frames re-anchor per thread key — always resolved
+                // through the staged FrameSet, never flat-proven.
+                Target::Frame { .. } => None,
             };
             let addr = match proven {
                 Some(fa) => Addr::Proven {
@@ -653,12 +911,37 @@ pub(crate) fn run_compiled<'s>(
         }
     }
 
+    // Batch eligibility per statement: every access rides a proven
+    // flat address stream. Frame targets are always `Guarded` (they
+    // re-anchor per thread key), so frame-touching statements run
+    // scalar — their per-element cost is a register-file lookup the
+    // model already prices at zero, and resolving frame indices per
+    // lane costs more than lane-parallel evaluation saves.
+    let all_proven: Vec<bool> = insts
+        .iter()
+        .map(|inst| {
+            inst.reads
+                .iter()
+                .chain(std::iter::once(&inst.write))
+                .all(|a| matches!(a.addr, Addr::Proven { .. }))
+        })
+        .collect();
+    let vw = config.vector_width.max(1) as usize;
+
     // K-way merge in interleaved source order.
     let gdatas: Vec<&[i64]> = sids.iter().map(|&id| store.data_by_id(id)).collect();
     let mut counts = CompiledCounts::default();
     let mut reads_buf: Vec<i64> = Vec::new();
+    let mut batch_reads: Vec<i64> = Vec::new();
+    let mut lane_vals: Vec<i64> = Vec::new();
     let mut stack: Vec<i64> = Vec::new();
     let mut idx: Vec<i64> = Vec::new();
+    // Scratch reused across batches so the hot loop never allocates.
+    let mut probe_buf: Vec<i64> = Vec::new();
+    let mut end_full_buf: Vec<i64> = Vec::new();
+    let mut fp_buf: Vec<i64> = Vec::new();
+    let mut flags_buf: Vec<bool> = Vec::new();
+    let mut cur_frames: Option<FrameSet> = None;
     loop {
         let mut best: Option<usize> = None;
         for si in 0..n_stmts {
@@ -677,100 +960,288 @@ pub(crate) fn run_compiled<'s>(
             });
         }
         let Some(si) = best else { break };
-        let cur = &cursors[si];
-        reads_buf.clear();
-        for acc in &insts[si].reads {
-            let off = match &acc.addr {
-                Addr::Proven { .. } => acc.offset(),
-                Addr::Guarded { rows } => match acc.target {
-                    Target::Global { array } => guarded_offset(
-                        rows,
-                        &cur.point,
-                        &ep,
-                        &launch.ext[array],
-                        None,
-                        &mut idx,
-                        || program.arrays[array].name.clone(),
-                    )?,
+        // Frame staging at thread-key change points — the same
+        // sequence of keys (hence the same hier_groups / traffic /
+        // RegisterOverflow points) as the interpreter's loop, because
+        // the merge emits instances in the identical order.
+        if let Some(h) = hier {
+            if let Some(key) = h.thread_key(si, &cursors[si].full) {
+                if cur_frames.as_ref().map(|fs| fs.key.as_slice()) != Some(key.as_slice()) {
+                    let p1 = plan1.expect("hier rides on the level-1 plan");
+                    let ls = local.as_deref_mut().expect("checked above");
+                    if let Some(fs) = cur_frames.take() {
+                        counts.n_smem += flush_frames(h, p1, &fs, ls, stats, config)?;
+                    }
+                    let (fs, dn) = stage_frames(h, p1, key, params, fixed, ls, stats, config)?;
+                    counts.n_smem += dn;
+                    cur_frames = Some(fs);
+                }
+            }
+        }
+        let st = &shape.stmts[si];
+        let n = st.cascade.len();
+
+        // Probe for a batch: up to `vw` consecutive innermost-dim
+        // instances, clipped to the run, the domain, the budget, and
+        // the source-order frontier of every other alive statement.
+        let mut lanes = 1usize;
+        if vw > 1 && n > 0 && all_proven[si] && !st.vary_thread {
+            let cur = &cursors[si];
+            let max_run = (cur.run_remaining() + 1).min(vw as i64).max(1) as usize;
+            lanes = max_run.min(cur.budget_headroom().min(usize::MAX as u64) as usize + 1);
+            if lanes > 1 {
+                probe_buf.clear();
+                probe_buf.extend_from_slice(&cur.point);
+                let mut ok = 1usize;
+                while ok < lanes {
+                    probe_buf[n - 1] += 1;
+                    if !st.domain.contains(&probe_buf, &ep) {
+                        break;
+                    }
+                    ok += 1;
+                }
+                lanes = ok;
+            }
+            if lanes > 1 && n_stmts > 1 {
+                let vd = st.kept[n - 1];
+                end_full_buf.clear();
+                end_full_buf.extend_from_slice(&cur.full);
+                'shrink: while lanes > 1 {
+                    end_full_buf[vd] = cur.full[vd] + (lanes as i64 - 1);
+                    for (sj, c) in cursors.iter().enumerate() {
+                        if sj == si || !alive[sj] {
+                            continue;
+                        }
+                        if !earlier_pt(si, &end_full_buf, sj, c, &launch.common) {
+                            lanes -= 1;
+                            continue 'shrink;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // Read-after-write conflict across lanes: scalar.
+        if lanes > 1 && !classify_batch(&insts[si], lanes, &mut flags_buf) {
+            lanes = 1;
+        }
+
+        if lanes > 1 {
+            let vd = st.kept[n - 1];
+            let base_full = &cursors[si].full;
+            let nr = insts[si].reads.len();
+            if flags_buf.iter().any(|&f| f) {
+                // Reduction: a read aliases the lane-invariant write
+                // cell. Chain the accumulator serially — scalar
+                // association order, scalar charges — while skipping
+                // the merge scan and cursor seek per lane.
+                fp_buf.clear();
+                fp_buf.extend_from_slice(base_full);
+                let mut value = 0i64;
+                for l in 0..lanes {
+                    fp_buf[vd] = base_full[vd] + l as i64;
+                    reads_buf.clear();
+                    for (r, acc) in insts[si].reads.iter().enumerate() {
+                        let v = if flags_buf[r] && l > 0 {
+                            charge_read(acc.target, stats, &mut counts);
+                            value
+                        } else {
+                            read_at_lane(
+                                acc,
+                                l,
+                                local.as_deref(),
+                                overlay,
+                                &gdatas,
+                                stats,
+                                &mut counts,
+                            )
+                        };
+                        reads_buf.push(v);
+                    }
+                    value = bodies[si]
+                        .eval(&mut stack, &reads_buf, &fp_buf, params)
+                        .map_err(MachineError::Ir)?;
+                    charge_write(insts[si].write.target, stats, &mut counts);
+                }
+                store_at_lane(&insts[si].write, lanes - 1, value, &mut local, overlay);
+            } else {
+                // Streaming: gather slot-major, one lane-parallel body
+                // evaluation, scatter in lane order.
+                batch_reads.clear();
+                for acc in &insts[si].reads {
+                    for l in 0..lanes {
+                        let v = read_at_lane(
+                            acc,
+                            l,
+                            local.as_deref(),
+                            overlay,
+                            &gdatas,
+                            stats,
+                            &mut counts,
+                        );
+                        batch_reads.push(v);
+                    }
+                }
+                if bodies[si]
+                    .eval_lanes(
+                        &mut stack,
+                        &batch_reads,
+                        lanes,
+                        base_full,
+                        Some(vd),
+                        params,
+                        &mut lane_vals,
+                    )
+                    .is_err()
+                {
+                    // Some lane faults. Re-run serially so the error
+                    // surfaced is the one scalar order reports first.
+                    lane_vals.clear();
+                    fp_buf.clear();
+                    fp_buf.extend_from_slice(base_full);
+                    for l in 0..lanes {
+                        fp_buf[vd] = base_full[vd] + l as i64;
+                        reads_buf.clear();
+                        for r in 0..nr {
+                            reads_buf.push(batch_reads[r * lanes + l]);
+                        }
+                        lane_vals.push(
+                            bodies[si]
+                                .eval(&mut stack, &reads_buf, &fp_buf, params)
+                                .map_err(MachineError::Ir)?,
+                        );
+                    }
+                }
+                for (l, &v) in lane_vals.iter().enumerate() {
+                    charge_write(insts[si].write.target, stats, &mut counts);
+                    store_at_lane(&insts[si].write, l, v, &mut local, overlay);
+                }
+            }
+            stats.instances += lanes as u64;
+            counts.n_inst += lanes as u64;
+            cursors[si]
+                .advance_run(lanes as i64 - 1)
+                .map_err(budget_error)?;
+            insts[si].carry(&cursors[si].point, n - 1);
+        } else {
+            let cur = &cursors[si];
+            reads_buf.clear();
+            for acc in &insts[si].reads {
+                let v = match acc.target {
+                    Target::Frame { id } => {
+                        let h = hier.expect("frame target implies hier");
+                        let fs = cur_frames.as_ref().expect("keyed statement staged frames");
+                        let (b, fidx) = frame_index(id, si, &cur.full, h, &fs.pp2)?;
+                        stats.smem_loads_saved += 1;
+                        fs.frames.get(b, &fidx)?
+                    }
                     Target::Local { buffer } => {
-                        let l = local.as_deref().expect("checked above");
-                        guarded_offset(
+                        let off = match &acc.addr {
+                            Addr::Proven { .. } => acc.offset(),
+                            Addr::Guarded { rows } => {
+                                let l = local.as_deref().expect("checked above");
+                                guarded_offset(
+                                    rows,
+                                    &cur.point,
+                                    &ep,
+                                    &l.bufs[buffer].1,
+                                    Some(&l.bufs[buffer].2),
+                                    &mut idx,
+                                    || format!("local buffer {buffer}"),
+                                )?
+                            }
+                        };
+                        stats.smem_reads += 1;
+                        counts.n_smem += 1;
+                        local.as_deref().expect("checked above").bufs[buffer].0[off]
+                    }
+                    Target::Global { array } => {
+                        let off = match &acc.addr {
+                            Addr::Proven { .. } => acc.offset(),
+                            Addr::Guarded { rows } => guarded_offset(
+                                rows,
+                                &cur.point,
+                                &ep,
+                                &launch.ext[array],
+                                None,
+                                &mut idx,
+                                || program.arrays[array].name.clone(),
+                            )?,
+                        };
+                        stats.global_reads += 1;
+                        counts.n_glob += 1;
+                        match overlay.get(array, off) {
+                            Some(v) => v,
+                            None => gdatas[array][off],
+                        }
+                    }
+                };
+                reads_buf.push(v);
+            }
+            let value = bodies[si]
+                .eval(&mut stack, &reads_buf, &cur.full, params)
+                .map_err(MachineError::Ir)?;
+            let wacc = &insts[si].write;
+            match wacc.target {
+                Target::Frame { id } => {
+                    let h = hier.expect("frame target implies hier");
+                    let fs = cur_frames.as_mut().expect("keyed statement staged frames");
+                    let (b, fidx) = frame_index(id, si, &cur.full, h, &fs.pp2)?;
+                    // Frame writes are silent — they pay at flush.
+                    fs.frames.set(b, &fidx, value)?;
+                }
+                Target::Local { buffer } => {
+                    let woff = match &wacc.addr {
+                        Addr::Proven { .. } => wacc.offset(),
+                        Addr::Guarded { rows } => {
+                            let l = local.as_deref().expect("checked above");
+                            guarded_offset(
+                                rows,
+                                &cur.point,
+                                &ep,
+                                &l.bufs[buffer].1,
+                                Some(&l.bufs[buffer].2),
+                                &mut idx,
+                                || format!("local buffer {buffer}"),
+                            )?
+                        }
+                    };
+                    stats.smem_writes += 1;
+                    counts.n_smem += 1;
+                    local.as_deref_mut().expect("checked above").bufs[buffer].0[woff] = value;
+                }
+                Target::Global { array } => {
+                    let woff = match &wacc.addr {
+                        Addr::Proven { .. } => wacc.offset(),
+                        Addr::Guarded { rows } => guarded_offset(
                             rows,
                             &cur.point,
                             &ep,
-                            &l.bufs[buffer].1,
-                            Some(&l.bufs[buffer].2),
+                            &launch.ext[array],
+                            None,
                             &mut idx,
-                            || format!("local buffer {buffer}"),
-                        )?
-                    }
-                },
-            };
-            let v = match acc.target {
-                Target::Local { buffer } => {
-                    stats.smem_reads += 1;
-                    counts.n_smem += 1;
-                    local.as_deref().expect("checked above").bufs[buffer].0[off]
-                }
-                Target::Global { array } => {
-                    stats.global_reads += 1;
+                            || program.arrays[array].name.clone(),
+                        )?,
+                    };
+                    stats.global_writes += 1;
                     counts.n_glob += 1;
-                    match overlay.get(array, off) {
-                        Some(v) => v,
-                        None => gdatas[array][off],
-                    }
+                    overlay.set(array, woff, value);
                 }
-            };
-            reads_buf.push(v);
-        }
-        let value = bodies[si]
-            .eval(&mut stack, &reads_buf, &cur.full, params)
-            .map_err(MachineError::Ir)?;
-        let wacc = &insts[si].write;
-        let woff = match &wacc.addr {
-            Addr::Proven { .. } => wacc.offset(),
-            Addr::Guarded { rows } => match wacc.target {
-                Target::Global { array } => guarded_offset(
-                    rows,
-                    &cur.point,
-                    &ep,
-                    &launch.ext[array],
-                    None,
-                    &mut idx,
-                    || program.arrays[array].name.clone(),
-                )?,
-                Target::Local { buffer } => {
-                    let l = local.as_deref().expect("checked above");
-                    guarded_offset(
-                        rows,
-                        &cur.point,
-                        &ep,
-                        &l.bufs[buffer].1,
-                        Some(&l.bufs[buffer].2),
-                        &mut idx,
-                        || format!("local buffer {buffer}"),
-                    )?
-                }
-            },
-        };
-        match wacc.target {
-            Target::Local { buffer } => {
-                stats.smem_writes += 1;
-                counts.n_smem += 1;
-                local.as_deref_mut().expect("checked above").bufs[buffer].0[woff] = value;
             }
-            Target::Global { array } => {
-                stats.global_writes += 1;
-                counts.n_glob += 1;
-                overlay.set(array, woff, value);
-            }
+            stats.instances += 1;
+            counts.n_inst += 1;
         }
-        stats.instances += 1;
-        counts.n_inst += 1;
         match cursors[si].advance().map_err(budget_error)? {
             Some(ch) => insts[si].carry(&cursors[si].point, ch),
             None => alive[si] = false,
         }
+    }
+    // The trailing frame set flushes after the last instance, exactly
+    // like the interpreter's final flush.
+    if let (Some(h), Some(fs)) = (hier, cur_frames.take()) {
+        let p1 = plan1.expect("hier rides on the level-1 plan");
+        let ls = local.expect("checked above");
+        counts.n_smem += flush_frames(h, p1, &fs, ls, stats, config)?;
     }
     Ok(Some(counts))
 }

@@ -103,10 +103,21 @@ pub struct MachineConfig {
     /// pipeline over the intra-thread subnest of each block and stage
     /// beneficial groups into per-thread frames (smem→reg move-in,
     /// reg→smem move-out). Off in every preset; `polymem run` turns it
-    /// on unless `--no-hierarchy` is given. Requires the plan cache
-    /// and currently executes through the interpreter (the compiled
-    /// engine falls back when a level-2 plan is attached).
+    /// on unless `--no-hierarchy` is given. Requires the plan cache.
+    /// Both engines execute level-2 plans: the compiled engine tracks
+    /// thread-key change points inside its merged cursors and stages
+    /// frames through the same movement code as the interpreter, so
+    /// counters stay bit-identical between the two.
     pub hierarchy: bool,
+    /// Lane count of the compiled engine's batched inner loop. `1` is
+    /// the scalar path; wider values evaluate up to this many
+    /// consecutive innermost-dim instances per bytecode dispatch over
+    /// proven strided address streams (streaming statements go through
+    /// lane-parallel `BodyCode::eval_lanes`, reductions through a
+    /// serial accumulator chain that preserves scalar association
+    /// order). Functionally invisible: arrays and every deterministic
+    /// counter are bit-identical at any width.
+    pub vector_width: u64,
 }
 
 impl MachineConfig {
@@ -143,6 +154,8 @@ impl MachineConfig {
             // keeps frames row-sized.
             regs_per_inner: 64,
             hierarchy: false,
+            // The 8800's inner level is 8-wide SIMD.
+            vector_width: 8,
         }
     }
 
@@ -175,6 +188,8 @@ impl MachineConfig {
             // The SPE register file has 128 entries.
             regs_per_inner: 128,
             hierarchy: false,
+            // SPE SIMD is 128-bit: four 32-bit lanes.
+            vector_width: 4,
         }
     }
 
@@ -207,6 +222,7 @@ impl MachineConfig {
             compiled_exec: true,
             regs_per_inner: 16,
             hierarchy: false,
+            vector_width: 1,
         }
     }
 
@@ -257,6 +273,15 @@ mod tests {
         assert_eq!(g.kind, MachineKind::Gpu);
         assert_eq!(MachineConfig::cell_like().kind, MachineKind::CellLike);
         assert_eq!(MachineConfig::host_cpu().kind, MachineKind::Cpu);
+    }
+
+    #[test]
+    fn vector_width_matches_inner_simd() {
+        // Lane counts mirror each preset's SIMD: 8-wide GPU inner
+        // units, 128-bit (4×32) SPE vectors, scalar host baseline.
+        assert_eq!(MachineConfig::geforce_8800_gtx().vector_width, 8);
+        assert_eq!(MachineConfig::cell_like().vector_width, 4);
+        assert_eq!(MachineConfig::host_cpu().vector_width, 1);
     }
 
     #[test]

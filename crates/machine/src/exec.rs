@@ -126,12 +126,57 @@ pub struct ExecStats {
     /// Register frame sets staged (one per thread key per sub-block
     /// compute phase).
     pub hier_groups: u64,
+    /// Sub-block compute phases executed by the compiled engine.
+    /// Engine attribution (this field, `interpreted_blocks` and
+    /// `fallback`) is excluded from stats equality: the whole point of
+    /// comparing stats across engines is that everything *else*
+    /// matches.
+    pub compiled_blocks: u64,
+    /// Sub-block compute phases that ran on the per-point interpreter.
+    pub interpreted_blocks: u64,
+    /// Why interpreted phases fell back (one count per phase).
+    pub fallback: FallbackStats,
     /// DMA transfer-engine counters ([`crate::dma`]).
     pub dma: DmaStats,
     /// Wall-clock nanoseconds spent in block compute phases (compiled
     /// or interpreted), summed across blocks by
     /// [`absorb`](ExecStats::absorb). Excluded from equality.
     pub compute_ns: u64,
+}
+
+/// Reasons a sub-block compute phase used the interpreter instead of
+/// the compiled engine. Before these counters existed, the default
+/// CLI path (hierarchy on) silently interpreted every block while
+/// reporting compute time as if the compiled engine were on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FallbackStats {
+    /// Compiled execution was off for the launch: the config flag,
+    /// naive mode, or a body that failed to compile to bytecode.
+    pub engine_off: u64,
+    /// The sub-block's scratchpad plan was analysed per-block (owned),
+    /// so there is no shared shape to key compiled streams on.
+    pub owned_plan: u64,
+    /// The block shape failed to compile (unbounded cascade, or a
+    /// plan/dim-layout mismatch); parked so same-shape blocks skip the
+    /// retry.
+    pub shape_uncompiled: u64,
+    /// The compiled engine declined at run time, before any effect
+    /// (parameter mismatch, foreign store, unbounded proof box).
+    pub runtime_decline: u64,
+}
+
+impl FallbackStats {
+    /// Total interpreted-phase fallbacks.
+    pub fn total(&self) -> u64 {
+        self.engine_off + self.owned_plan + self.shape_uncompiled + self.runtime_decline
+    }
+
+    fn absorb(&mut self, o: &FallbackStats) {
+        self.engine_off += o.engine_off;
+        self.owned_plan += o.owned_plan;
+        self.shape_uncompiled += o.shape_uncompiled;
+        self.runtime_decline += o.runtime_decline;
+    }
 }
 
 impl PartialEq for ExecStats {
@@ -189,6 +234,9 @@ impl ExecStats {
         self.smem_loads_saved += o.smem_loads_saved;
         self.reg_bytes_moved += o.reg_bytes_moved;
         self.hier_groups += o.hier_groups;
+        self.compiled_blocks += o.compiled_blocks;
+        self.interpreted_blocks += o.interpreted_blocks;
+        self.fallback.absorb(&o.fallback);
         self.dma.absorb(&o.dma);
         self.compute_ns += o.compute_ns;
     }
@@ -714,7 +762,7 @@ impl LocalStore {
         Some(off as usize)
     }
 
-    fn get(&self, buf: usize, idx: &[i64]) -> Result<i64> {
+    pub(crate) fn get(&self, buf: usize, idx: &[i64]) -> Result<i64> {
         let f = self.flat(buf, idx).ok_or_else(|| {
             MachineError::Ir(polymem_ir::IrError::OutOfBounds {
                 array: format!("local buffer {buf}"),
@@ -724,7 +772,7 @@ impl LocalStore {
         Ok(self.bufs[buf].0[f])
     }
 
-    fn set(&mut self, buf: usize, idx: &[i64], v: i64) -> Result<()> {
+    pub(crate) fn set(&mut self, buf: usize, idx: &[i64], v: i64) -> Result<()> {
         let f = self.flat(buf, idx).ok_or_else(|| {
             MachineError::Ir(polymem_ir::IrError::OutOfBounds {
                 array: format!("local buffer {buf}"),
@@ -1249,11 +1297,16 @@ fn move_out_buffer(
 /// Dispatch: when the launch compiled (bytecode bodies + a per-shape
 /// [`crate::compiled::CompiledShape`]) and the block's staging plan is
 /// the shared symbolic one (or absent), the compiled engine runs the
-/// instances; otherwise — owned per-block plan, naive mode, shape
-/// compile failure, or a per-block proof obstacle — the interpreter
-/// does, with identical semantics and counters. `POLYMEM_EXEC_CHECK=1`
-/// runs the interpreter as an oracle on cloned state beside every
-/// compiled block (outside the timed window) and panics on divergence.
+/// instances — including hierarchy (level-2) plans, whose register
+/// frames it stages through the same [`stage_frames`]/[`flush_frames`]
+/// protocol as the interpreter; otherwise — owned per-block plan,
+/// naive mode, shape compile failure, or a per-block proof obstacle —
+/// the interpreter does, with identical semantics and counters. Which
+/// engine ran, and why a fallback happened, lands in
+/// [`ExecStats::compiled_blocks`] / [`ExecStats::interpreted_blocks`]
+/// / [`ExecStats::fallback`]. `POLYMEM_EXEC_CHECK=1` runs the
+/// interpreter as an oracle on cloned state beside every compiled
+/// block (outside the timed window) and panics on divergence.
 #[allow(clippy::too_many_arguments)]
 fn compute_sub_block(
     kernel: &BlockedKernel,
@@ -1269,6 +1322,15 @@ fn compute_sub_block(
     launch: &LaunchShared,
 ) -> Result<()> {
     let program = &kernel.program;
+    // Fallback attribution for the engine counters; `None` after the
+    // dispatch below means the compiled engine ran.
+    enum Why {
+        EngineOff,
+        OwnedPlan,
+        ShapeUncompiled,
+        RuntimeDecline,
+    }
+    let mut why: Option<Why> = None;
     let shape = match &launch.compiled {
         Some(cc) => match sb.staging.as_ref() {
             None => cc.shape(&sb.fixed, program, None),
@@ -1276,11 +1338,20 @@ fn compute_sub_block(
                 PlanRef::Shared(sp) => cc.shape(&sb.fixed, program, Some(sp)),
                 // A freshly analysed per-block plan has no shared
                 // shape to key the compiled streams on.
-                PlanRef::Owned(_) => None,
+                PlanRef::Owned(_) => {
+                    why = Some(Why::OwnedPlan);
+                    None
+                }
             },
         },
-        None => None,
+        None => {
+            why = Some(Why::EngineOff);
+            None
+        }
     };
+    if shape.is_none() && why.is_none() {
+        why = Some(Why::ShapeUncompiled);
+    }
 
     // Oracle pass (check mode only): the interpreter runs first on
     // cloned state, outside the timed window.
@@ -1314,20 +1385,35 @@ fn compute_sub_block(
     let t0 = Instant::now();
     let mut counts = None;
     if let Some(shape) = &shape {
-        let local = sb.staging.as_mut().map(|st| &mut st.local);
+        let (local, splan) = match sb.staging.as_mut() {
+            Some(st) => {
+                let sp = match &st.source {
+                    PlanRef::Shared(sp) => Some(sp.as_ref()),
+                    PlanRef::Owned(_) => None,
+                };
+                (Some(&mut st.local), sp)
+            }
+            None => (None, None),
+        };
         counts = run_compiled(
-            shape,
-            launch,
-            program,
-            params,
-            &sb.fixed,
-            store,
-            local,
-            overlay,
-            stats,
-            config.enum_budget,
+            shape, launch, program, params, &sb.fixed, store, local, splan, overlay, stats, config,
         )?
         .map(|c| (c.n_inst, c.n_smem, c.n_glob));
+        if counts.is_none() {
+            why = Some(Why::RuntimeDecline);
+        }
+    }
+    match &why {
+        None => stats.compiled_blocks += 1,
+        Some(w) => {
+            stats.interpreted_blocks += 1;
+            match w {
+                Why::EngineOff => stats.fallback.engine_off += 1,
+                Why::OwnedPlan => stats.fallback.owned_plan += 1,
+                Why::ShapeUncompiled => stats.fallback.shape_uncompiled += 1,
+                Why::RuntimeDecline => stats.fallback.runtime_decline += 1,
+            }
+        }
     }
     let (n_inst, n_smem, n_glob) = match counts {
         Some(c) => c,
@@ -1369,6 +1455,9 @@ fn compute_sub_block(
             stats.global_writes - before.global_writes,
             stats.smem_reads - before.smem_reads,
             stats.smem_writes - before.smem_writes,
+            stats.smem_loads_saved - before.smem_loads_saved,
+            stats.reg_bytes_moved - before.reg_bytes_moved,
+            stats.hier_groups - before.hier_groups,
         );
         let odeltas = (
             sc.instances,
@@ -1376,6 +1465,9 @@ fn compute_sub_block(
             sc.global_writes,
             sc.smem_reads,
             sc.smem_writes,
+            sc.smem_loads_saved,
+            sc.reg_bytes_moved,
+            sc.hier_groups,
         );
         assert!(
             *overlay == ov
@@ -1401,15 +1493,19 @@ fn compute_sub_block(
 }
 
 /// Register frames staged for one inner process (thread key) during a
-/// sub-block's interpreted compute phase.
-struct FrameSet {
+/// sub-block's compute phase. Shared by both engines: the interpreter
+/// and the compiled engine stage, serve and flush frames through the
+/// same functions, which is what keeps `smem_loads_saved`,
+/// `reg_bytes_moved`, `hier_groups` and the typed overflow check
+/// bit-identical between them.
+pub(crate) struct FrameSet {
     /// The thread-dim values the frames are staged for.
-    key: Vec<i64>,
+    pub(crate) key: Vec<i64>,
     /// `params ++ ext values` at this key — the parameter vector every
     /// level-2 affine structure evaluates under.
-    pp2: Vec<i64>,
+    pub(crate) pp2: Vec<i64>,
     /// Frame storage, indexed by level-2 buffer id.
-    frames: LocalStore,
+    pub(crate) frames: LocalStore,
 }
 
 /// The level-1 local index of global array element `g` in buffer
@@ -1430,7 +1526,7 @@ fn level1_index(buf1: &LocalBuffer, offsets1: &[i64], g: &[i64]) -> Vec<i64> {
 /// backing level-1 buffers. Returns the staged set plus the scratchpad
 /// reads to charge the cycle model.
 #[allow(clippy::too_many_arguments)]
-fn stage_frames(
+pub(crate) fn stage_frames(
     h: &HierPlan,
     plan1: &SmemPlan,
     key: Vec<i64>,
@@ -1493,7 +1589,7 @@ fn stage_frames(
 /// (reg → smem move-out) before the thread key changes or the compute
 /// phase ends. Read-only frames are dropped for free. Returns the
 /// scratchpad writes to charge the cycle model.
-fn flush_frames(
+pub(crate) fn flush_frames(
     h: &HierPlan,
     plan1: &SmemPlan,
     fs: &FrameSet,
@@ -2523,6 +2619,14 @@ mod tests {
             smem_loads_saved: x + 23,
             reg_bytes_moved: x + 24,
             hier_groups: x + 25,
+            compiled_blocks: x + 26,
+            interpreted_blocks: x + 27,
+            fallback: FallbackStats {
+                engine_off: x + 28,
+                owned_plan: x + 29,
+                shape_uncompiled: x + 30,
+                runtime_decline: x + 31,
+            },
             compute_ns: x + 22,
             dma: DmaStats {
                 descriptors: x + 16,
@@ -2562,6 +2666,13 @@ mod tests {
         assert_eq!(a.smem_loads_saved, 147);
         assert_eq!(a.reg_bytes_moved, 149);
         assert_eq!(a.hier_groups, 151);
+        assert_eq!(a.compiled_blocks, 153);
+        assert_eq!(a.interpreted_blocks, 155);
+        assert_eq!(a.fallback.engine_off, 157);
+        assert_eq!(a.fallback.owned_plan, 159);
+        assert_eq!(a.fallback.shape_uncompiled, 161);
+        assert_eq!(a.fallback.runtime_decline, 163);
+        assert_eq!(a.fallback.total(), 157 + 159 + 161 + 163);
     }
 
     /// Square matmul C[i][j] += A[i][k] * B[k][j] with i and j tiled,

@@ -39,7 +39,9 @@ pub mod trace;
 
 pub use config::{MachineConfig, MachineKind};
 pub use dma::{DmaEngine, DmaStats, DmaTag};
-pub use exec::{execute_blocked, execute_blocked_profiled, BlockedKernel, ExecStats};
+pub use exec::{
+    execute_blocked, execute_blocked_profiled, BlockedKernel, ExecStats, FallbackStats,
+};
 pub use profile::{KernelProfile, TimeBreakdown};
 pub use trace::{PassKind, PassProfiler, PassReport, Phase, Timeline};
 

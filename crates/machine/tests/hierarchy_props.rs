@@ -5,11 +5,17 @@
 //! block shapes, both machine presets and every thread-dim choice.
 //! Staging frames may only reshuffle scratchpad traffic — functional
 //! global-memory traffic and flop counts must not change.
+//!
+//! The second proptest pins the unified engine: on the same hierarchy
+//! plans, compiled execution (at every vector width) must agree with
+//! the interpreter counter for counter and must actually *run*
+//! compiled — zero silent fallbacks. A directed test checks the typed
+//! `RegisterOverflow` surfaces identically from both engines.
 
 use polymem_core::tiling::transform::{tile_program, TileSpec};
 use polymem_ir::expr::v;
 use polymem_ir::{exec_program, ArrayStore, Expr, LinExpr, Program, ProgramBuilder};
-use polymem_machine::{execute_blocked, BlockedKernel, MachineConfig};
+use polymem_machine::{execute_blocked, BlockedKernel, MachineConfig, MachineError};
 use proptest::prelude::*;
 
 /// Same access-shape family as `compiled_props`: a 2-D program whose
@@ -155,6 +161,112 @@ proptest! {
         } else {
             // Frames were staged, so data moved through them.
             prop_assert_eq!(s_on.reg_bytes_moved > 0, true);
+        }
+    }
+
+    /// The compiled engine owns hierarchy plans: same arrays, same
+    /// counters (including `smem_loads_saved` / `reg_bytes_moved` /
+    /// `hier_groups`) as the interpreter, at every vector width, with
+    /// zero interpreter fallbacks — the silent-drop bug stays fixed.
+    #[test]
+    fn compiled_matches_interpreter_on_hierarchy_plans(
+        n in 6i64..=11,
+        ti in 2u32..=4,
+        tj in 2u32..=4,
+        mode in 0u8..=1,
+        threads in 0u8..=2,
+        shape in 0u8..=2,
+        body_sel in 0u8..=5,
+        machine in 0u8..=1,
+        vw in 0u8..=3,
+        c in (0i64..=2, 0i64..=2, 0i64..=1, 0i64..=2),
+    ) {
+        let p = random_program(shape, body_sel, c);
+        let k = kernel_for(&p, ti, tj, mode, threads);
+        let mut cfg = if machine == 1 {
+            MachineConfig::cell_like()
+        } else {
+            MachineConfig::geforce_8800_gtx()
+        };
+        cfg.hierarchy = true;
+        cfg.regs_per_inner = 4096;
+        cfg.vector_width = 1 << vw; // ablate 1, 2, 4, 8
+
+        let mut reference = fresh_store(&p, n);
+        exec_program(&p, &[n], &mut reference).unwrap();
+
+        let mut interp = fresh_store(&p, n);
+        cfg.compiled_exec = false;
+        let s_interp = execute_blocked(&k, &[n], &mut interp, &cfg, false).unwrap();
+
+        let mut compiled = fresh_store(&p, n);
+        cfg.compiled_exec = true;
+        let s_compiled = execute_blocked(&k, &[n], &mut compiled, &cfg, false).unwrap();
+
+        prop_assert_eq!(compiled.data("C").unwrap(), reference.data("C").unwrap());
+        prop_assert_eq!(interp.data("C").unwrap(), reference.data("C").unwrap());
+        // Counter-for-counter equality (engine bookkeeping fields are
+        // excluded from `ExecStats` equality by design).
+        prop_assert_eq!(&s_compiled, &s_interp);
+        // The engines really were what they claim: no silent drops.
+        prop_assert_eq!(s_compiled.interpreted_blocks, 0);
+        prop_assert_eq!(s_compiled.fallback.total(), 0);
+        prop_assert_eq!(s_compiled.compiled_blocks > 0, true);
+        prop_assert_eq!(s_interp.compiled_blocks, 0);
+    }
+}
+
+#[test]
+fn register_overflow_is_typed_in_both_engines() {
+    // Triangular domain: the T frame holds row i's first i+1 elements,
+    // so a merged group's footprint outgrows the representative
+    // (i = 0) thread. The plan-time gate passes; both engines must
+    // trip the identical typed runtime check at the same thread value.
+    let mut b = ProgramBuilder::new("tri", ["N"]);
+    b.array("T", &[v("N"), v("N")]);
+    b.array("Out", &[v("N"), v("N")]);
+    b.stmt("S")
+        .loops(&[
+            ("i", LinExpr::c(0), v("N") - 1),
+            ("j", LinExpr::c(0), v("i")),
+        ])
+        .write("Out", &[v("i"), v("j")])
+        .read("T", &[v("i"), v("j")])
+        .read("T", &[v("i"), v("j")])
+        .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+        .done();
+    let p = b.build().unwrap();
+    let k = BlockedKernel {
+        program: p.clone(),
+        round_dims: vec![],
+        block_dims: vec![],
+        seq_dims: vec![],
+        thread_dims: vec!["i".into()],
+        use_scratchpad: true,
+    };
+    let run = |regs: u64, compiled: bool| {
+        let mut st = ArrayStore::for_program(&p, &[8]).unwrap();
+        st.fill_with("T", |ix| ix[0] * 10 + ix[1]).unwrap();
+        let mut cfg = MachineConfig::geforce_8800_gtx();
+        cfg.hierarchy = true;
+        cfg.compiled_exec = compiled;
+        cfg.regs_per_inner = regs;
+        execute_blocked(&k, &[8], &mut st, &cfg, false)
+    };
+    for compiled in [false, true] {
+        assert!(
+            run(8, compiled).is_ok(),
+            "the largest row (8 words) must fit (compiled={compiled})"
+        );
+        match run(4, compiled) {
+            Err(MachineError::RegisterOverflow {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 5, "row i = 4 is the first to overflow");
+                assert_eq!(available, 4);
+            }
+            other => panic!("expected RegisterOverflow (compiled={compiled}), got {other:?}"),
         }
     }
 }

@@ -56,8 +56,74 @@ fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// The machine configuration every simulating subcommand shares,
+/// assembled from the execution flags — `analyze` and `run` must
+/// describe/execute the *same* launch.
+fn machine_config() -> MachineConfig {
+    let mut gpu = MachineConfig::geforce_8800_gtx();
+    gpu.double_buffer = double_buffer_requested();
+    gpu.compiled_exec = !compiled_exec_disabled();
+    gpu.hierarchy = !hierarchy_disabled();
+    gpu
+}
+
+/// Flags each subcommand accepts. Anything else starting with `--`
+/// (typo'd or misplaced) is an error, not a silent no-op.
+fn allowed_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "analyze" => &[
+            "--json",
+            "--profile",
+            "--params",
+            "--double-buffer",
+            "--no-compiled-exec",
+            "--no-hierarchy",
+        ],
+        "emit" => &["--cuda", "--params"],
+        "run" => &[
+            "--size",
+            "--profile",
+            "--double-buffer",
+            "--no-compiled-exec",
+            "--no-hierarchy",
+            "--vector-width",
+        ],
+        _ => &[],
+    }
+}
+
+/// Reject unknown `--` flags up front (with the usage hint), instead
+/// of `args().any(..)` silently ignoring a typo like `--no-heirarchy`
+/// and running with the feature still on.
+fn validate_flags(cmd: &str, args: &[String]) -> Result<(), String> {
+    const VALUED: &[&str] = &["--size", "--params", "--vector-width"];
+    let allowed = allowed_flags(cmd);
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if !allowed.contains(&a) {
+                return Err(format!("unknown flag `{a}` for `{cmd}`"));
+            }
+            if VALUED.contains(&a) {
+                i += 1;
+                if i >= args.len() {
+                    return Err(format!("flag `{a}` needs a value"));
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(cmd) = args.first() {
+        if let Err(msg) = validate_flags(cmd, &args[1..]) {
+            return usage(&msg);
+        }
+    }
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("figures") => figures(it.next()),
@@ -152,14 +218,19 @@ fn usage(msg: &str) -> ExitCode {
          \n\
          `analyze` and `run` accept --profile (or POLYMEM_PROFILE=1) to\n\
          print a pass-level wall-clock profile; `run` also reports plan\n\
-         cache hit/miss counters, and accepts --double-buffer to map one\n\
-         tile dimension sequentially and overlap its DMA with compute\n\
-         (DMA statistics and the channel timeline appear under --profile).\n\
-         `run` uses the compiled block execution engine by default;\n\
-         --no-compiled-exec selects the per-point interpreter instead.\n\
+         cache hit/miss counters and which engine executed each block,\n\
+         and accepts --double-buffer to map one tile dimension\n\
+         sequentially and overlap its DMA with compute (DMA statistics\n\
+         and the channel timeline appear under --profile).\n\
+         `run` uses the compiled block execution engine by default —\n\
+         including on register-tile (hierarchy) plans; --no-compiled-exec\n\
+         selects the per-point interpreter instead, --vector-width N\n\
+         sets the compiled engine's batched lane count (1 = scalar).\n\
          `run` stages per-inner-process register tiles when the mapping\n\
          distributes thread dims; --no-hierarchy keeps all staging in\n\
-         the scratchpad."
+         the scratchpad. `analyze --json` honors the same execution\n\
+         flags and describes the launch they would run.\n\
+         Unknown --flags are rejected."
     );
     ExitCode::FAILURE
 }
@@ -259,15 +330,42 @@ fn plan_of_timed(
     .expect("analysis succeeds on built-in kernels")
 }
 
-/// The canonical blocked mapping behind `analyze --json`'s per-level
-/// dump (the same synchronous mappings `run` uses).
-fn analyze_mapping(name: &str) -> Option<BlockedKernel> {
+/// The canonical blocked mapping of each built-in kernel — one table,
+/// shared by `run` (which executes it) and `analyze --json` (which
+/// describes it), so the two subcommands can never drift apart. `db`
+/// selects the sequential-sub-tile variant that double buffering
+/// overlaps.
+fn kernel_mapping(name: &str, db: bool) -> Option<BlockedKernel> {
     Some(match name {
-        "me" => me::blocked_kernel(4, 4, true),
-        "jacobi" => jacobi::stepwise_kernel(4, true),
-        "jacobi2d" => jacobi2d::stepwise_kernel(4, 4, true),
-        "matmul" => matmul::blocked_kernel(4, 4, 4, true),
-        "conv2d" => conv2d::blocked_kernel(3, 3, true),
+        "me" => {
+            if db {
+                me::blocked_seq_kernel(4, 4, true)
+            } else {
+                me::blocked_kernel(4, 4, true)
+            }
+        }
+        "jacobi" => jacobi::overlapped_kernel(2, 8, false),
+        "jacobi2d" => {
+            if db {
+                jacobi2d::stepwise_seq_kernel(4, 4, true)
+            } else {
+                jacobi2d::stepwise_kernel(4, 4, true)
+            }
+        }
+        "matmul" => {
+            if db {
+                matmul::blocked_kernel_hoisted(4, 4, 8, true)
+            } else {
+                matmul::blocked_kernel(4, 4, 8, true)
+            }
+        }
+        "conv2d" => {
+            if db {
+                conv2d::blocked_seq_kernel(4, 4, true)
+            } else {
+                conv2d::blocked_kernel(4, 4, true)
+            }
+        }
         _ => return None,
     })
 }
@@ -325,16 +423,24 @@ fn level_json(label: &str, plan: &SmemPlan, ext: &[i64]) -> String {
 /// level when the mapping's thread dims yield one. `.poly` sources
 /// have no blocked mapping, so they dump the whole-program scratchpad
 /// plan only.
+///
+/// Honors the same execution flags as `run` (`--double-buffer`,
+/// `--no-hierarchy`, `--no-compiled-exec`): the dump describes the
+/// launch those flags would execute, not a hardcoded default.
 fn analyze_json(name: &str) -> ExitCode {
     let (program, params) = kernel_program(name).expect("checked");
+    let gpu = machine_config();
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"kernel\": \"{}\",\n  \"params\": {params:?},\n",
         program.name
     ));
-    match analyze_mapping(name) {
+    out.push_str(&format!(
+        "  \"config\": {{ \"double_buffer\": {}, \"compiled_exec\": {}, \"hierarchy\": {}, \"vector_width\": {} }},\n",
+        gpu.double_buffer, gpu.compiled_exec, gpu.hierarchy, gpu.vector_width
+    ));
+    match kernel_mapping(name, gpu.double_buffer) {
         Some(kernel) => {
-            let gpu = MachineConfig::geforce_8800_gtx();
             // The representative block and thread instance: every
             // round/block/seq tile dim and thread dim at 0 (all
             // built-in mappings start there).
@@ -345,7 +451,7 @@ fn analyze_json(name: &str) -> ExitCode {
                 .chain(&kernel.seq_dims)
                 .map(|d| (d.clone(), 0))
                 .collect();
-            let spec = (!kernel.thread_dims.is_empty()).then(|| HierSpec {
+            let spec = (gpu.hierarchy && !kernel.thread_dims.is_empty()).then(|| HierSpec {
                 thread_dims: kernel.thread_dims.clone(),
                 thread_reps: kernel.thread_dims.iter().map(|d| (d.clone(), 0)).collect(),
                 regs_per_inner: gpu.regs_per_inner,
@@ -453,59 +559,37 @@ fn emit(name: &str, cuda: bool) -> ExitCode {
 }
 
 fn run(name: &str, size: i64) -> ExitCode {
-    let db = double_buffer_requested();
-    let mut gpu = MachineConfig::geforce_8800_gtx();
-    gpu.double_buffer = db;
-    gpu.compiled_exec = !compiled_exec_disabled();
-    gpu.hierarchy = !hierarchy_disabled();
-    let (kernel, params, check): (BlockedKernel, Vec<i64>, &str) = match name {
+    let mut gpu = machine_config();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(p) = args.iter().position(|a| a == "--vector-width") {
+        match args.get(p + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(w) if w >= 1 => gpu.vector_width = w,
+            _ => return usage("--vector-width needs a positive integer"),
+        }
+    }
+    let Some(kernel) = kernel_mapping(name, gpu.double_buffer) else {
+        return usage("unknown kernel");
+    };
+    let (params, check): (Vec<i64>, &str) = match name {
         "me" => {
             let s = me::MeSize {
                 ni: size,
                 nj: size,
                 ws: 4,
             };
-            let k = if db {
-                me::blocked_seq_kernel(4, 4, true)
-            } else {
-                me::blocked_kernel(4, 4, true)
-            };
-            (k, me::params(&s), "Sad")
+            (me::params(&s), "Sad")
         }
         "jacobi" => {
             let s = jacobi::JacobiSize { n: size, t: 8 };
-            (
-                jacobi::overlapped_kernel(2, 8, false),
-                jacobi::params(&s),
-                "A",
-            )
+            (jacobi::params(&s), "A")
         }
-        "jacobi2d" => {
-            let k = if db {
-                jacobi2d::stepwise_seq_kernel(4, 4, true)
-            } else {
-                jacobi2d::stepwise_kernel(4, 4, true)
-            };
-            (k, jacobi2d::params(3, size), "A")
-        }
-        "matmul" => {
-            let k = if db {
-                matmul::blocked_kernel_hoisted(4, 4, 8, true)
-            } else {
-                matmul::blocked_kernel(4, 4, 8, true)
-            };
-            (k, vec![size], "C")
-        }
+        "jacobi2d" => (jacobi2d::params(3, size), "A"),
+        "matmul" => (vec![size], "C"),
         "conv2d" => {
             let s = conv2d::ConvSize { n: size, k: 3 };
-            let k = if db {
-                conv2d::blocked_seq_kernel(4, 4, true)
-            } else {
-                conv2d::blocked_kernel(4, 4, true)
-            };
-            (k, conv2d::params(&s), "Out")
+            (conv2d::params(&s), "Out")
         }
-        _ => return usage("unknown kernel"),
+        _ => unreachable!("kernel_mapping covered the names"),
     };
     let base_program = match name {
         "me" => me::program(),
@@ -566,19 +650,29 @@ fn run(name: &str, size: i64) -> ExitCode {
             stats.hier_groups, stats.smem_loads_saved, stats.reg_bytes_moved
         );
     }
+    // Which engine actually executed, from the per-block tallies —
+    // not inferred from the config, so silent fallbacks are visible.
+    let engine = if stats.interpreted_blocks == 0 && stats.compiled_blocks > 0 {
+        "compiled engine".to_string()
+    } else if stats.compiled_blocks == 0 {
+        "interpreted".to_string()
+    } else {
+        format!(
+            "mixed: {} compiled / {} interpreted blocks",
+            stats.compiled_blocks, stats.interpreted_blocks
+        )
+    };
     println!(
-        "  compute phase {:.3} ms wall ({} engine)",
-        stats.compute_ns as f64 / 1e6,
-        if !gpu.compiled_exec {
-            "interpreted"
-        } else if stats.hier_groups > 0 {
-            // Register-tile plans stage frames per thread key; the
-            // compiled engine declines those and the interpreter runs.
-            "interpreted, register-tile fallback"
-        } else {
-            "compiled"
-        }
+        "  compute phase {:.3} ms wall ({engine})",
+        stats.compute_ns as f64 / 1e6
     );
+    if stats.interpreted_blocks > 0 {
+        let f = &stats.fallback;
+        println!(
+            "  interpreter fallbacks: {} engine-off, {} owned-plan, {} shape-uncompiled, {} runtime-decline",
+            f.engine_off, f.owned_plan, f.shape_uncompiled, f.runtime_decline
+        );
+    }
     if stats.dma.descriptors > 0 {
         println!(
             "  dma: {} descriptors, {} bytes ({:.1} B/desc), overlap fraction {:.2}, prefetched/forced-sync groups {}/{}",
