@@ -121,6 +121,10 @@ fn cases(smoke: bool) -> Vec<Case> {
 struct ModeResult {
     stats: ExecStats,
     store: ArrayStore,
+    /// Bytes moved through global memory: staged element moves plus
+    /// direct (unstaged) accesses, at the machine's word size.
+    global_bytes: u64,
+    word_bytes: u64,
 }
 
 struct MachineResult {
@@ -148,6 +152,12 @@ fn element_moves(s: &ExecStats) -> u64 {
     s.moved_in + s.moved_out
 }
 
+/// Every word that crosses the global-memory interface: DMA-staged
+/// moves and the per-element reads/writes of unstaged references.
+fn global_bytes(s: &ExecStats, word_bytes: u64) -> u64 {
+    (element_moves(s) + s.global_reads + s.global_writes) * word_bytes
+}
+
 fn run_case(case: &Case) -> KernelResult {
     let reference = case.reference();
     let mut machines = Vec::new();
@@ -161,7 +171,13 @@ fn run_case(case: &Case) -> KernelResult {
             let mut store = case.base.clone();
             let stats = execute_blocked(&case.kernel, &case.params, &mut store, &config, false)
                 .expect("execution succeeds");
-            ModeResult { stats, store }
+            let gb = global_bytes(&stats, config.word_bytes);
+            ModeResult {
+                stats,
+                store,
+                global_bytes: gb,
+                word_bytes: config.word_bytes,
+            }
         };
         let off = run(false);
         let on = run(true);
@@ -185,12 +201,14 @@ fn mode_json(m: &ModeResult) -> String {
     let s = &m.stats;
     format!(
         "{{ \"modeled_cycles\": {}, \"element_moves\": {}, \"descriptors\": {}, \
-         \"dma_bytes\": {}, \"mean_descriptor_bytes\": {:.2}, \"overlap_fraction\": {:.4}, \
+         \"dma_bytes\": {}, \"global_bytes\": {}, \"mean_descriptor_bytes\": {:.2}, \
+         \"overlap_fraction\": {:.4}, \
          \"stall_cycles\": {}, \"overlap_groups\": {}, \"sync_groups\": {} }}",
         s.modeled_cycles,
         element_moves(s),
         s.dma.descriptors,
         s.dma.bytes,
+        m.global_bytes,
         s.dma.mean_descriptor_bytes(),
         s.dma.overlap_fraction(),
         s.dma.stall_cycles,
@@ -266,6 +284,10 @@ fn main() {
                 m.on.stats.sync_groups,
                 if m.bit_exact { "yes" } else { "NO" },
             );
+            println!(
+                "{:<9} [{:<4}] global traffic {} bytes sync / {} bytes double-buffered",
+                r.name, m.machine, m.off.global_bytes, m.on.global_bytes,
+            );
         }
         results.push(r);
     }
@@ -277,6 +299,31 @@ fn main() {
         for m in &r.machines {
             if !m.bit_exact {
                 failures.push(format!("{}[{}]: output mismatch", r.name, m.machine));
+            }
+        }
+    }
+
+    // Traffic accounting in bytes: every staged element crosses the
+    // global interface through exactly one coalesced descriptor, so
+    // descriptor bytes must equal element-move bytes; and overlapping
+    // the transfers (double buffering) must not change how many bytes
+    // touch global memory.
+    for r in &results {
+        for m in &r.machines {
+            for (mode, res) in [("sync", &m.off), ("dbuf", &m.on)] {
+                let move_bytes = element_moves(&res.stats) * res.word_bytes;
+                if res.stats.dma.bytes != move_bytes {
+                    failures.push(format!(
+                        "{}[{} {mode}]: descriptor bytes {} != element-move bytes {}",
+                        r.name, m.machine, res.stats.dma.bytes, move_bytes
+                    ));
+                }
+            }
+            if m.off.global_bytes != m.on.global_bytes {
+                failures.push(format!(
+                    "{}[{}]: double buffering changed global traffic ({} -> {} bytes)",
+                    r.name, m.machine, m.off.global_bytes, m.on.global_bytes
+                ));
             }
         }
     }

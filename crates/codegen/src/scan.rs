@@ -19,7 +19,7 @@
 use crate::ast::{Ast, LoopBounds};
 use crate::Result;
 use polymem_poly::bounds::bound_cascade;
-use polymem_poly::{PolyUnion, Polyhedron};
+use polymem_poly::{Constraint, ConstraintKind, PolyUnion, Polyhedron};
 
 /// Scan one polyhedron into a loop nest whose leaf carries `tag`.
 ///
@@ -50,6 +50,29 @@ pub fn scan_polyhedron(poly: &Polyhedron, tag: usize) -> Result<Ast> {
                 lower: b.lower,
                 upper: b.upper,
             },
+            body: Box::new(body),
+        };
+    }
+    // Parameter-only constraints never become loop bounds, yet a piece
+    // of a symbolic difference may be feasible only for some parameter
+    // values (e.g. `jT >= Nj`): guard the whole nest on them so the
+    // scan is exact at every concrete instantiation.
+    let n = poly.n_dims();
+    let param_rows: Vec<Constraint> = poly
+        .constraints()
+        .iter()
+        .filter(|c| (0..n).all(|j| c.coeff(j) == 0))
+        .map(|c| {
+            let coeffs: Vec<i64> = (n..c.len()).map(|j| c.coeff(j)).collect();
+            match c.kind {
+                ConstraintKind::Ineq => Constraint::ineq(coeffs),
+                ConstraintKind::Eq => Constraint::eq(coeffs),
+            }
+        })
+        .collect();
+    if !param_rows.is_empty() {
+        body = Ast::Guard {
+            conds: param_rows,
             body: Box::new(body),
         };
     }

@@ -31,6 +31,7 @@
 //! [`UnionBound`]: super::UnionBound
 
 use super::hierarchy::{analyze_hierarchy, HierPlan, HierSpec, MemLevel};
+use super::residency::{plan_residency, ResidencyPlan};
 use super::{analyze_program_timed, PassTimes, Result, SmemConfig, SmemError, SmemPlan};
 use polymem_ir::{Access, Program};
 use polymem_linalg::IMat;
@@ -56,6 +57,11 @@ pub struct SymbolicPlan {
     /// The recursive level-2 (register-tile) plan, when the mapping
     /// declares thread dims and at least one frame survives the gates.
     pub hier: Option<HierPlan>,
+    /// Inter-block residency decomposition (delta transfers between
+    /// consecutive sub-tiles), when `SmemConfig::residency_dim` named
+    /// one of the fixed dims. Empty plans mean the pass ran but no
+    /// group can legally retain anything.
+    pub residency: Option<ResidencyPlan>,
 }
 
 impl SymbolicPlan {
@@ -190,6 +196,10 @@ pub fn analyze_symbolic(
     let mut cfg = config.clone();
     cfg.sample_params.extend(pairs.iter().map(|p| p.1));
     let (plan, pass_times) = analyze_program_timed(&symbolic, &cfg)?;
+    let residency = match &config.residency_dim {
+        Some(dim) if names.iter().any(|n| n == dim) => Some(plan_residency(&symbolic, &plan, dim)?),
+        _ => None,
+    };
     let kept_dims = program
         .stmts
         .iter()
@@ -206,6 +216,7 @@ pub fn analyze_symbolic(
         kept_dims,
         pass_times,
         hier: None,
+        residency,
     })
 }
 
@@ -301,9 +312,11 @@ mod tests {
     fn symbolic_plan_matches_per_instance_analysis_per_block() {
         let t = tiled_window();
         let n = 10i64;
+        // The caller's config — including the default
+        // `must_copy_all: false`, so reuse minimisation applies to the
+        // cached path exactly as to fresh per-instance analysis.
         let cfg = SmemConfig {
             sample_params: vec![n],
-            must_copy_all: true,
             ..SmemConfig::default()
         };
         let sp = analyze_symbolic(&t, &[("iT".to_string(), 0)], &cfg).unwrap();
@@ -340,6 +353,49 @@ mod tests {
     }
 
     #[test]
+    fn cached_plan_honors_minimised_copy_sets() {
+        // With the default `must_copy_all: false`, the singleton Out
+        // write group fails Algorithm 1 and must be skipped by BOTH
+        // the cached (symbolic) path and fresh per-instance analysis —
+        // and the surviving groups must move identical element sets.
+        let t = tiled_window();
+        let n = 10i64;
+        let cfg = SmemConfig {
+            sample_params: vec![n],
+            ..SmemConfig::default()
+        };
+        let sp = analyze_symbolic(&t, &[("iT".to_string(), 0)], &cfg).unwrap();
+        let out = t.array_index("Out").unwrap();
+        assert!(
+            !sp.plan.buffers.iter().any(|b| b.array == out),
+            "cached path must apply reuse minimisation"
+        );
+        for bt in 0..3 {
+            let mut fixed = HashMap::new();
+            fixed.insert("iT".to_string(), bt);
+            let mut view = t.clone();
+            for s in &mut view.stmts {
+                s.domain = fix_dims(&s.domain, &fixed);
+            }
+            let fresh = analyze_program(&view, &cfg).unwrap();
+            assert!(!fresh.buffers.iter().any(|b| b.array == out), "block {bt}");
+            let ext = sp.ext_params(&[n], &fixed).unwrap();
+            let collect = |plan: &SmemPlan, params: &[i64]| -> BTreeSet<(usize, Vec<i64>)> {
+                let mut set = BTreeSet::new();
+                for mc in &plan.movement {
+                    let buf = &plan.buffers[mc.buffer];
+                    crate::smem::movement::for_each_move_in(mc, buf, params, &mut |g, _| {
+                        set.insert((buf.array, g.to_vec()));
+                    })
+                    .unwrap();
+                }
+                set
+            };
+            assert_eq!(collect(&sp.plan, &ext), collect(&fresh, &[n]), "block {bt}");
+        }
+    }
+
+    #[test]
     fn fixed_name_colliding_with_param_is_rejected() {
         let t = tiled_window();
         assert!(parametrize_dims(&t, &["N".to_string()]).is_err());
@@ -350,7 +406,6 @@ mod tests {
         let t = tiled_window();
         let cfg = SmemConfig {
             sample_params: vec![8],
-            must_copy_all: true,
             ..SmemConfig::default()
         };
         let sp = analyze_symbolic(&t, &[("iT".to_string(), 0)], &cfg).unwrap();

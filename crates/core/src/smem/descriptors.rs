@@ -179,6 +179,28 @@ pub fn transfer_list(
     Ok(coalesce(&pairs))
 }
 
+/// Build the DMA list for a residency delta: the scan order of
+/// [`for_each_delta_in`](super::residency::for_each_delta_in) fused
+/// into strided descriptors exactly like [`transfer_list`]. The list
+/// covers only the elements that still cross the global bus; retained
+/// atoms are re-based by a scratchpad-local copy and never appear.
+pub fn delta_transfer_list(
+    rp: &super::residency::RetainPlan,
+    buffer: &LocalBuffer,
+    array_extents: &[i64],
+    params: &[i64],
+) -> Result<TransferList> {
+    let buf_extents = buffer.extents(params)?;
+    let mut pairs: Vec<(i64, i64)> = Vec::new();
+    super::residency::for_each_delta_in(rp, buffer, params, &mut |g, l| {
+        pairs.push((
+            flatten_index(g, array_extents),
+            flatten_index(l, &buf_extents),
+        ));
+    })?;
+    Ok(coalesce(&pairs))
+}
+
 /// Build both directions for a buffer ([`transfer_list`] twice).
 pub fn build_transfers(
     code: &MovementCode,

@@ -29,6 +29,7 @@ pub mod liveness;
 pub mod lowering;
 pub mod movement;
 pub mod partition;
+pub mod residency;
 pub mod reuse;
 
 pub use access::LocalAccess;
@@ -36,12 +37,14 @@ pub use alloc::{LocalBuffer, UnionBound};
 pub use cache::{analyze_symbolic, analyze_symbolic_hier, parametrize_dims, SymbolicPlan};
 pub use dataspace::{AccessId, RefInfo};
 pub use descriptors::{
-    build_transfers, transfer_list, Direction, TransferDescriptor, TransferList, TransferPlan,
+    build_transfers, delta_transfer_list, transfer_list, Direction, TransferDescriptor,
+    TransferList, TransferPlan,
 };
 pub use hierarchy::{analyze_hierarchy, HierPlan, HierSpec, MemLevel};
 pub use liveness::LivenessPlan;
 pub use lowering::{lower_rows, prove_flat, row_major_weights, FlatAffine, LoweredRow};
 pub use movement::MovementCode;
+pub use residency::{plan_residency, ResidencyPlan, RetainPlan};
 pub use reuse::{ReuseDecision, DEFAULT_DELTA};
 
 use polymem_ir::Program;
@@ -125,6 +128,11 @@ pub struct SmemConfig {
     /// buffer spanning the convex union of everything accessed — the
     /// layout of the paper's Fig. 1 worked example.
     pub partition: bool,
+    /// Innermost sequential dimension of the symbolic view along which
+    /// [`analyze_symbolic`] plans inter-block residency (delta
+    /// transfers between lexicographically consecutive sub-tiles).
+    /// Must name one of the fixed dims; `None` disables the pass.
+    pub residency_dim: Option<String>,
 }
 
 impl Default for SmemConfig {
@@ -135,6 +143,7 @@ impl Default for SmemConfig {
             sample_params: Vec::new(),
             count_budget: 1 << 20,
             partition: true,
+            residency_dim: None,
         }
     }
 }

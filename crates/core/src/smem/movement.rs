@@ -179,7 +179,7 @@ pub fn for_each_move_in(
     params: &[i64],
     copy: &mut dyn FnMut(&[i64], &[i64]),
 ) -> Result<()> {
-    for_each(code.move_in.clone(), buffer, params, copy)
+    for_each_scan(&code.move_in, buffer, params, copy)
 }
 
 /// Execute move-out: `copy(global_index, local_index)` per element.
@@ -189,11 +189,15 @@ pub fn for_each_move_out(
     params: &[i64],
     copy: &mut dyn FnMut(&[i64], &[i64]),
 ) -> Result<()> {
-    for_each(code.move_out.clone(), buffer, params, copy)
+    for_each_scan(&code.move_out, buffer, params, copy)
 }
 
-fn for_each(
-    ast: Ast,
+/// Execute an arbitrary scan nest against a buffer's layout:
+/// `copy(global_index, local_index)` once per scanned element. The
+/// shared core of move-in/move-out and of the residency pass's
+/// retained/delta region walks.
+pub fn for_each_scan(
+    ast: &Ast,
     buffer: &LocalBuffer,
     params: &[i64],
     copy: &mut dyn FnMut(&[i64], &[i64]),

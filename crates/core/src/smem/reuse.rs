@@ -46,45 +46,86 @@ pub fn evaluate_group(members: &[&RefInfo], config: &SmemConfig) -> Result<Reuse
         });
     }
     // Lines 6–10: constant-reuse volume test. A singleton partition
-    // has no pairwise overlap and is never beneficial by this test.
-    if members.len() < 2 {
-        return Ok(ReuseDecision {
-            beneficial: false,
-            order_of_magnitude: false,
-            overlap_fraction: Some(0.0),
-        });
-    }
-    let n_params = members[0].data_space.n_params();
-    if config.sample_params.len() != n_params {
-        return Err(SmemError::MissingSampleParams);
-    }
-    let concrete: Vec<_> = members
-        .iter()
-        .map(|m| m.data_space.substitute_params(&config.sample_params))
-        .collect::<std::result::Result<_, _>>()?;
-    let union = PolyUnion::from_members(concrete)?;
-    let (total, _) = union.count_or_estimate(config.count_budget)?;
-    if total == 0 {
-        return Ok(ReuseDecision {
-            beneficial: false,
-            order_of_magnitude: false,
-            overlap_fraction: Some(0.0),
-        });
-    }
-    let mut overlap = 0u64;
-    for i in 0..union.members().len() {
-        for j in (i + 1)..union.members().len() {
-            let inter = union.members()[i].intersect(&union.members()[j])?;
-            let (v, _) = count_or_estimate(&inter, config.count_budget)?;
-            overlap = overlap.saturating_add(v);
+    // has no pairwise overlap, so only the residency extension below
+    // can make it beneficial.
+    let mut fraction = 0.0f64;
+    if members.len() >= 2 {
+        let n_params = members[0].data_space.n_params();
+        if config.sample_params.len() != n_params {
+            return Err(SmemError::MissingSampleParams);
+        }
+        let concrete: Vec<_> = members
+            .iter()
+            .map(|m| m.data_space.substitute_params(&config.sample_params))
+            .collect::<std::result::Result<_, _>>()?;
+        let union = PolyUnion::from_members(concrete)?;
+        let (total, _) = union.count_or_estimate(config.count_budget)?;
+        if total > 0 {
+            let mut overlap = 0u64;
+            for i in 0..union.members().len() {
+                for j in (i + 1)..union.members().len() {
+                    let inter = union.members()[i].intersect(&union.members()[j])?;
+                    let (v, _) = count_or_estimate(&inter, config.count_budget)?;
+                    overlap = overlap.saturating_add(v);
+                }
+            }
+            fraction = overlap as f64 / total as f64;
+        }
+        if fraction > config.delta {
+            return Ok(ReuseDecision {
+                beneficial: true,
+                order_of_magnitude: false,
+                overlap_fraction: Some(fraction),
+            });
         }
     }
-    let fraction = overlap as f64 / total as f64;
+    // Residency extension: with an innermost sequential dim configured,
+    // constant reuse also arises *across* consecutive sub-tiles — the
+    // fraction of the window retained under the seq shift. A sliding
+    // stencil window whose columns are disjoint within one instance
+    // (pairwise fraction below δ) still earns its buffer when most of
+    // it survives into the next instance as a delta transfer.
+    if let Some(seq) = config.residency_dim.as_deref() {
+        if let Some(idx) = members[0].data_space.space().find_param(seq) {
+            if config.sample_params.len() == members[0].data_space.n_params() {
+                let seq_fraction = seq_overlap_fraction(members, idx, config)?;
+                fraction = fraction.max(seq_fraction);
+            }
+        }
+    }
     Ok(ReuseDecision {
         beneficial: fraction > config.delta,
         order_of_magnitude: false,
         overlap_fraction: Some(fraction),
     })
+}
+
+/// Fraction of the group's window (union of member data spaces) that
+/// is still covered by the window of the lexicographically *next* seq
+/// instance, measured at the sample parameters. The shift is applied
+/// symbolically (it rewrites the seq parameter's column) *before*
+/// substitution; shifting forward keeps the test well-defined even
+/// when the representative fixed values name the first sub-tile,
+/// whose predecessor window is empty.
+fn seq_overlap_fraction(members: &[&RefInfo], seq_idx: usize, config: &SmemConfig) -> Result<f64> {
+    let window: Vec<_> = members
+        .iter()
+        .map(|m| m.data_space.substitute_params(&config.sample_params))
+        .collect::<std::result::Result<_, _>>()?;
+    let (total, _) = PolyUnion::from_members(window)?.count_or_estimate(config.count_budget)?;
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let mut retained = Vec::new();
+    for m in members {
+        for p in members {
+            let next = super::residency::shift_seq(&p.data_space, seq_idx, 1);
+            let inter = m.data_space.intersect(&next)?;
+            retained.push(inter.substitute_params(&config.sample_params)?);
+        }
+    }
+    let (kept, _) = PolyUnion::from_members(retained)?.count_or_estimate(config.count_budget)?;
+    Ok(kept.min(total) as f64 / total as f64)
 }
 
 #[cfg(test)]
@@ -192,6 +233,39 @@ mod tests {
             evaluate_group(&members, &cfg).unwrap_err(),
             SmemError::MissingSampleParams
         );
+    }
+
+    #[test]
+    fn seq_shift_overlap_counts_as_constant_reuse() {
+        // A[i + s] over i in [0, N-1] with seq param s: the window
+        // [s, s+N-1] shares N-1 of its N points with the next seq
+        // instance's window — beneficial only under the residency
+        // extension (a singleton has no pairwise overlap).
+        let mut b = ProgramBuilder::new("p", ["N", "s"]);
+        b.array("A", &[v("N") * 2]);
+        b.array("Out", &[v("N")]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("Out", &[v("i")])
+            .read("A", &[v("i") + v("s")])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let a = p.array_index("A").unwrap();
+        let refs = collect_refs(&p, a).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+
+        let without = config(&[8, 0]);
+        let d = evaluate_group(&members, &without).unwrap();
+        assert!(!d.beneficial);
+
+        let mut with = config(&[8, 0]);
+        with.residency_dim = Some("s".into());
+        let d = evaluate_group(&members, &with).unwrap();
+        assert!(d.beneficial);
+        assert!(!d.order_of_magnitude);
+        let f = d.overlap_fraction.unwrap();
+        assert!((f - 7.0 / 8.0).abs() < 1e-9, "fraction {f}");
     }
 
     #[test]

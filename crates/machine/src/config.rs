@@ -118,6 +118,21 @@ pub struct MachineConfig {
     /// order). Functionally invisible: arrays and every deterministic
     /// counter are bit-identical at any width.
     pub vector_width: u64,
+    /// Keep scratchpad buffers warm across the sub-tile (`seq_dims`)
+    /// loop: the residency pass decomposes each group's move-in window
+    /// against its lexicographic predecessor and only the *delta*
+    /// crosses the global bus; overlapping elements are retained (and
+    /// re-based in-place when the window slides, as in stencil halos).
+    /// Requires the plan cache; on in the GPU and Cell presets;
+    /// `polymem run --no-residency` turns it off.
+    pub residency: bool,
+    /// Partition each array's references into maximal disjoint groups
+    /// (§3.1, the default). With `false`, all references share one
+    /// buffer over their convex union — the paper's Fig. 1 layout,
+    /// which lets the residency pass retain a stencil's whole sliding
+    /// window when small tiles would otherwise split it into
+    /// single-column groups.
+    pub partition: bool,
 }
 
 impl MachineConfig {
@@ -156,6 +171,8 @@ impl MachineConfig {
             hierarchy: false,
             // The 8800's inner level is 8-wide SIMD.
             vector_width: 8,
+            residency: true,
+            partition: true,
         }
     }
 
@@ -190,6 +207,8 @@ impl MachineConfig {
             hierarchy: false,
             // SPE SIMD is 128-bit: four 32-bit lanes.
             vector_width: 4,
+            residency: true,
+            partition: true,
         }
     }
 
@@ -223,6 +242,9 @@ impl MachineConfig {
             regs_per_inner: 16,
             hierarchy: false,
             vector_width: 1,
+            // No scratchpad to keep warm.
+            residency: false,
+            partition: true,
         }
     }
 
@@ -273,6 +295,13 @@ mod tests {
         assert_eq!(g.kind, MachineKind::Gpu);
         assert_eq!(MachineConfig::cell_like().kind, MachineKind::CellLike);
         assert_eq!(MachineConfig::host_cpu().kind, MachineKind::Cpu);
+    }
+
+    #[test]
+    fn residency_is_on_for_scratchpad_machines_only() {
+        assert!(MachineConfig::geforce_8800_gtx().residency);
+        assert!(MachineConfig::cell_like().residency);
+        assert!(!MachineConfig::host_cpu().residency);
     }
 
     #[test]

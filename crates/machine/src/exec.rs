@@ -27,8 +27,9 @@ use crate::overlay::{flatten, Overlay};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    analyze_program_timed, analyze_symbolic_hier, parametrize_dims, transfer_list, AccessId,
-    Direction, HierPlan, HierSpec, LocalBuffer, SmemConfig, SmemPlan, SymbolicPlan,
+    analyze_program_timed, analyze_symbolic_hier, delta_transfer_list, parametrize_dims,
+    transfer_list, AccessId, Direction, HierPlan, HierSpec, LocalBuffer, ResidencyPlan, RetainPlan,
+    SmemConfig, SmemPlan, SymbolicPlan,
 };
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
@@ -126,6 +127,15 @@ pub struct ExecStats {
     /// Register frame sets staged (one per thread key per sub-block
     /// compute phase).
     pub hier_groups: u64,
+    /// Elements kept resident in scratchpad across consecutive
+    /// sub-tiles (re-based in place instead of re-transferred).
+    pub retained_elems: u64,
+    /// Elements transferred as residency deltas (the only move-in
+    /// traffic of a residency-staged group).
+    pub delta_elems: u64,
+    /// Buffer stagings served by the residency pass (retain + delta
+    /// instead of a full move-in).
+    pub residency_groups: u64,
     /// Sub-block compute phases executed by the compiled engine.
     /// Engine attribution (this field, `interpreted_blocks` and
     /// `fallback`) is excluded from stats equality: the whole point of
@@ -200,6 +210,9 @@ impl PartialEq for ExecStats {
             && self.smem_loads_saved == o.smem_loads_saved
             && self.reg_bytes_moved == o.reg_bytes_moved
             && self.hier_groups == o.hier_groups
+            && self.retained_elems == o.retained_elems
+            && self.delta_elems == o.delta_elems
+            && self.residency_groups == o.residency_groups
             && self.dma == o.dma
     }
 }
@@ -234,6 +247,9 @@ impl ExecStats {
         self.smem_loads_saved += o.smem_loads_saved;
         self.reg_bytes_moved += o.reg_bytes_moved;
         self.hier_groups += o.hier_groups;
+        self.retained_elems += o.retained_elems;
+        self.delta_elems += o.delta_elems;
+        self.residency_groups += o.residency_groups;
         self.compiled_blocks += o.compiled_blocks;
         self.interpreted_blocks += o.interpreted_blocks;
         self.fallback.absorb(&o.fallback);
@@ -559,7 +575,7 @@ pub fn execute_blocked_profiled(
         c.warm(
             program,
             &rep,
-            &smem_config(params, config),
+            &smem_config(params, config, kernel),
             hier_spec.as_ref(),
             profiler,
         );
@@ -695,11 +711,19 @@ pub fn execute_blocked_profiled(
     Ok(stats)
 }
 
-/// The §3 configuration the executor analyses (and warms) with.
-fn smem_config(params: &[i64], config: &MachineConfig) -> SmemConfig {
+/// The §3 configuration the executor analyses (and warms) with. The
+/// residency dim (innermost `seq_dims` entry) only affects the shared
+/// symbolic analysis; per-instance (owned) analysis ignores it.
+fn smem_config(params: &[i64], config: &MachineConfig, kernel: &BlockedKernel) -> SmemConfig {
     SmemConfig {
         sample_params: params.to_vec(),
         must_copy_all: config.kind == MachineKind::CellLike,
+        partition: config.partition,
+        residency_dim: if config.residency {
+            kernel.seq_dims.last().cloned()
+        } else {
+            None
+        },
         ..SmemConfig::default()
     }
 }
@@ -866,6 +890,15 @@ fn writeback_persistent(
 
 /// Arrays none of whose accesses depend on the kernel's seq dims:
 /// their staged buffers are identical across sub-tiles and hoist.
+///
+/// Dependence can enter two ways: directly, through a nonzero seq-dim
+/// coefficient in the subscript map, or indirectly, through a domain
+/// constraint coupling a seq dim to a dim the subscripts read (e.g.
+/// `j = jT` when the seq tile width is 1 — the `j` footprint slides
+/// with `jT` even though no subscript mentions `jT`). The indirect
+/// case matters because the buffer planner may drop such a dim as an
+/// H-matrix row, leaving the kept-dim shape identical across
+/// sub-tiles — hoisting would then alias distinct footprints.
 fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usize> {
     let program = &kernel.program;
     (0..program.arrays.len())
@@ -878,10 +911,20 @@ fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usi
                     .filter_map(|n| dims.iter().position(|d| d == n))
                     .collect();
                 let clean = |acc: &polymem_ir::Access| {
-                    acc.array != a
-                        || seq_idx.iter().all(|&j| {
-                            (0..acc.map.matrix().rows()).all(|r| acc.map.matrix()[(r, j)] == 0)
-                        })
+                    if acc.array != a {
+                        return true;
+                    }
+                    let m = acc.map.matrix();
+                    let used: Vec<usize> = (0..dims.len())
+                        .filter(|&d| (0..m.rows()).any(|r| m[(r, d)] != 0))
+                        .collect();
+                    seq_idx.iter().all(|&j| {
+                        (0..m.rows()).all(|r| m[(r, j)] == 0)
+                            && s.domain
+                                .constraints()
+                                .iter()
+                                .all(|c| c.coeff(j) == 0 || used.iter().all(|&d| c.coeff(d) == 0))
+                    })
                 };
                 clean(&s.write) && s.reads.iter().all(clean)
             })
@@ -936,6 +979,47 @@ impl BlockClock {
         Ok(self
             .dma
             .issue_list(&list, config.word_bytes, self.now, earliest))
+    }
+
+    /// Queue the DMA list for a residency delta — the only elements
+    /// that cross the bus. The local re-base rides the same channel
+    /// first: retained atoms move scratchpad-to-scratchpad at 4× the
+    /// global DMA rate, delaying the delta's start. The tag therefore
+    /// always completes no later than the full transfer it replaces
+    /// (the retained bytes leave the 1×-rate payload and come back as
+    /// a 4×-rate local copy), in both the synchronous and the
+    /// double-buffered schedule.
+    fn issue_delta(
+        &mut self,
+        rp: &RetainPlan,
+        buf: &LocalBuffer,
+        pparams: &[i64],
+        config: &MachineConfig,
+        earliest: u64,
+        retained: u64,
+    ) -> Result<DmaTag> {
+        if !self.dma_on {
+            return Ok(DmaTag::immediate(self.now));
+        }
+        let start = earliest.max(self.now);
+        // Re-basing the retained atoms is a scratchpad-local copy at 4x
+        // the global DMA rate; it proceeds concurrently with the
+        // incoming delta (the two touch disjoint buffer regions), so
+        // the group is ready at the max of the two, never the sum.
+        let mut rebase_done = start;
+        if retained > 0 {
+            let bytes = (retained * config.word_bytes) as f64;
+            rebase_done += (bytes / (config.dma_bytes_per_cycle * 4.0)).ceil() as u64;
+        }
+        let list = delta_transfer_list(rp, buf, &self.ext[buf.array], pparams)?;
+        if list.is_empty() {
+            return Ok(DmaTag::immediate(rebase_done));
+        }
+        let mut tag = self
+            .dma
+            .issue_list(&list, config.word_bytes, self.now, start);
+        tag.done = tag.done.max(rebase_done);
+        Ok(tag)
     }
 
     /// Advance the clock to the tag's completion, recording stalls.
@@ -1096,7 +1180,8 @@ fn prepare_sub_block(
                 (PlanRef::Shared(sp), ext)
             }
             None => {
-                let (plan, times) = analyze_program_timed(&view, &smem_config(params, config))?;
+                let (plan, times) =
+                    analyze_program_timed(&view, &smem_config(params, config, kernel))?;
                 if let Some(pr) = profiler {
                     pr.absorb_pass_times(&times);
                 }
@@ -1230,6 +1315,177 @@ fn move_in_buffer(
         Some(e) => Err(e),
         None => Ok(true),
     }
+}
+
+/// The scratchpad contents of a sub-tile, snapshotted after its
+/// move-out so the lexicographic successor can re-base retained atoms
+/// with a scratchpad-local copy and transfer only the delta.
+struct ResidencyCarry {
+    fixed: HashMap<String, i64>,
+    local: LocalStore,
+}
+
+/// The shared plan's residency decomposition, when it applies between
+/// `prev_fixed` and `fixed`: same shared symbolic plan, and the two
+/// sub-tiles are lexicographically consecutive along the residency seq
+/// dim (every other fixed dim equal).
+fn shared_residency<'a>(
+    source: &'a PlanRef,
+    fixed: &HashMap<String, i64>,
+    prev_fixed: &HashMap<String, i64>,
+) -> Option<&'a ResidencyPlan> {
+    let PlanRef::Shared(sp) = source else {
+        return None;
+    };
+    let res = sp.residency.as_ref()?;
+    if res.plans.is_empty() || prev_fixed.len() != fixed.len() {
+        return None;
+    }
+    let consecutive = fixed.iter().all(|(k, v)| match prev_fixed.get(k) {
+        Some(pv) if *k == res.seq_param => *v == pv + 1,
+        Some(pv) => v == pv,
+        None => false,
+    });
+    consecutive.then_some(res)
+}
+
+/// Whether a sub-tile's plan carries a non-empty residency
+/// decomposition (worth snapshotting the local store for).
+fn residency_nonempty(source: &PlanRef) -> bool {
+    match source {
+        PlanRef::Shared(sp) => sp.residency.as_ref().is_some_and(|r| !r.is_empty()),
+        PlanRef::Owned(_) => false,
+    }
+}
+
+/// Stage one movement entry via inter-block residency: re-base the
+/// retained atoms from the predecessor's still-resident local store (a
+/// scratchpad-local copy, no global traffic) and fetch only the delta
+/// atoms from global memory. Returns the delta's DMA tag, or `None`
+/// when residency does not apply to this entry — no carried
+/// predecessor, owned plan, retention denied at planning time, or a
+/// shape-stable §4.2 persistent copy that serves the buffer for free —
+/// in which case the caller falls back to the full move-in.
+#[allow(clippy::too_many_arguments)]
+fn move_in_buffer_resident(
+    program: &Program,
+    staging: &mut Staging,
+    mi: usize,
+    fixed: &HashMap<String, i64>,
+    carry: Option<(&HashMap<String, i64>, &LocalStore)>,
+    hoistable: Option<&HashSet<usize>>,
+    persistent: Option<&mut HashMap<usize, Persistent>>,
+    store: &ArrayStore,
+    overlay: &mut Overlay,
+    stats: &mut ExecStats,
+    clock: &mut BlockClock,
+    config: &MachineConfig,
+    earliest: u64,
+) -> Result<Option<DmaTag>> {
+    let Some((prev_fixed, prev_local)) = carry else {
+        return Ok(None);
+    };
+    let Staging {
+        source,
+        pparams,
+        local,
+        staged,
+        ..
+    } = staging;
+    let Some(res) = shared_residency(source, fixed, prev_fixed) else {
+        return Ok(None);
+    };
+    let plan = source.plan();
+    let mc = &plan.movement[mi];
+    let bi = mc.buffer;
+    let buf = &plan.buffers[bi];
+    let Some(rp) = res.plans.get(&bi) else {
+        return Ok(None);
+    };
+    if bi >= prev_local.bufs.len() {
+        return Ok(None);
+    }
+    if hoistable.is_some_and(|h| plan_hoists(plan, buf.array, h)) {
+        // The §4.2 shortcut serves a shape-stable persistent copy for
+        // free — cheaper than any delta. Defer to it when it would
+        // hit. When the parked copy's shape shifted (so the shortcut
+        // would miss and fully restage), flush it first — the
+        // predecessor's writes must reach the overlay before the
+        // delta reads it — then stage by residency.
+        let Some(pers) = persistent else {
+            return Ok(None);
+        };
+        let shape_matches = pers
+            .get(&buf.array)
+            .is_some_and(|p| p.extents == local.bufs[bi].1 && p.offsets == local.bufs[bi].2);
+        if shape_matches {
+            return Ok(None);
+        }
+        if let Some(p) = pers.remove(&buf.array) {
+            if p.dirty {
+                writeback_persistent(&p, overlay, stats, clock, config)?;
+            }
+        }
+    }
+    let name = &program.arrays[buf.array].name;
+    staged[mi] = true;
+    // Re-base the retained atoms: the predecessor's window contains
+    // them by construction (retained ⊆ W(s−1) ⊆ its bounding box), so
+    // the indexed reads below are always in bounds, boundary tiles
+    // included.
+    let prev_offsets = &prev_local.bufs[bi].2;
+    let mut err: Option<MachineError> = None;
+    let mut retained = 0u64;
+    polymem_core::smem::residency::for_each_retained(rp, buf, pparams, &mut |g, l| {
+        if err.is_some() {
+            return;
+        }
+        let prev_l: Vec<i64> = buf
+            .kept_dims
+            .iter()
+            .zip(prev_offsets.iter())
+            .map(|(&d, off)| g[d] - off)
+            .collect();
+        match prev_local.get(bi, &prev_l) {
+            Ok(v) => {
+                if let Err(e) = local.set(bi, l, v) {
+                    err = Some(e);
+                }
+            }
+            Err(e) => err = Some(e),
+        }
+        retained += 1;
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    // Fetch the delta atoms — the only elements crossing the bus.
+    let ext = &clock.ext[buf.array];
+    let mut delta = 0u64;
+    polymem_core::smem::residency::for_each_delta_in(rp, buf, pparams, &mut |g, l| {
+        if err.is_some() {
+            return;
+        }
+        match read_global(store, overlay, buf.array, name, g, ext) {
+            Ok(v) => {
+                if let Err(e) = local.set(bi, l, v) {
+                    err = Some(e);
+                }
+            }
+            Err(e) => err = Some(e),
+        }
+        stats.global_reads += 1;
+        stats.moved_in += 1;
+        delta += 1;
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    stats.retained_elems += retained;
+    stats.delta_elems += delta;
+    stats.residency_groups += 1;
+    let tag = clock.issue_delta(rp, buf, pparams, config, earliest, retained)?;
+    Ok(Some(tag))
 }
 
 /// Functionally apply one movement entry's move-out (local → global
@@ -1889,6 +2145,7 @@ fn execute_one_block(
                 )?;
             }
             _ => {
+                let mut carry: Option<ResidencyCarry> = None;
                 for sv in &seqs {
                     let mut f2 = fixed.clone();
                     for (n, v) in kernel.seq_dims.iter().zip(sv) {
@@ -1907,6 +2164,7 @@ fn execute_one_block(
                         Some((&hoistable, &mut persistent)),
                         &mut clock,
                         launch,
+                        Some(&mut carry),
                     )?;
                 }
             }
@@ -1934,6 +2192,7 @@ fn execute_one_block(
             None,
             &mut clock,
             launch,
+            None,
         )?;
     }
     clock.now = clock.dma.drain(clock.now);
@@ -1943,7 +2202,10 @@ fn execute_one_block(
 }
 
 /// One sub-block, fully synchronous: stage in, compute, stage out,
-/// each DMA list waited on at issue.
+/// each DMA list waited on at issue. `carry_slot`, when threaded by a
+/// sequential sub-tile loop, holds the predecessor's scratchpad
+/// snapshot on entry (served to the residency staging path) and is
+/// replaced by this sub-tile's own snapshot on exit.
 #[allow(clippy::too_many_arguments)]
 fn run_sub_block(
     kernel: &BlockedKernel,
@@ -1958,6 +2220,7 @@ fn run_sub_block(
     mut hoist: Option<(&HashSet<usize>, &mut HashMap<usize, Persistent>)>,
     clock: &mut BlockClock,
     launch: &LaunchShared,
+    carry_slot: Option<&mut Option<ResidencyCarry>>,
 ) -> Result<()> {
     let mut sb = prepare_sub_block(kernel, fixed, params, config, cache, profiler, stats)?;
     if let Some(st) = &sb.staging {
@@ -1978,6 +2241,34 @@ fn run_sub_block(
             flush_stale_persistent(st, persistent, overlay, stats, clock, config)?;
         }
         for mi in 0..n_move {
+            let prev = carry_slot
+                .as_deref()
+                .and_then(|c| c.as_ref())
+                .map(|c| (&c.fixed, &c.local));
+            let st = sb.staging.as_mut().expect("staged");
+            let now = clock.now;
+            let (h_set, h_pers) = match hoist.as_mut() {
+                Some((h, p)) => (Some(&**h), Some(&mut **p)),
+                None => (None, None),
+            };
+            if let Some(tag) = move_in_buffer_resident(
+                &kernel.program,
+                st,
+                mi,
+                &sb.fixed,
+                prev,
+                h_set,
+                h_pers,
+                store,
+                overlay,
+                stats,
+                clock,
+                config,
+                now,
+            )? {
+                clock.wait(&tag);
+                continue;
+            }
             let st = sb.staging.as_mut().expect("staged");
             let real = move_in_buffer(
                 &kernel.program,
@@ -2045,6 +2336,17 @@ fn run_sub_block(
             pr.record(crate::trace::PassKind::MoveOut, t0.elapsed());
         }
     }
+    // Snapshot the post-move-out scratchpad for the successor's delta
+    // staging (move-out has flushed every write, so the snapshot
+    // agrees with global memory wherever retention is legal).
+    if let Some(slot) = carry_slot {
+        *slot = sb.staging.as_ref().and_then(|st| {
+            residency_nonempty(&st.source).then(|| ResidencyCarry {
+                fixed: sb.fixed.clone(),
+                local: st.local.clone(),
+            })
+        });
+    }
     Ok(())
 }
 
@@ -2067,6 +2369,7 @@ fn stage_remaining_sync(
     poisoned: &HashSet<AccessId>,
     earliest: u64,
     count_denied: bool,
+    carry: Option<(&HashMap<String, i64>, &LocalStore)>,
 ) -> Result<()> {
     if sb.staging.is_none() {
         return Ok(());
@@ -2091,6 +2394,31 @@ fn stage_remaining_sync(
                 hoistable,
             ) && buffer_poisoned(plan, mi, poisoned)
         };
+        // Residency first: the predecessor has computed and flushed
+        // by now, so even written or dependence-carrying groups may
+        // re-base their retained atoms from its snapshot.
+        let st = sb.staging.as_mut().expect("staged");
+        if let Some(tag) = move_in_buffer_resident(
+            &kernel.program,
+            st,
+            mi,
+            &sb.fixed,
+            carry,
+            Some(hoistable),
+            Some(persistent),
+            store,
+            overlay,
+            stats,
+            clock,
+            config,
+            earliest,
+        )? {
+            clock.wait(&tag);
+            if count_denied && denied {
+                stats.sync_groups += 1;
+            }
+            continue;
+        }
         let st = sb.staging.as_mut().expect("staged");
         let real = move_in_buffer(
             &kernel.program,
@@ -2181,7 +2509,7 @@ fn execute_block_pipelined(
     // Sub-tile 0 stages synchronously: nothing to overlap with yet.
     stage_remaining_sync(
         kernel, &mut cur, store, config, profiler, overlay, stats, hoistable, persistent, clock,
-        poisoned, 0, false,
+        poisoned, 0, false, None,
     )?;
     let mut reuse_ready = clock.now;
     for t in 0..seqs.len() {
@@ -2229,6 +2557,31 @@ fn execute_block_pipelined(
                     {
                         continue;
                     }
+                }
+                // Residency first: the group is read-only (checked
+                // above) and retention-legal, so `cur`'s pre-compute
+                // contents already hold the retained values — re-base
+                // locally and prefetch only the delta.
+                let prev = cur.staging.as_ref().map(|cs| (&cur.fixed, &cs.local));
+                let st = nx.staging.as_mut().expect("staged");
+                if let Some(tag) = move_in_buffer_resident(
+                    &kernel.program,
+                    st,
+                    mi,
+                    &nx.fixed,
+                    prev,
+                    Some(hoistable),
+                    Some(persistent),
+                    store,
+                    overlay,
+                    stats,
+                    clock,
+                    config,
+                    reuse_ready,
+                )? {
+                    nx.staging.as_mut().expect("staged").tags.push(tag);
+                    stats.overlap_groups += 1;
+                    continue;
                 }
                 let st = nx.staging.as_mut().expect("staged");
                 let real = move_in_buffer(
@@ -2315,11 +2668,13 @@ fn execute_block_pipelined(
             }
         }
         // Stage what prefetching skipped; these must observe t's
-        // writes, so they run after its move-out.
+        // writes, so they run after its move-out. `cur` now holds t's
+        // post-compute scratchpad — the residency predecessor.
         if let Some(nx) = next.as_mut() {
+            let prev = cur.staging.as_ref().map(|cs| (&cur.fixed, &cs.local));
             stage_remaining_sync(
                 kernel, nx, store, config, profiler, overlay, stats, hoistable, persistent, clock,
-                poisoned, out_done, true,
+                poisoned, out_done, true, prev,
             )?;
         }
         reuse_ready = out_done;
@@ -2619,6 +2974,9 @@ mod tests {
             smem_loads_saved: x + 23,
             reg_bytes_moved: x + 24,
             hier_groups: x + 25,
+            retained_elems: x + 32,
+            delta_elems: x + 33,
+            residency_groups: x + 34,
             compiled_blocks: x + 26,
             interpreted_blocks: x + 27,
             fallback: FallbackStats {
@@ -2666,6 +3024,9 @@ mod tests {
         assert_eq!(a.smem_loads_saved, 147);
         assert_eq!(a.reg_bytes_moved, 149);
         assert_eq!(a.hier_groups, 151);
+        assert_eq!(a.retained_elems, 165);
+        assert_eq!(a.delta_elems, 167);
+        assert_eq!(a.residency_groups, 169);
         assert_eq!(a.compiled_blocks, 153);
         assert_eq!(a.interpreted_blocks, 155);
         assert_eq!(a.fallback.engine_off, 157);

@@ -51,6 +51,13 @@ fn hierarchy_disabled() -> bool {
     std::env::args().any(|a| a == "--no-hierarchy")
 }
 
+/// `--no-residency` on the command line: re-stage every group's full
+/// window at each sequential sub-tile instead of retaining the
+/// overlap in scratchpad and transferring only the delta.
+fn residency_disabled() -> bool {
+    std::env::args().any(|a| a == "--no-residency")
+}
+
 /// `--json` on the command line: machine-readable output.
 fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
@@ -64,6 +71,7 @@ fn machine_config() -> MachineConfig {
     gpu.double_buffer = double_buffer_requested();
     gpu.compiled_exec = !compiled_exec_disabled();
     gpu.hierarchy = !hierarchy_disabled();
+    gpu.residency = !residency_disabled();
     gpu
 }
 
@@ -78,6 +86,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--double-buffer",
             "--no-compiled-exec",
             "--no-hierarchy",
+            "--no-residency",
         ],
         "emit" => &["--cuda", "--params"],
         "run" => &[
@@ -86,6 +95,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--double-buffer",
             "--no-compiled-exec",
             "--no-hierarchy",
+            "--no-residency",
             "--vector-width",
         ],
         _ => &[],
@@ -228,8 +238,11 @@ fn usage(msg: &str) -> ExitCode {
          sets the compiled engine's batched lane count (1 = scalar).\n\
          `run` stages per-inner-process register tiles when the mapping\n\
          distributes thread dims; --no-hierarchy keeps all staging in\n\
-         the scratchpad. `analyze --json` honors the same execution\n\
-         flags and describes the launch they would run.\n\
+         the scratchpad. Across sequential sub-tiles `run` keeps each\n\
+         group's overlapping window resident in scratchpad and\n\
+         transfers only the delta; --no-residency re-stages the full\n\
+         window every sub-tile. `analyze --json` honors the same\n\
+         execution flags and describes the launch they would run.\n\
          Unknown --flags are rejected."
     );
     ExitCode::FAILURE
@@ -436,8 +449,8 @@ fn analyze_json(name: &str) -> ExitCode {
         program.name
     ));
     out.push_str(&format!(
-        "  \"config\": {{ \"double_buffer\": {}, \"compiled_exec\": {}, \"hierarchy\": {}, \"vector_width\": {} }},\n",
-        gpu.double_buffer, gpu.compiled_exec, gpu.hierarchy, gpu.vector_width
+        "  \"config\": {{ \"double_buffer\": {}, \"compiled_exec\": {}, \"hierarchy\": {}, \"residency\": {}, \"vector_width\": {} }},\n",
+        gpu.double_buffer, gpu.compiled_exec, gpu.hierarchy, gpu.residency, gpu.vector_width
     ));
     match kernel_mapping(name, gpu.double_buffer) {
         Some(kernel) => {
@@ -644,6 +657,12 @@ fn run(name: &str, size: i64) -> ExitCode {
         "  plan cache hits/misses {}/{}",
         stats.plan_cache_hits, stats.plan_cache_misses
     );
+    if stats.residency_groups > 0 {
+        println!(
+            "  residency: {} group instances, {} elements retained, {} via delta transfers",
+            stats.residency_groups, stats.retained_elems, stats.delta_elems
+        );
+    }
     if stats.hier_groups > 0 {
         println!(
             "  register level: {} frame groups, {} smem loads saved, {} bytes through registers",
