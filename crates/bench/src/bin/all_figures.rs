@@ -7,6 +7,6 @@ fn main() {
         polymem_bench::figure7(),
         polymem_bench::figure8(),
     ] {
-        print!("{}\n", fig.to_table());
+        println!("{}", fig.to_table());
     }
 }

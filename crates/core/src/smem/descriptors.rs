@@ -201,6 +201,30 @@ pub fn delta_transfer_list(
     Ok(coalesce(&pairs))
 }
 
+/// Build the DMA list for a residency flush delta: the scan order of
+/// [`for_each_flush_delta`](super::residency::for_each_flush_delta)
+/// fused into strided descriptors exactly like [`transfer_list`]. The
+/// list covers only the move-out elements the successor sub-tile does
+/// not overwrite; valid to issue in place of the full move-out list
+/// only when [`RetainPlan::flush_legal`](super::residency::RetainPlan)
+/// holds.
+pub fn flush_transfer_list(
+    rp: &super::residency::RetainPlan,
+    buffer: &LocalBuffer,
+    array_extents: &[i64],
+    params: &[i64],
+) -> Result<TransferList> {
+    let buf_extents = buffer.extents(params)?;
+    let mut pairs: Vec<(i64, i64)> = Vec::new();
+    super::residency::for_each_flush_delta(rp, buffer, params, &mut |g, l| {
+        pairs.push((
+            flatten_index(g, array_extents),
+            flatten_index(l, &buf_extents),
+        ));
+    })?;
+    Ok(coalesce(&pairs))
+}
+
 /// Build both directions for a buffer ([`transfer_list`] twice).
 pub fn build_transfers(
     code: &MovementCode,

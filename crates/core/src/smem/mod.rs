@@ -21,6 +21,7 @@
 
 pub mod access;
 pub mod alloc;
+pub mod artifact;
 pub mod cache;
 pub mod dataspace;
 pub mod descriptors;
@@ -34,11 +35,14 @@ pub mod reuse;
 
 pub use access::LocalAccess;
 pub use alloc::{LocalBuffer, UnionBound};
+pub use artifact::{
+    decode_artifact, encode_artifact, plan_key, ArtifactKey, ArtifactStore, KeyHasher, PlanArtifact,
+};
 pub use cache::{analyze_symbolic, analyze_symbolic_hier, parametrize_dims, SymbolicPlan};
 pub use dataspace::{AccessId, RefInfo};
 pub use descriptors::{
-    build_transfers, delta_transfer_list, transfer_list, Direction, TransferDescriptor,
-    TransferList, TransferPlan,
+    build_transfers, delta_transfer_list, flush_transfer_list, transfer_list, Direction,
+    TransferDescriptor, TransferList, TransferPlan,
 };
 pub use hierarchy::{analyze_hierarchy, HierPlan, HierSpec, MemLevel};
 pub use liveness::LivenessPlan;

@@ -45,9 +45,29 @@
 //!
 //! The pass also emits the **outgoing flush delta**
 //! `move_out(s) \ writes(s+1)` — the store-side dual (elements whose
-//! flush the successor would not overwrite). The executors currently
-//! flush the full move-out set every sub-tile for risk containment;
-//! the flush delta is provided for analysis and future use.
+//! flush the successor would not overwrite). When
+//! [`RetainPlan::flush_legal`] holds, the executors flush only the
+//! delta: every skipped element lies in the successor's write set, so
+//! the successor (or, inductively, a later sub-tile, terminating at
+//! the last one whose flush is always full) writes it back with a
+//! value at least as new. Skipping is *observable* only if something
+//! reads the element from global memory while its flush is pending;
+//! [`flush_legal`](RetainPlan::flush_legal) conservatively requires
+//! that no such read exists:
+//!
+//! * the successor's own delta move-in (its retained atoms are served
+//!   from the local copy, which holds the newest value) must not
+//!   touch any skipped element — checked exactly at seq distance 1,
+//!   which covers every distance by induction (an element still
+//!   pending at distance `k` is in the writes of every intervening
+//!   sub-tile, so the distance-1 check applies at each step);
+//! * no *other* buffer of the same array may read a skipped element
+//!   at any seq distance (seq-relaxed over-approximation);
+//! * no unrewritten read of the array may touch a skipped element at
+//!   any seq distance (same relaxation).
+//!
+//! When `flush_legal` is false the executors fall back to the full
+//! move-out flush; the decomposition stays available for analysis.
 
 use super::alloc::LocalBuffer;
 use super::movement::MovementCode;
@@ -84,6 +104,13 @@ pub struct RetainPlan {
     pub retained_scan: Ast,
     /// Scan nest over the delta set.
     pub delta_scan: Ast,
+    /// Scan nest over the flush-delta set (move-out elements the
+    /// successor does not overwrite).
+    pub flush_scan: Ast,
+    /// Whether flushing only the flush delta is provably unobservable
+    /// (see the module docs for the exact conditions). Executors fall
+    /// back to the full move-out flush when false.
+    pub flush_legal: bool,
 }
 
 /// Per-group residency plans for one symbolic scratchpad plan, keyed
@@ -187,6 +214,70 @@ fn retention_legal(
     Ok(true)
 }
 
+/// Whether flushing only the flush delta of `mc` is unobservable. The
+/// *skip set* `K = move_out(s) ∩ writes(s+1)` holds the elements a
+/// delta flush leaves pending in the scratchpad; each is rewritten by
+/// the successor's flush (or a later one), so only an intervening
+/// global read of a pending element can tell the difference. The
+/// module docs spell out the three read classes checked here.
+fn flush_delta_legal(
+    program: &Program,
+    plan: &SmemPlan,
+    mc: &MovementCode,
+    buffer: &LocalBuffer,
+    seq_idx: usize,
+    delta_pieces: &[Polyhedron],
+) -> Result<bool> {
+    let mut skip = Vec::new();
+    for w in &mc.write_spaces {
+        for succ in &mc.write_spaces {
+            let k = w.intersect(&shift_seq(succ, seq_idx, 1))?;
+            if !k.is_empty()? {
+                skip.push(k);
+            }
+        }
+    }
+    if skip.is_empty() {
+        // Nothing ever skipped: the flush delta is the full move-out.
+        return Ok(true);
+    }
+    for k in &skip {
+        // (1) The successor's global delta reads, exactly at distance
+        // 1 (covers every distance by induction — see module docs).
+        for d in delta_pieces {
+            if !k.intersect(&shift_seq(d, seq_idx, 1))?.is_empty()? {
+                return Ok(false);
+            }
+        }
+        let kr = relax_seq(k, seq_idx);
+        // (2) Reads staged through other buffers of the same array, at
+        // any seq distance.
+        for other in &plan.movement {
+            if other.buffer == mc.buffer || plan.buffers[other.buffer].array != buffer.array {
+                continue;
+            }
+            for r in &other.read_spaces {
+                if !relax_seq(r, seq_idx).intersect(&kr)?.is_empty()? {
+                    return Ok(false);
+                }
+            }
+        }
+        // (3) Unrewritten reads of the array touch global directly.
+        for r in super::dataspace::collect_refs(program, buffer.array)? {
+            if r.id.is_write() || plan.rewrites.contains_key(&r.id) {
+                continue;
+            }
+            if !relax_seq(&r.data_space, seq_idx)
+                .intersect(&kr)?
+                .is_empty()?
+            {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
 /// Build the residency decomposition for every group of `plan`.
 ///
 /// `program` is the symbolic view the plan was analysed on (its
@@ -252,8 +343,10 @@ pub fn plan_residency(
             flush_pieces.extend(difference_all(&piece, &next)?);
         }
         let flush_delta = PolyUnion::from_members(flush_pieces)?;
+        let flush_legal = flush_delta_legal(program, plan, mc, buffer, seq_idx, &delta_pieces)?;
         let retained_scan = scan_union(&retained, &[0])?;
         let delta_scan = scan_union(&delta_in, &[0])?;
+        let flush_scan = scan_union(&flush_delta, &[0])?;
         let mut atoms = retained_pieces;
         atoms.extend(delta_pieces);
         plans.insert(
@@ -266,6 +359,8 @@ pub fn plan_residency(
                 flush_delta,
                 retained_scan,
                 delta_scan,
+                flush_scan,
+                flush_legal,
             },
         );
     }
@@ -297,6 +392,17 @@ pub fn for_each_delta_in(
     copy: &mut dyn FnMut(&[i64], &[i64]),
 ) -> Result<()> {
     super::movement::for_each_scan(&rp.delta_scan, buffer, params, copy)
+}
+
+/// Enumerate the flush-delta set at concrete extended parameters (the
+/// move-out elements the successor sub-tile does not overwrite).
+pub fn for_each_flush_delta(
+    rp: &RetainPlan,
+    buffer: &LocalBuffer,
+    params: &[i64],
+    copy: &mut dyn FnMut(&[i64], &[i64]),
+) -> Result<()> {
+    super::movement::for_each_scan(&rp.flush_scan, buffer, params, copy)
 }
 
 #[cfg(test)]
@@ -456,6 +562,114 @@ mod tests {
         }
         let want: BTreeSet<Vec<i64>> = (4..8).map(|i| vec![i]).collect();
         assert_eq!(flushed, want);
+        // Every skipped element is overwritten by the successor and
+        // nothing reads it from global in between: legal to act on.
+        assert!(rp.flush_legal, "in-place update chain is flush-legal");
+        // The scan nest enumerates exactly the same set.
+        let buf = &sp.plan.buffers[mc.buffer];
+        let scanned = collect_region(|f| for_each_flush_delta(rp, buf, &ext, f).unwrap());
+        assert_eq!(scanned, want);
+    }
+
+    #[test]
+    fn successor_delta_read_denies_flush_delta() {
+        // Tile t writes A[4t..4t+3] (S1) and A[4t+4..4t+7] (S2), and
+        // S3 reads the sliding window A[4t..4t+4]. The skip set is
+        // [4t+4, 4t+7]; the successor's delta move-in [4t+5, 4t+8]
+        // would read skipped (unflushed) elements from global memory,
+        // so the delta flush must be denied while retention itself
+        // stays legal.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") + 5]);
+        b.array("B", &[v("N")]);
+        b.array("C", &[v("N")]);
+        b.stmt("S1")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("A", &[v("i")])
+            .read("B", &[v("i")])
+            .body(Expr::Read(0))
+            .done();
+        b.stmt("S2")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("A", &[v("i") + 4])
+            .read("B", &[v("i")])
+            .body(Expr::Read(0))
+            .done();
+        b.stmt("S3")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("C", &[v("i")])
+            .read("A", &[v("i")])
+            .read("A", &[v("i") + 1])
+            .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+        let cfg = SmemConfig {
+            sample_params: vec![12],
+            must_copy_all: true,
+            residency_dim: Some("iT".to_string()),
+            ..SmemConfig::default()
+        };
+        let sp = analyze_symbolic(&t, &[("iT".to_string(), 1)], &cfg).unwrap();
+        let res = sp.residency.as_ref().unwrap();
+        let a = t.array_index("A").unwrap();
+        let mc = sp
+            .plan
+            .movement
+            .iter()
+            .find(|mc| sp.plan.buffers[mc.buffer].array == a && !mc.read_spaces.is_empty())
+            .unwrap();
+        let rp = res.plans.get(&mc.buffer).expect("sliding read retains");
+        assert!(
+            !rp.flush_legal,
+            "successor delta reads skipped elements: must deny"
+        );
+    }
+
+    #[test]
+    fn unrewritten_read_denies_flush_delta() {
+        // Same in-place update chain as the flush-delta test (legal
+        // when everything is rewritten), but with the read rewrites
+        // stripped: an unrewritten read fetches straight from global
+        // memory and could observe a skipped flush at any distance.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("A", &[v("N") + 2]);
+        b.stmt("S1")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("A", &[v("i")])
+            .read("A", &[v("i")])
+            .body(Expr::Read(0))
+            .done();
+        b.stmt("S2")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("A", &[v("i") + 2])
+            .read("A", &[v("i") + 2])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let t = tile_program(&p, &TileSpec::new(&[("i", 4)], "T")).unwrap();
+        let sym = crate::smem::cache::parametrize_dims(&t, &["iT".to_string()]).unwrap();
+        let cfg = SmemConfig {
+            sample_params: vec![12, 1],
+            must_copy_all: true,
+            ..SmemConfig::default()
+        };
+        let plan = crate::smem::analyze_program(&sym, &cfg).unwrap();
+        let res = plan_residency(&sym, &plan, "iT").unwrap();
+        let rp = res.plans.values().next().expect("chain retains");
+        assert!(rp.flush_legal, "fully rewritten chain is flush-legal");
+        let mut crippled = plan.clone();
+        crippled.rewrites.retain(|id, _| id.is_write());
+        let res = plan_residency(&sym, &crippled, "iT").unwrap();
+        let rp = res
+            .plans
+            .values()
+            .next()
+            .expect("retention itself stays legal");
+        assert!(
+            !rp.flush_legal,
+            "unrewritten read must deny the delta flush"
+        );
     }
 
     #[test]

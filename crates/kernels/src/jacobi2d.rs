@@ -157,7 +157,7 @@ mod tests {
         };
         reference(&mut native, 2, 8);
         let k = stepwise_seq_kernel(4, 4, true);
-        let mut run = |double_buffer: bool| {
+        let run = |double_buffer: bool| {
             let mut st = ArrayStore::for_program(&p, &prm).unwrap();
             init_store(&mut st, 33);
             let mut cfg = MachineConfig::cell_like();

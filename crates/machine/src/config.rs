@@ -133,6 +133,13 @@ pub struct MachineConfig {
     /// window when small tiles would otherwise split it into
     /// single-column groups.
     pub partition: bool,
+    /// Directory of the content-addressed plan-artifact store. When
+    /// set, the launch's symbolic plan is loaded from (and fresh
+    /// compiles are persisted to) `<dir>/<key>.plan`, keyed by the
+    /// program IR, the mapping-relevant fields of this config and the
+    /// block-shape parametrization — see `polymem_core::smem::artifact`.
+    /// `None` (every preset) disables persistence.
+    pub artifact_dir: Option<String>,
 }
 
 impl MachineConfig {
@@ -173,6 +180,7 @@ impl MachineConfig {
             vector_width: 8,
             residency: true,
             partition: true,
+            artifact_dir: None,
         }
     }
 
@@ -209,6 +217,7 @@ impl MachineConfig {
             vector_width: 4,
             residency: true,
             partition: true,
+            artifact_dir: None,
         }
     }
 
@@ -245,6 +254,7 @@ impl MachineConfig {
             // No scratchpad to keep warm.
             residency: false,
             partition: true,
+            artifact_dir: None,
         }
     }
 

@@ -27,9 +27,10 @@ use crate::overlay::{flatten, Overlay};
 use crate::trace::PassProfiler;
 use crate::{MachineError, Result};
 use polymem_core::smem::{
-    analyze_program_timed, analyze_symbolic_hier, delta_transfer_list, parametrize_dims,
-    transfer_list, AccessId, Direction, HierPlan, HierSpec, LocalBuffer, ResidencyPlan, RetainPlan,
-    SmemConfig, SmemPlan, SymbolicPlan,
+    analyze_program_timed, analyze_symbolic_hier, delta_transfer_list, flush_transfer_list,
+    parametrize_dims, plan_key, transfer_list, AccessId, ArtifactKey, ArtifactStore, Direction,
+    HierPlan, HierSpec, LocalBuffer, PlanArtifact, ResidencyPlan, RetainPlan, SmemConfig, SmemPlan,
+    SymbolicPlan,
 };
 use polymem_core::tiling::transform::fix_dims;
 use polymem_ir::{ArrayStore, Program};
@@ -133,6 +134,11 @@ pub struct ExecStats {
     /// Elements transferred as residency deltas (the only move-in
     /// traffic of a residency-staged group).
     pub delta_elems: u64,
+    /// Move-out elements flushed as residency flush deltas: when
+    /// [`RetainPlan::flush_legal`] holds, elements the successor
+    /// sub-tile overwrites anyway are skipped and only these cross the
+    /// bus.
+    pub flushed_delta_elems: u64,
     /// Buffer stagings served by the residency pass (retain + delta
     /// instead of a full move-in).
     pub residency_groups: u64,
@@ -212,6 +218,7 @@ impl PartialEq for ExecStats {
             && self.hier_groups == o.hier_groups
             && self.retained_elems == o.retained_elems
             && self.delta_elems == o.delta_elems
+            && self.flushed_delta_elems == o.flushed_delta_elems
             && self.residency_groups == o.residency_groups
             && self.dma == o.dma
     }
@@ -249,6 +256,7 @@ impl ExecStats {
         self.hier_groups += o.hier_groups;
         self.retained_elems += o.retained_elems;
         self.delta_elems += o.delta_elems;
+        self.flushed_delta_elems += o.flushed_delta_elems;
         self.residency_groups += o.residency_groups;
         self.compiled_blocks += o.compiled_blocks;
         self.interpreted_blocks += o.interpreted_blocks;
@@ -393,6 +401,200 @@ impl EnumPlan {
     }
 }
 
+/// Where the launch's shared symbolic plan came from (see
+/// [`execute_blocked_seeded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The caller-provided in-memory seed (a compile service's warm
+    /// cache) matched this launch's shape and was reused as-is.
+    Seeded,
+    /// Loaded — and re-proved against the program — from the
+    /// content-addressed artifact store.
+    Artifact,
+    /// Freshly analysed by the §3 pipeline this launch.
+    Fresh,
+}
+
+/// A launch's shared symbolic plan together with where it came from —
+/// what seeded entry points hand back for the caller's warm cache.
+pub type WarmedPlan = (Arc<SymbolicPlan>, PlanSource);
+
+/// Mapping-relevant machine-model fields folded into the plan
+/// artifact key: everything that changes which symbolic plan a launch
+/// computes or consumes. Performance-only knobs (latencies, clocks,
+/// DMA shape) deliberately stay out, so retuning the cost model never
+/// invalidates compiled plans.
+fn machine_salt(config: &MachineConfig) -> [u64; 11] {
+    [
+        match config.kind {
+            MachineKind::Gpu => 0,
+            MachineKind::CellLike => 1,
+            MachineKind::Cpu => 2,
+        },
+        config.smem_bytes,
+        config.word_bytes,
+        config.plan_cache as u64,
+        config.double_buffer as u64,
+        config.compiled_exec as u64,
+        config.regs_per_inner,
+        config.hierarchy as u64,
+        config.vector_width,
+        config.residency as u64,
+        config.partition as u64,
+    ]
+}
+
+/// Pin `kernel`'s block and seq dims (and, with hierarchy on, the
+/// thread dims) at their first enumerated values, extending `rep`
+/// (which already holds the representative round values). Returns the
+/// register-level spec, if any.
+fn complete_representative(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    config: &MachineConfig,
+    lead: &polymem_ir::Statement,
+    rep: &mut HashMap<String, i64>,
+) -> Result<Option<HierSpec>> {
+    let bvals = enumerate_named(lead, &kernel.block_dims, params, rep, config.enum_budget)?;
+    if let Some(b0) = bvals.first() {
+        for (n, v) in kernel.block_dims.iter().zip(b0) {
+            rep.insert(n.clone(), *v);
+        }
+    }
+    if !kernel.seq_dims.is_empty() {
+        let svals = enumerate_named(lead, &kernel.seq_dims, params, rep, config.enum_budget)?;
+        if let Some(s0) = svals.first() {
+            for (n, v) in kernel.seq_dims.iter().zip(s0) {
+                rep.insert(n.clone(), *v);
+            }
+        }
+    }
+    // Register-tile level: analyse the intra-thread subnest of the
+    // representative block with the thread dims as extra fixed
+    // dims. The representative thread values feed Algorithm 1's
+    // volume test exactly like the representative block values do.
+    if config.hierarchy && !kernel.thread_dims.is_empty() {
+        let tvals = enumerate_named(lead, &kernel.thread_dims, params, rep, config.enum_budget)?;
+        return Ok(tvals.first().map(|t0| HierSpec {
+            thread_dims: kernel.thread_dims.clone(),
+            thread_reps: kernel
+                .thread_dims
+                .iter()
+                .cloned()
+                .zip(t0.iter().copied())
+                .collect(),
+            regs_per_inner: config.regs_per_inner,
+        }));
+    }
+    Ok(None)
+}
+
+/// The content address of the symbolic plan [`execute_blocked`] would
+/// compile for this launch: the program IR, the mapping-relevant
+/// machine fields and the representative block-shape parametrization,
+/// hashed per `polymem_core::smem::artifact`. `None` when the mapping
+/// stages nothing through the plan cache (no scratchpad, no
+/// statements, or the cache disabled). Stable across processes — a
+/// compile service keys its warm cache and the on-disk store with it.
+pub fn plan_artifact_key(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    config: &MachineConfig,
+) -> Result<Option<ArtifactKey>> {
+    if !kernel.use_scratchpad || !config.plan_cache {
+        return Ok(None);
+    }
+    let Some(lead) = kernel.program.stmts.first() else {
+        return Ok(None);
+    };
+    let round_vals = enumerate_named(
+        lead,
+        &kernel.round_dims,
+        params,
+        &HashMap::new(),
+        config.enum_budget,
+    )?;
+    let mut rep: HashMap<String, i64> = HashMap::new();
+    if let Some(r0) = round_vals.first() {
+        for (n, v) in kernel.round_dims.iter().zip(r0) {
+            rep.insert(n.clone(), *v);
+        }
+    }
+    let hier_spec = complete_representative(kernel, params, config, lead, &mut rep)?;
+    let mut pairs: Vec<(String, i64)> = rep.into_iter().collect();
+    pairs.sort();
+    Ok(Some(plan_key(
+        &kernel.program,
+        &smem_config(params, config, kernel),
+        &pairs,
+        hier_spec.as_ref(),
+        &machine_salt(config),
+    )))
+}
+
+/// Obtain the shared symbolic plan [`execute_blocked`] would launch
+/// with, without executing anything: a compile service's `analyze`
+/// entry point. Consults the caller's `seed` and the configured
+/// artifact store exactly like execution does — and persists fresh
+/// analyses the same way — so a later `run` of the same launch finds
+/// the plan warm. `None` when nothing stages through the plan cache.
+pub fn warm_plan(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    config: &MachineConfig,
+    profiler: Option<&PassProfiler>,
+    seed: Option<&Arc<SymbolicPlan>>,
+) -> Result<Option<WarmedPlan>> {
+    kernel.program.validate()?;
+    if !kernel.use_scratchpad || !config.plan_cache {
+        return Ok(None);
+    }
+    let Some(lead) = kernel.program.stmts.first() else {
+        return Ok(None);
+    };
+    let round_vals = enumerate_named(
+        lead,
+        &kernel.round_dims,
+        params,
+        &HashMap::new(),
+        config.enum_budget,
+    )?;
+    let mut rep: HashMap<String, i64> = HashMap::new();
+    if let Some(r0) = round_vals.first() {
+        for (n, v) in kernel.round_dims.iter().zip(r0) {
+            rep.insert(n.clone(), *v);
+        }
+    }
+    let hier_spec = complete_representative(kernel, params, config, lead, &mut rep)?;
+    let art_store = config
+        .artifact_dir
+        .as_ref()
+        .and_then(|d| ArtifactStore::open(d).ok());
+    let akey = if art_store.is_some() || seed.is_some() {
+        let mut pairs: Vec<(String, i64)> = rep.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        pairs.sort();
+        Some(plan_key(
+            &kernel.program,
+            &smem_config(params, config, kernel),
+            &pairs,
+            hier_spec.as_ref(),
+            &machine_salt(config),
+        ))
+    } else {
+        None
+    };
+    Ok(PlanCache::new().warm(
+        &kernel.program,
+        &rep,
+        &smem_config(params, config, kernel),
+        hier_spec.as_ref(),
+        profiler,
+        seed,
+        art_store.as_ref(),
+        akey,
+    ))
+}
+
 impl PlanCache {
     fn new() -> PlanCache {
         PlanCache {
@@ -422,10 +624,24 @@ impl PlanCache {
         k
     }
 
-    /// Analyse the representative instance symbolically and prime the
-    /// cache (counted as the one miss all same-shape blocks share). A
-    /// failed symbolic analysis parks `None`, making every block fall
-    /// back to per-instance analysis.
+    /// Prime the cache with the representative instance's symbolic
+    /// plan (counted as the one miss all same-shape blocks share),
+    /// cheapest source first:
+    ///
+    /// 1. a caller-provided in-memory `seed` whose fixed names match
+    ///    this shape (a compile service's warm cache);
+    /// 2. the content-addressed artifact `store` under `akey` —
+    ///    loads are fully re-proved against `program`, so a corrupt or
+    ///    stale file silently degrades to the next source;
+    /// 3. a fresh `analyze_symbolic_hier` run. Only this source
+    ///    absorbs §3 pass times into the profiler (the others skipped
+    ///    the passes) and, when a store is configured, persists the
+    ///    result for future processes.
+    ///
+    /// A failed symbolic analysis parks `None`, making every block
+    /// fall back to per-instance analysis. Returns the shared plan and
+    /// where it came from.
+    #[allow(clippy::too_many_arguments)]
     fn warm(
         &self,
         program: &Program,
@@ -433,20 +649,41 @@ impl PlanCache {
         cfg: &SmemConfig,
         hier: Option<&HierSpec>,
         profiler: Option<&PassProfiler>,
-    ) {
+        seed: Option<&Arc<SymbolicPlan>>,
+        store: Option<&ArtifactStore>,
+        akey: Option<ArtifactKey>,
+    ) -> Option<WarmedPlan> {
         let mut pairs: Vec<(String, i64)> = rep.iter().map(|(k, v)| (k.clone(), *v)).collect();
         pairs.sort();
         let key: Vec<String> = pairs.iter().map(|p| p.0.clone()).collect();
-        let entry = analyze_symbolic_hier(program, &pairs, cfg, hier)
-            .ok()
-            .map(|sp| {
+        let seeded = seed
+            .filter(|sp| sp.fixed == key)
+            .map(|sp| (sp.clone(), PlanSource::Seeded));
+        let entry = seeded
+            .or_else(|| {
+                let art = store.and_then(|s| s.load(&akey?, program))?;
+                (art.plan.fixed == key).then(|| (Arc::new(art.plan), PlanSource::Artifact))
+            })
+            .or_else(|| {
+                let sp = analyze_symbolic_hier(program, &pairs, cfg, hier).ok()?;
                 if let Some(pr) = profiler {
                     pr.absorb_pass_times(&sp.pass_times);
                 }
-                Arc::new(sp)
+                if let (Some(s), Some(k)) = (store, akey) {
+                    let mut ext = cfg.sample_params.clone();
+                    ext.extend(pairs.iter().map(|p| p.1));
+                    if let Ok(art) = PlanArtifact::build(program, &sp, k, &ext) {
+                        let _ = s.save(&art);
+                    }
+                }
+                Some((Arc::new(sp), PlanSource::Fresh))
             });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.plans.write().unwrap().insert(key, entry);
+        self.plans
+            .write()
+            .unwrap()
+            .insert(key, entry.as_ref().map(|(sp, _)| sp.clone()));
+        entry
     }
 
     /// A shared plan for this sub-block's shape, counting the lookup.
@@ -491,6 +728,27 @@ pub fn execute_blocked_profiled(
     parallel: bool,
     profiler: Option<&PassProfiler>,
 ) -> Result<ExecStats> {
+    execute_blocked_seeded(kernel, params, store, config, parallel, profiler, None)
+        .map(|(stats, _)| stats)
+}
+
+/// [`execute_blocked_profiled`] with plan seeding: a caller holding a
+/// still-valid symbolic plan (a compile service's warm cache) passes
+/// it as `seed` and the launch skips the §3 pipeline entirely when the
+/// shapes match. Independently, when `config.artifact_dir` is set, the
+/// launch consults the content-addressed on-disk store before
+/// analysing and persists freshly computed plans into it. Returns the
+/// shared plan alongside where it came from, so services can keep it
+/// warm for the next request.
+pub fn execute_blocked_seeded(
+    kernel: &BlockedKernel,
+    params: &[i64],
+    store: &mut ArrayStore,
+    config: &MachineConfig,
+    parallel: bool,
+    profiler: Option<&PassProfiler>,
+    seed: Option<&Arc<SymbolicPlan>>,
+) -> Result<(ExecStats, Option<WarmedPlan>)> {
     kernel.program.validate()?;
     let program = &kernel.program;
 
@@ -498,7 +756,7 @@ pub fn execute_blocked_profiled(
     // round dims (programs with no statements do nothing).
     let mut stats = ExecStats::default();
     let Some(lead) = program.stmts.first() else {
-        return Ok(stats);
+        return Ok((stats, None));
     };
     // Per-launch shared state: hoisted common-depth matrix, global
     // extents/weights, compiled bodies and the compiled-shape cache.
@@ -533,51 +791,42 @@ pub fn execute_blocked_profiled(
     } else {
         None
     };
+    let mut warmed: Option<WarmedPlan> = None;
     if let Some(c) = &cache {
         let mut rep: HashMap<String, i64> = HashMap::new();
         for (n, v) in kernel.round_dims.iter().zip(rounds[0].iter()) {
             rep.insert(n.clone(), *v);
         }
-        let bvals = enumerate_named(lead, &kernel.block_dims, params, &rep, config.enum_budget)?;
-        if let Some(b0) = bvals.first() {
-            for (n, v) in kernel.block_dims.iter().zip(b0) {
-                rep.insert(n.clone(), *v);
-            }
-        }
-        if !kernel.seq_dims.is_empty() {
-            let svals = enumerate_named(lead, &kernel.seq_dims, params, &rep, config.enum_budget)?;
-            if let Some(s0) = svals.first() {
-                for (n, v) in kernel.seq_dims.iter().zip(s0) {
-                    rep.insert(n.clone(), *v);
-                }
-            }
-        }
-        // Register-tile level: analyse the intra-thread subnest of the
-        // representative block with the thread dims as extra fixed
-        // dims. The representative thread values feed Algorithm 1's
-        // volume test exactly like the representative block values do.
-        let hier_spec = if config.hierarchy && !kernel.thread_dims.is_empty() {
-            let tvals =
-                enumerate_named(lead, &kernel.thread_dims, params, &rep, config.enum_budget)?;
-            tvals.first().map(|t0| HierSpec {
-                thread_dims: kernel.thread_dims.clone(),
-                thread_reps: kernel
-                    .thread_dims
-                    .iter()
-                    .cloned()
-                    .zip(t0.iter().copied())
-                    .collect(),
-                regs_per_inner: config.regs_per_inner,
-            })
+        let hier_spec = complete_representative(kernel, params, config, lead, &mut rep)?;
+        // The on-disk store and the content-address are only computed
+        // when someone can use them: a configured artifact dir, or a
+        // caller-provided seed (whose provider keys by the same hash).
+        let art_store = config
+            .artifact_dir
+            .as_ref()
+            .and_then(|d| ArtifactStore::open(d).ok());
+        let akey = if art_store.is_some() || seed.is_some() {
+            let mut pairs: Vec<(String, i64)> = rep.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            pairs.sort();
+            Some(plan_key(
+                program,
+                &smem_config(params, config, kernel),
+                &pairs,
+                hier_spec.as_ref(),
+                &machine_salt(config),
+            ))
         } else {
             None
         };
-        c.warm(
+        warmed = c.warm(
             program,
             &rep,
             &smem_config(params, config, kernel),
             hier_spec.as_ref(),
             profiler,
+            seed,
+            art_store.as_ref(),
+            akey,
         );
     }
     let cache = cache.as_ref();
@@ -708,7 +957,7 @@ pub fn execute_blocked_profiled(
         stats.plan_cache_hits = c.hits.load(Ordering::Relaxed);
         stats.plan_cache_misses = c.misses.load(Ordering::Relaxed);
     }
-    Ok(stats)
+    Ok((stats, warmed))
 }
 
 /// The §3 configuration the executor analyses (and warms) with. The
@@ -1020,6 +1269,32 @@ impl BlockClock {
             .issue_list(&list, config.word_bytes, self.now, start);
         tag.done = tag.done.max(rebase_done);
         Ok(tag)
+    }
+
+    /// Queue the DMA list for a residency flush delta — the move-out
+    /// elements the successor does not overwrite. Issued in place of
+    /// the full move-out list when [`RetainPlan::flush_legal`] holds;
+    /// the list is a subset of the full one, so the tag never
+    /// completes later than the flush it replaces.
+    fn issue_flush(
+        &mut self,
+        rp: &RetainPlan,
+        buf: &LocalBuffer,
+        pparams: &[i64],
+        config: &MachineConfig,
+        earliest: u64,
+    ) -> Result<DmaTag> {
+        if !self.dma_on {
+            return Ok(DmaTag::immediate(self.now));
+        }
+        let start = earliest.max(self.now);
+        let list = flush_transfer_list(rp, buf, &self.ext[buf.array], pparams)?;
+        if list.is_empty() {
+            return Ok(DmaTag::immediate(start));
+        }
+        Ok(self
+            .dma
+            .issue_list(&list, config.word_bytes, self.now, start))
     }
 
     /// Advance the clock to the tag's completion, recording stalls.
@@ -1488,19 +1763,56 @@ fn move_in_buffer_resident(
     Ok(Some(tag))
 }
 
+/// What [`move_out_buffer`] did with one movement entry, telling the
+/// caller which DMA list (if any) to issue.
+enum MoveOut {
+    /// Hoisted array parked in `persistent`; nothing crossed the bus.
+    Parked,
+    /// Full move-out applied to the overlay.
+    Full,
+    /// Only the flush delta applied: the skipped elements lie in the
+    /// successor's write set and it will stage this buffer by
+    /// residency, so their newest values are already where every
+    /// legal reader looks (the carried scratchpad).
+    Delta,
+}
+
+/// The flush-delta plan for one movement entry, present iff the delta
+/// flush is legal *and* the successor sub-tile will provably stage
+/// this buffer by residency — decided with the exact predicate and
+/// argument pair its move-in uses ([`shared_residency`] on
+/// `(next_fixed, fixed)`), so the two sides can never disagree.
+/// `None` means the full move-out must run.
+fn flush_delta_plan<'a>(
+    staging: &'a Staging,
+    mi: usize,
+    fixed: &HashMap<String, i64>,
+    next_fixed: Option<&HashMap<String, i64>>,
+) -> Option<&'a RetainPlan> {
+    let res = shared_residency(&staging.source, next_fixed?, fixed)?;
+    let rp = res.plans.get(&staging.source.plan().movement[mi].buffer)?;
+    rp.flush_legal.then_some(rp)
+}
+
 /// Functionally apply one movement entry's move-out (local → global
 /// overlay). Hoisted arrays park in `persistent` instead (one
-/// writeback at the end of the block); returns `false` for them.
+/// writeback at the end of the block). When the successor stages this
+/// buffer by residency and [`RetainPlan::flush_legal`] holds, only
+/// the flush delta is written back — the skipped elements are
+/// overwritten by a later sub-tile's flush before anything can read
+/// them from global memory.
 #[allow(clippy::too_many_arguments)]
 fn move_out_buffer(
     staging: &Staging,
     mi: usize,
+    fixed: &HashMap<String, i64>,
+    next_fixed: Option<&HashMap<String, i64>>,
     overlay: &mut Overlay,
     stats: &mut ExecStats,
     hoistable: Option<&HashSet<usize>>,
     persistent: Option<&mut HashMap<usize, Persistent>>,
     ext: &[Vec<i64>],
-) -> Result<bool> {
+) -> Result<MoveOut> {
     let plan = staging.source.plan();
     let mc = &plan.movement[mi];
     let buf = &plan.buffers[mc.buffer];
@@ -1520,13 +1832,15 @@ fn move_out_buffer(
                     dirty: dirty || prev_dirty,
                 },
             );
-            return Ok(false);
+            return Ok(MoveOut::Parked);
         }
     }
+    let flush = flush_delta_plan(staging, mi, fixed, next_fixed);
     let ls = &staging.local;
     let mut err = None;
+    let mut n = 0u64;
     let aext = &ext[buf.array];
-    polymem_core::smem::movement::for_each_move_out(mc, buf, &staging.pparams, &mut |g, l| {
+    let mut copy = |g: &[i64], l: &[i64]| {
         if err.is_some() {
             return;
         }
@@ -1538,13 +1852,24 @@ fn move_out_buffer(
             }
             Err(e) => err = Some(e),
         }
-        stats.global_writes += 1;
-        stats.moved_out += 1;
-    })?;
-    match err {
-        Some(e) => Err(e),
-        None => Ok(true),
+        n += 1;
+    };
+    let out = if let Some(rp) = flush {
+        polymem_core::smem::residency::for_each_flush_delta(rp, buf, &staging.pparams, &mut copy)?;
+        MoveOut::Delta
+    } else {
+        polymem_core::smem::movement::for_each_move_out(mc, buf, &staging.pparams, &mut copy)?;
+        MoveOut::Full
+    };
+    if let Some(e) = err {
+        return Err(e);
     }
+    stats.global_writes += n;
+    stats.moved_out += n;
+    if matches!(out, MoveOut::Delta) {
+        stats.flushed_delta_elems += n;
+    }
+    Ok(out)
 }
 
 /// Execute the sub-block's statement instances in interleaved source
@@ -2146,14 +2471,20 @@ fn execute_one_block(
             }
             _ => {
                 let mut carry: Option<ResidencyCarry> = None;
-                for sv in &seqs {
-                    let mut f2 = fixed.clone();
-                    for (n, v) in kernel.seq_dims.iter().zip(sv) {
-                        f2.insert(n.clone(), *v);
-                    }
+                let fixeds: Vec<HashMap<String, i64>> = seqs
+                    .iter()
+                    .map(|sv| {
+                        let mut f2 = fixed.clone();
+                        for (n, v) in kernel.seq_dims.iter().zip(sv) {
+                            f2.insert(n.clone(), *v);
+                        }
+                        f2
+                    })
+                    .collect();
+                for (i, f2) in fixeds.iter().enumerate() {
                     run_sub_block(
                         kernel,
-                        &f2,
+                        f2,
                         params,
                         store,
                         config,
@@ -2165,6 +2496,7 @@ fn execute_one_block(
                         &mut clock,
                         launch,
                         Some(&mut carry),
+                        fixeds.get(i + 1),
                     )?;
                 }
             }
@@ -2193,6 +2525,7 @@ fn execute_one_block(
             &mut clock,
             launch,
             None,
+            None,
         )?;
     }
     clock.now = clock.dma.drain(clock.now);
@@ -2205,7 +2538,9 @@ fn execute_one_block(
 /// each DMA list waited on at issue. `carry_slot`, when threaded by a
 /// sequential sub-tile loop, holds the predecessor's scratchpad
 /// snapshot on entry (served to the residency staging path) and is
-/// replaced by this sub-tile's own snapshot on exit.
+/// replaced by this sub-tile's own snapshot on exit. `next_fixed` is
+/// the successor sub-tile's fixed-dim map (when one exists), feeding
+/// the flush-delta decision of [`move_out_buffer`].
 #[allow(clippy::too_many_arguments)]
 fn run_sub_block(
     kernel: &BlockedKernel,
@@ -2221,6 +2556,7 @@ fn run_sub_block(
     clock: &mut BlockClock,
     launch: &LaunchShared,
     carry_slot: Option<&mut Option<ResidencyCarry>>,
+    next_fixed: Option<&HashMap<String, i64>>,
 ) -> Result<()> {
     let mut sb = prepare_sub_block(kernel, fixed, params, config, cache, profiler, stats)?;
     if let Some(st) = &sb.staging {
@@ -2310,26 +2646,39 @@ fn run_sub_block(
         let t0 = Instant::now();
         for mi in 0..n_move {
             let st = sb.staging.as_ref().expect("staged");
-            let real = move_out_buffer(
+            let out = move_out_buffer(
                 st,
                 mi,
+                &sb.fixed,
+                next_fixed,
                 overlay,
                 stats,
                 hoist.as_ref().map(|(h, _)| *h),
                 hoist.as_mut().map(|(_, p)| &mut **p),
                 &clock.ext,
             )?;
-            if real {
-                let st = sb.staging.as_ref().expect("staged");
-                let tag = clock.issue_movement(
-                    st.source.plan(),
-                    mi,
-                    &st.pparams,
-                    Direction::Out,
-                    config,
-                    clock.now,
-                )?;
-                clock.wait(&tag);
+            match out {
+                MoveOut::Parked => {}
+                MoveOut::Full => {
+                    let st = sb.staging.as_ref().expect("staged");
+                    let tag = clock.issue_movement(
+                        st.source.plan(),
+                        mi,
+                        &st.pparams,
+                        Direction::Out,
+                        config,
+                        clock.now,
+                    )?;
+                    clock.wait(&tag);
+                }
+                MoveOut::Delta => {
+                    let st = sb.staging.as_ref().expect("staged");
+                    let plan = st.source.plan();
+                    let buf = &plan.buffers[plan.movement[mi].buffer];
+                    let rp = flush_delta_plan(st, mi, &sb.fixed, next_fixed).expect("flushed");
+                    let tag = clock.issue_flush(rp, buf, &st.pparams, config, clock.now)?;
+                    clock.wait(&tag);
+                }
             }
         }
         if let Some(pr) = profiler {
@@ -2337,8 +2686,10 @@ fn run_sub_block(
         }
     }
     // Snapshot the post-move-out scratchpad for the successor's delta
-    // staging (move-out has flushed every write, so the snapshot
-    // agrees with global memory wherever retention is legal).
+    // staging. The snapshot holds the newest value of every element
+    // (flushing copies out of it, never into it), so it stays correct
+    // under a delta flush: skipped elements are exactly the ones the
+    // successor serves from this snapshot instead of global memory.
     if let Some(slot) = carry_slot {
         *slot = sb.staging.as_ref().and_then(|st| {
             residency_nonempty(&st.source).then(|| ResidencyCarry {
@@ -2639,28 +2990,42 @@ fn execute_block_pipelined(
             .map(|st| st.source.plan().movement.len())
         {
             let t0 = Instant::now();
+            let next_fixed = next.as_ref().map(|nx| &nx.fixed);
             for mi in 0..n_move {
                 let st = cur.staging.as_ref().expect("staged");
-                let real = move_out_buffer(
+                let out = move_out_buffer(
                     st,
                     mi,
+                    &cur.fixed,
+                    next_fixed,
                     overlay,
                     stats,
                     Some(hoistable),
                     Some(persistent),
                     &clock.ext,
                 )?;
-                if real {
-                    let st = cur.staging.as_ref().expect("staged");
-                    let tag = clock.issue_movement(
-                        st.source.plan(),
-                        mi,
-                        &st.pparams,
-                        Direction::Out,
-                        config,
-                        clock.now,
-                    )?;
-                    out_done = out_done.max(tag.done);
+                match out {
+                    MoveOut::Parked => {}
+                    MoveOut::Full => {
+                        let st = cur.staging.as_ref().expect("staged");
+                        let tag = clock.issue_movement(
+                            st.source.plan(),
+                            mi,
+                            &st.pparams,
+                            Direction::Out,
+                            config,
+                            clock.now,
+                        )?;
+                        out_done = out_done.max(tag.done);
+                    }
+                    MoveOut::Delta => {
+                        let st = cur.staging.as_ref().expect("staged");
+                        let plan = st.source.plan();
+                        let buf = &plan.buffers[plan.movement[mi].buffer];
+                        let rp = flush_delta_plan(st, mi, &cur.fixed, next_fixed).expect("flushed");
+                        let tag = clock.issue_flush(rp, buf, &st.pparams, config, clock.now)?;
+                        out_done = out_done.max(tag.done);
+                    }
                 }
             }
             if let Some(pr) = profiler {
@@ -2976,6 +3341,7 @@ mod tests {
             hier_groups: x + 25,
             retained_elems: x + 32,
             delta_elems: x + 33,
+            flushed_delta_elems: x + 35,
             residency_groups: x + 34,
             compiled_blocks: x + 26,
             interpreted_blocks: x + 27,
@@ -3026,6 +3392,7 @@ mod tests {
         assert_eq!(a.hier_groups, 151);
         assert_eq!(a.retained_elems, 165);
         assert_eq!(a.delta_elems, 167);
+        assert_eq!(a.flushed_delta_elems, 171);
         assert_eq!(a.residency_groups, 169);
         assert_eq!(a.compiled_blocks, 153);
         assert_eq!(a.interpreted_blocks, 155);

@@ -40,7 +40,8 @@ pub mod trace;
 pub use config::{MachineConfig, MachineKind};
 pub use dma::{DmaEngine, DmaStats, DmaTag};
 pub use exec::{
-    execute_blocked, execute_blocked_profiled, BlockedKernel, ExecStats, FallbackStats,
+    execute_blocked, execute_blocked_profiled, execute_blocked_seeded, plan_artifact_key,
+    warm_plan, BlockedKernel, ExecStats, FallbackStats, PlanSource, WarmedPlan,
 };
 pub use profile::{KernelProfile, TimeBreakdown};
 pub use trace::{PassKind, PassProfiler, PassReport, Phase, Timeline};

@@ -228,6 +228,100 @@ fn residency_counters_track_saved_traffic() {
     );
 }
 
+/// Overlapping in-place updates across consecutive sub-tiles: tile t
+/// writes A columns [4t, 4t+5] and tile t+1 rewrites [4t+4, 4t+5], so
+/// a legal flush delta skips those two columns at every interior
+/// boundary. The `+=` updates commute, keeping the blocked order
+/// bit-exact vs the reference — but a *wrongly* skipped element loses
+/// an update and shows up directly in A.
+#[test]
+fn flush_delta_skips_successor_overwrites() {
+    use polymem_core::tiling::transform::{tile_program, TileSpec};
+    use polymem_ir::expr::v;
+    use polymem_ir::{exec_program, Expr, LinExpr, ProgramBuilder};
+
+    std::env::set_var("POLYMEM_EXEC_CHECK", "1");
+    let mut b = ProgramBuilder::new("p", ["M", "N"]);
+    b.array("A", &[v("M"), v("N") + 2]);
+    b.array("B", &[v("M"), v("N")]);
+    b.array("C", &[v("M"), v("N")]);
+    b.stmt("S1")
+        .loops(&[
+            ("j", LinExpr::c(0), v("M") - 1),
+            ("i", LinExpr::c(0), v("N") - 1),
+        ])
+        .write("A", &[v("j"), v("i")])
+        .read("A", &[v("j"), v("i")])
+        .read("B", &[v("j"), v("i")])
+        .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+        .done();
+    b.stmt("S2")
+        .loops(&[
+            ("j", LinExpr::c(0), v("M") - 1),
+            ("i", LinExpr::c(0), v("N") - 1),
+        ])
+        .write("A", &[v("j"), v("i") + 2])
+        .read("A", &[v("j"), v("i") + 2])
+        .read("C", &[v("j"), v("i")])
+        .body(Expr::add(Expr::Read(0), Expr::Read(1)))
+        .done();
+    let p = b.build().unwrap();
+    let t = tile_program(&p, &TileSpec::new(&[("j", 4), ("i", 4)], "T")).unwrap();
+    let kernel = BlockedKernel {
+        program: t,
+        round_dims: vec![],
+        block_dims: vec!["jT".into()],
+        seq_dims: vec!["iT".into()],
+        thread_dims: vec![],
+        use_scratchpad: true,
+    };
+    let params = vec![8, 12];
+    let mut base = ArrayStore::for_program(&p, &params).unwrap();
+    base.fill_with("A", |ix| ix[0] * 100 + ix[1]).unwrap();
+    base.fill_with("B", |ix| ix[0] * 7 + ix[1] * 3 + 1).unwrap();
+    base.fill_with("C", |ix| ix[0] * 5 + ix[1] * 11 + 2)
+        .unwrap();
+    let mut reference = base.clone();
+    exec_program(&p, &params, &mut reference).unwrap();
+    for machine in [
+        MachineConfig::geforce_8800_gtx(),
+        MachineConfig::cell_like(),
+    ] {
+        for double_buffer in [false, true] {
+            let mut on = machine.clone();
+            on.double_buffer = double_buffer;
+            on.residency = true;
+            let mut off = on.clone();
+            off.residency = false;
+            let mut st_on = base.clone();
+            let stats_on = execute_blocked(&kernel, &params, &mut st_on, &on, false).unwrap();
+            let mut st_off = base.clone();
+            let stats_off = execute_blocked(&kernel, &params, &mut st_off, &off, false).unwrap();
+            assert_eq!(
+                st_off.data("A").unwrap(),
+                reference.data("A").unwrap(),
+                "residency-off output diverged (dbuf={double_buffer})"
+            );
+            assert_eq!(
+                st_on.data("A").unwrap(),
+                reference.data("A").unwrap(),
+                "delta flush lost an update (dbuf={double_buffer})"
+            );
+            assert_eq!(stats_off.flushed_delta_elems, 0);
+            assert!(
+                stats_on.flushed_delta_elems > 0,
+                "delta flush never engaged (dbuf={double_buffer})"
+            );
+            assert!(
+                stats_on.moved_out < stats_off.moved_out,
+                "skipped flushes did not reduce move-out traffic: {} vs {}",
+                stats_on.moved_out,
+                stats_off.moved_out
+            );
+        }
+    }
+}
+
 /// Single-column sub-tiles drop the seq-coupled dimension from the
 /// staged buffer (its extent is 1), leaving the kept-dim shape
 /// identical across sub-tiles. The §4.2 hoist must not treat such a

@@ -1,0 +1,174 @@
+//! The daemon's warm in-memory plan cache.
+//!
+//! One shared LRU over all connections, keyed by the same
+//! content-address hex the on-disk [`ArtifactStore`] uses, holding
+//! `Arc<SymbolicPlan>`s that launches seed directly (no decode, no
+//! re-proof — the plan never left the process). Eviction is
+//! least-recently-used by a monotone sequence number; `invalidate`
+//! requests clear the cache and bump its generation, so statistics and
+//! responses can attribute hits to the cache version that produced
+//! them.
+//!
+//! [`ArtifactStore`]: polymem_core::smem::ArtifactStore
+
+use polymem_core::smem::SymbolicPlan;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counters a `stats` request reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Seed hits served from the warm cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale generation).
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted since start.
+    pub insertions: u64,
+    /// Current resident entry count.
+    pub resident: usize,
+    /// Cache generation (bumped by every `invalidate`).
+    pub generation: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, (Arc<SymbolicPlan>, u64)>,
+    seq: u64,
+    stats: LruStats,
+}
+
+/// A thread-safe LRU of warm symbolic plans.
+pub struct PlanLru {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanLru {
+    /// An empty cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> PlanLru {
+        PlanLru {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                seq: 0,
+                stats: LruStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up a plan by its content-address hex, refreshing its
+    /// recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<SymbolicPlan>> {
+        let mut g = self.inner.lock().unwrap();
+        g.seq += 1;
+        let seq = g.seq;
+        match g.entries.get_mut(key) {
+            Some((plan, last)) => {
+                *last = seq;
+                let plan = plan.clone();
+                g.stats.hits += 1;
+                g.stats.resident = g.entries.len();
+                Some(plan)
+            }
+            None => {
+                g.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a plan, evicting the least recently used
+    /// entry when over capacity.
+    pub fn insert(&self, key: String, plan: Arc<SymbolicPlan>) {
+        let mut g = self.inner.lock().unwrap();
+        g.seq += 1;
+        let seq = g.seq;
+        if g.entries.insert(key, (plan, seq)).is_none() {
+            g.stats.insertions += 1;
+        }
+        while g.entries.len() > self.capacity {
+            if let Some(victim) = g
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+            {
+                g.entries.remove(&victim);
+                g.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        g.stats.resident = g.entries.len();
+    }
+
+    /// Drop every cached plan and bump the generation. Returns the new
+    /// generation.
+    pub fn invalidate(&self) -> u64 {
+        let mut g = self.inner.lock().unwrap();
+        g.entries.clear();
+        g.stats.resident = 0;
+        g.stats.generation += 1;
+        g.stats.generation
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> LruStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymem_core::smem::{analyze_symbolic, SmemConfig};
+    use polymem_ir::builder::ProgramBuilder;
+    use polymem_ir::expr::v;
+    use polymem_ir::{Expr, LinExpr};
+
+    fn plan(tag: i64) -> Arc<SymbolicPlan> {
+        let mut b = ProgramBuilder::new("lru", ["N"]);
+        b.array("A", &[v("N") + 4]);
+        b.stmt("S")
+            .loops(&[("i", LinExpr::c(0), v("N") - 1)])
+            .write("A", &[v("i")])
+            .read("A", &[v("i") + tag])
+            .body(Expr::Read(0))
+            .done();
+        let cfg = SmemConfig {
+            sample_params: vec![16],
+            must_copy_all: true,
+            ..SmemConfig::default()
+        };
+        Arc::new(analyze_symbolic(&b.build().unwrap(), &[], &cfg).unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let lru = PlanLru::new(2);
+        lru.insert("a".into(), plan(0));
+        lru.insert("b".into(), plan(1));
+        assert!(lru.get("a").is_some()); // refresh a; b is now LRU
+        lru.insert("c".into(), plan(2)); // evicts b
+        assert!(lru.get("b").is_none());
+        assert!(lru.get("a").is_some());
+        assert!(lru.get("c").is_some());
+        let s = lru.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_generation() {
+        let lru = PlanLru::new(4);
+        lru.insert("a".into(), plan(0));
+        assert_eq!(lru.invalidate(), 1);
+        assert!(lru.get("a").is_none());
+        assert_eq!(lru.stats().resident, 0);
+        assert_eq!(lru.invalidate(), 2);
+    }
+}

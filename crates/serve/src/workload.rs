@@ -1,0 +1,147 @@
+//! Built-in kernel resolution for the compile service.
+//!
+//! Mirrors the `polymem` CLI's kernel table (same canonical blocked
+//! mappings, same parameter construction, same deterministic seed-42
+//! initialisation, same checked output array), so a `run` request
+//! against the daemon computes bit-for-bit the same launch as
+//! `polymem run <kernel> --size N`.
+
+use polymem_ir::{ArrayStore, Program};
+use polymem_kernels::{conv2d, jacobi, jacobi2d, matmul, me};
+use polymem_machine::BlockedKernel;
+
+/// The built-in kernel names the service accepts.
+pub const KERNELS: [&str; 5] = ["me", "jacobi", "jacobi2d", "matmul", "conv2d"];
+
+/// Everything needed to execute one service request.
+pub struct Workload {
+    /// The whole-program IR (reference executions run this).
+    pub program: Program,
+    /// The canonical blocked mapping.
+    pub kernel: BlockedKernel,
+    /// Concrete parameter values for `size`.
+    pub params: Vec<i64>,
+    /// The output array whose contents define the result checksum.
+    pub check: &'static str,
+}
+
+/// Resolve a built-in kernel at a problem size. `db` selects the
+/// sequential-sub-tile variant that double buffering overlaps (the
+/// CLI's `--double-buffer` table). `None` for unknown names.
+pub fn resolve(name: &str, size: i64, db: bool) -> Option<Workload> {
+    let (program, params, check) = match name {
+        "me" => {
+            let s = me::MeSize {
+                ni: size,
+                nj: size,
+                ws: 4,
+            };
+            (me::program(), me::params(&s), "Sad")
+        }
+        "jacobi" => {
+            let s = jacobi::JacobiSize { n: size, t: 8 };
+            (jacobi::program(), jacobi::params(&s), "A")
+        }
+        "jacobi2d" => (jacobi2d::program(), jacobi2d::params(3, size), "A"),
+        "matmul" => (matmul::program(), vec![size], "C"),
+        "conv2d" => {
+            let s = conv2d::ConvSize { n: size, k: 3 };
+            (conv2d::program(), conv2d::params(&s), "Out")
+        }
+        _ => return None,
+    };
+    let kernel = match name {
+        "me" => {
+            if db {
+                me::blocked_seq_kernel(4, 4, true)
+            } else {
+                me::blocked_kernel(4, 4, true)
+            }
+        }
+        "jacobi" => jacobi::overlapped_kernel(2, 8, false),
+        "jacobi2d" => {
+            if db {
+                jacobi2d::stepwise_seq_kernel(4, 4, true)
+            } else {
+                jacobi2d::stepwise_kernel(4, 4, true)
+            }
+        }
+        "matmul" => {
+            if db {
+                matmul::blocked_kernel_hoisted(4, 4, 8, true)
+            } else {
+                matmul::blocked_kernel(4, 4, 8, true)
+            }
+        }
+        "conv2d" => {
+            if db {
+                conv2d::blocked_seq_kernel(4, 4, true)
+            } else {
+                conv2d::blocked_kernel(4, 4, true)
+            }
+        }
+        _ => unreachable!("names covered above"),
+    };
+    Some(Workload {
+        program,
+        kernel,
+        params,
+        check,
+    })
+}
+
+/// Deterministically initialise a workload's store (seed 42, like the
+/// CLI).
+pub fn init(name: &str, st: &mut ArrayStore) {
+    match name {
+        "me" => me::init_store(st, 42),
+        "jacobi" => jacobi::init_store(st, 42),
+        "jacobi2d" => jacobi2d::init_store(st, 42),
+        "matmul" => matmul::init_store(st, 42),
+        "conv2d" => conv2d::init_store(st, 42),
+        _ => {}
+    }
+}
+
+/// FNV-1a over an array's words: the result fingerprint `run`
+/// responses carry, comparable against a direct in-process execution.
+pub fn checksum(data: &[i64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in data {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_resolve_both_variants() {
+        for name in KERNELS {
+            for db in [false, true] {
+                let w = resolve(name, 16, db).unwrap();
+                assert!(!w.params.is_empty());
+                assert!(w.program.arrays.iter().any(|a| a.name == w.check));
+            }
+        }
+        assert!(resolve("nope", 16, false).is_none());
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let w = resolve("me", 16, false).unwrap();
+        let mut a = ArrayStore::for_program(&w.program, &w.params).unwrap();
+        let mut b = ArrayStore::for_program(&w.program, &w.params).unwrap();
+        init("me", &mut a);
+        init("me", &mut b);
+        assert_eq!(
+            checksum(a.data("Cur").unwrap()),
+            checksum(b.data("Cur").unwrap())
+        );
+    }
+}

@@ -21,9 +21,34 @@ use polymem::core::smem::{
 };
 use polymem::ir::{exec_program, ArrayStore, Program};
 use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me};
-use polymem::machine::{execute_blocked_profiled, BlockedKernel, MachineConfig, PassProfiler};
+use polymem::machine::{
+    execute_blocked_profiled, plan_artifact_key, BlockedKernel, MachineConfig, PassProfiler,
+};
+use polymem::serve::{ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Exit code for usage errors: unknown command/kernel/flag, malformed
+/// flag values.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for compile errors: `.poly` parse failures, §3 analysis
+/// failures.
+const EXIT_COMPILE: u8 = 3;
+/// Exit code for runtime errors: simulator failures and result
+/// mismatches.
+const EXIT_RUNTIME: u8 = 4;
+
+/// Print a compile-class error and exit with [`EXIT_COMPILE`].
+fn compile_error(msg: &str) -> ExitCode {
+    eprintln!("compile error: {msg}");
+    ExitCode::from(EXIT_COMPILE)
+}
+
+/// Print a runtime-class error and exit with [`EXIT_RUNTIME`].
+fn runtime_error(msg: &str) -> ExitCode {
+    eprintln!("runtime error: {msg}");
+    ExitCode::from(EXIT_RUNTIME)
+}
 
 /// `--profile` on the command line, or `POLYMEM_PROFILE=1` in the
 /// environment: print the pass-level wall-clock profile.
@@ -72,7 +97,15 @@ fn machine_config() -> MachineConfig {
     gpu.compiled_exec = !compiled_exec_disabled();
     gpu.hierarchy = !hierarchy_disabled();
     gpu.residency = !residency_disabled();
+    gpu.artifact_dir = flag_value("--artifact-dir");
     gpu
+}
+
+/// The value following a `--flag`, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let p = args.iter().position(|a| a == flag)?;
+    args.get(p + 1).cloned()
 }
 
 /// Flags each subcommand accepts. Anything else starting with `--`
@@ -87,6 +120,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--no-compiled-exec",
             "--no-hierarchy",
             "--no-residency",
+            "--artifact-dir",
         ],
         "emit" => &["--cuda", "--params"],
         "run" => &[
@@ -97,6 +131,23 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--no-hierarchy",
             "--no-residency",
             "--vector-width",
+            "--artifact-dir",
+        ],
+        "key" => &[
+            "--size",
+            "--double-buffer",
+            "--no-compiled-exec",
+            "--no-hierarchy",
+            "--no-residency",
+            "--vector-width",
+            "--artifact-dir",
+        ],
+        "serve" => &[
+            "--addr",
+            "--threads",
+            "--lru",
+            "--launch-slots",
+            "--artifact-dir",
         ],
         _ => &[],
     }
@@ -106,7 +157,16 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
 /// of `args().any(..)` silently ignoring a typo like `--no-heirarchy`
 /// and running with the feature still on.
 fn validate_flags(cmd: &str, args: &[String]) -> Result<(), String> {
-    const VALUED: &[&str] = &["--size", "--params", "--vector-width"];
+    const VALUED: &[&str] = &[
+        "--size",
+        "--params",
+        "--vector-width",
+        "--artifact-dir",
+        "--addr",
+        "--threads",
+        "--lru",
+        "--launch-slots",
+    ];
     let allowed = allowed_flags(cmd);
     let mut i = 0;
     while i < args.len() {
@@ -196,16 +256,26 @@ fn main() -> ExitCode {
         },
         Some("run") => {
             let k = it.next().map(str::to_string);
-            let size = args
-                .iter()
-                .position(|a| a == "--size")
-                .and_then(|p| args.get(p + 1))
-                .and_then(|s| s.parse::<i64>().ok())
-                .unwrap_or(16);
+            let size = cli_size(&args);
             with_kernel(k.as_deref(), |name| run(name, size))
         }
+        Some("key") => {
+            let k = it.next().map(str::to_string);
+            let size = cli_size(&args);
+            with_kernel(k.as_deref(), |name| key(name, size))
+        }
+        Some("serve") => serve(&args[1..]),
         _ => usage(""),
     }
+}
+
+/// `--size N` from the command line (default 16).
+fn cli_size(args: &[String]) -> i64 {
+    args.iter()
+        .position(|a| a == "--size")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|s| s.parse::<i64>().ok())
+        .unwrap_or(16)
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -223,6 +293,10 @@ fn usage(msg: &str) -> ExitCode {
          \x20 search <me|jacobi>       run the paper's tile-size search\n\
          \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
          \x20 trace <me|jacobi>        phase timeline of a launch\n\
+         \x20 key <kernel> [--size N]  print the launch's plan-artifact content address\n\
+         \x20 serve [--addr A] [--threads N] [--lru N] [--launch-slots N]\n\
+         \x20       [--artifact-dir DIR]\n\
+         \x20                          start the persistent compile service\n\
          \n\
          kernels: me, jacobi, jacobi2d, matmul, conv2d\n\
          \n\
@@ -243,9 +317,14 @@ fn usage(msg: &str) -> ExitCode {
          transfers only the delta; --no-residency re-stages the full\n\
          window every sub-tile. `analyze --json` honors the same\n\
          execution flags and describes the launch they would run.\n\
-         Unknown --flags are rejected."
+         `run`/`analyze`/`serve` accept --artifact-dir DIR to persist\n\
+         compiled plans in a content-addressed store (and reuse them\n\
+         across processes); `key` prints the store address a launch\n\
+         would use. Unknown --flags are rejected.\n\
+         \n\
+         exit codes: 0 ok, 2 usage error, 3 compile error, 4 runtime error."
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn figures(which: Option<&str>) -> ExitCode {
@@ -268,42 +347,43 @@ fn figures(which: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Why a kernel argument failed to resolve — drives the exit-code
+/// class (`Unknown`/`Usage` → 2, `Compile` → 3).
+#[derive(Debug)]
+enum KernelError {
+    /// Not a built-in name and not a `.poly` path.
+    Unknown,
+    /// The `.poly` source failed to read or parse.
+    Compile(String),
+    /// The kernel exists but the flags around it are wrong.
+    Usage(String),
+}
+
 /// A kernel instance small enough for interactive analysis/emission:
 /// a built-in name or a `.poly` file path.
-fn kernel_program(name: &str) -> Option<(Program, Vec<i64>)> {
-    Some(match name {
+fn kernel_program(name: &str) -> Result<(Program, Vec<i64>), KernelError> {
+    Ok(match name {
         "me" => (me::program(), vec![64, 64, 16]),
         "jacobi" => (jacobi::program(), vec![16, 256]),
         "jacobi2d" => (jacobi2d::program(), vec![4, 32]),
         "matmul" => (matmul::program(), vec![64]),
         "conv2d" => (conv2d::program(), vec![64, 5]),
         path if path.ends_with(".poly") => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot read `{path}`: {e}");
-                    return None;
-                }
-            };
-            let program = match polymem::ir::parse_program(&src) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return None;
-                }
-            };
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| KernelError::Compile(format!("cannot read `{path}`: {e}")))?;
+            let program = polymem::ir::parse_program(&src)
+                .map_err(|e| KernelError::Compile(e.to_string()))?;
             let params = cli_params().unwrap_or_else(|| vec![64; program.params.len()]);
             if params.len() != program.params.len() {
-                eprintln!(
+                return Err(KernelError::Usage(format!(
                     "--params needs {} values for {:?}",
                     program.params.len(),
                     program.params
-                );
-                return None;
+                )));
             }
             (program, params)
         }
-        _ => return None,
+        _ => return Err(KernelError::Unknown),
     })
 }
 
@@ -319,20 +399,20 @@ fn cli_params() -> Option<Vec<i64>> {
 
 fn with_kernel(name: Option<&str>, f: impl Fn(&str) -> ExitCode) -> ExitCode {
     match name {
-        Some(n) if kernel_program(n).is_some() => f(n),
-        Some(n) => usage(&format!("unknown kernel `{n}`")),
+        Some(n) => match kernel_program(n) {
+            Ok(_) => f(n),
+            Err(KernelError::Unknown) => usage(&format!("unknown kernel `{n}`")),
+            Err(KernelError::Usage(msg)) => usage(&msg),
+            Err(KernelError::Compile(msg)) => compile_error(&msg),
+        },
         None => usage("missing kernel name"),
     }
-}
-
-fn plan_of(program: &Program, params: &[i64]) -> polymem::core::SmemPlan {
-    plan_of_timed(program, params).0
 }
 
 fn plan_of_timed(
     program: &Program,
     params: &[i64],
-) -> (polymem::core::SmemPlan, polymem::core::smem::PassTimes) {
+) -> Result<(polymem::core::SmemPlan, polymem::core::smem::PassTimes), String> {
     analyze_program_timed(
         program,
         &SmemConfig {
@@ -340,7 +420,7 @@ fn plan_of_timed(
             ..SmemConfig::default()
         },
     )
-    .expect("analysis succeeds on built-in kernels")
+    .map_err(|e| e.to_string())
 }
 
 /// The canonical blocked mapping of each built-in kernel — one table,
@@ -506,7 +586,10 @@ fn analyze_json(name: &str) -> ExitCode {
             out.push_str("\n  ]\n");
         }
         None => {
-            let (plan, _) = plan_of_timed(&program, &params);
+            let (plan, _) = match plan_of_timed(&program, &params) {
+                Ok(x) => x,
+                Err(e) => return compile_error(&e),
+            };
             out.push_str("  \"levels\": [\n");
             out.push_str(&level_json("scratchpad", &plan, &params));
             out.push_str("\n  ]\n");
@@ -523,7 +606,10 @@ fn analyze(name: &str) -> ExitCode {
     }
     let (program, params) = kernel_program(name).expect("checked");
     println!("== {} ==\n{program}", program.name);
-    let (plan, times) = plan_of_timed(&program, &params);
+    let (plan, times) = match plan_of_timed(&program, &params) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
     println!("== Algorithm 1 decisions ==");
     for (array, d) in &plan.decisions {
         println!(
@@ -561,7 +647,10 @@ fn analyze(name: &str) -> ExitCode {
 
 fn emit(name: &str, cuda: bool) -> ExitCode {
     let (program, params) = kernel_program(name).expect("checked");
-    let plan = plan_of(&program, &params);
+    let plan = match plan_of_timed(&program, &params) {
+        Ok((plan, _)) => plan,
+        Err(e) => return compile_error(&e),
+    };
     let opts = EmitOptions {
         cuda,
         block_dims: vec![],
@@ -571,19 +660,12 @@ fn emit(name: &str, cuda: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(name: &str, size: i64) -> ExitCode {
-    let mut gpu = machine_config();
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(p) = args.iter().position(|a| a == "--vector-width") {
-        match args.get(p + 1).and_then(|s| s.parse::<u64>().ok()) {
-            Some(w) if w >= 1 => gpu.vector_width = w,
-            _ => return usage("--vector-width needs a positive integer"),
-        }
-    }
-    let Some(kernel) = kernel_mapping(name, gpu.double_buffer) else {
-        return usage("unknown kernel");
-    };
-    let (params, check): (Vec<i64>, &str) = match name {
+/// The simulator launch each built-in kernel runs at `--size N`:
+/// concrete parameter values plus the output array the functional
+/// check compares. Shared by `run` (which executes) and `key` (which
+/// must address the *same* launch).
+fn run_params(name: &str, size: i64) -> Option<(Vec<i64>, &'static str)> {
+    Some(match name {
         "me" => {
             let s = me::MeSize {
                 ni: size,
@@ -602,8 +684,32 @@ fn run(name: &str, size: i64) -> ExitCode {
             let s = conv2d::ConvSize { n: size, k: 3 };
             (conv2d::params(&s), "Out")
         }
-        _ => unreachable!("kernel_mapping covered the names"),
+        _ => return None,
+    })
+}
+
+/// Fold `--vector-width N` into the config; `Some(exit)` on a
+/// malformed value.
+fn apply_vector_width(gpu: &mut MachineConfig) -> Option<ExitCode> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(p) = args.iter().position(|a| a == "--vector-width") {
+        match args.get(p + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(w) if w >= 1 => gpu.vector_width = w,
+            _ => return Some(usage("--vector-width needs a positive integer")),
+        }
+    }
+    None
+}
+
+fn run(name: &str, size: i64) -> ExitCode {
+    let mut gpu = machine_config();
+    if let Some(exit) = apply_vector_width(&mut gpu) {
+        return exit;
+    }
+    let Some(kernel) = kernel_mapping(name, gpu.double_buffer) else {
+        return usage("unknown kernel");
     };
+    let (params, check) = run_params(name, size).expect("kernel_mapping covered the names");
     let base_program = match name {
         "me" => me::program(),
         "jacobi" => jacobi::program(),
@@ -627,10 +733,7 @@ fn run(name: &str, size: i64) -> ExitCode {
     let stats =
         match execute_blocked_profiled(&kernel, &params, &mut st, &gpu, true, profiler.as_ref()) {
             Ok(s) => s,
-            Err(e) => {
-                eprintln!("simulation failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return runtime_error(&format!("simulation failed: {e}")),
         };
     let ok = st.data(check).expect("array") == reference.data(check).expect("array");
     println!(
@@ -659,8 +762,9 @@ fn run(name: &str, size: i64) -> ExitCode {
     );
     if stats.residency_groups > 0 {
         println!(
-            "  residency: {} group instances, {} elements retained, {} via delta transfers",
-            stats.residency_groups, stats.retained_elems, stats.delta_elems
+            "  residency: {} group instances, {} elements retained, {} via delta transfers, {} flushed as deltas",
+            stats.residency_groups, stats.retained_elems, stats.delta_elems,
+            stats.flushed_delta_elems
         );
     }
     if stats.hier_groups > 0 {
@@ -717,6 +821,79 @@ fn run(name: &str, size: i64) -> ExitCode {
     if ok {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_RUNTIME)
+    }
+}
+
+/// `key <kernel> [--size N]`: print the content address under which
+/// this launch's plan artifact is (or would be) stored. The address
+/// is a pure function of the program, the mapping-relevant machine
+/// configuration, and the block-shape parametrization — stable across
+/// processes, so two invocations must print the same 32 hex digits.
+fn key(name: &str, size: i64) -> ExitCode {
+    let mut gpu = machine_config();
+    if let Some(exit) = apply_vector_width(&mut gpu) {
+        return exit;
+    }
+    let Some(kernel) = kernel_mapping(name, gpu.double_buffer) else {
+        return usage("`key` needs a built-in kernel (me, jacobi, jacobi2d, matmul, conv2d)");
+    };
+    let (params, _) = run_params(name, size).expect("kernel_mapping covered the names");
+    match plan_artifact_key(&kernel, &params, &gpu) {
+        Ok(Some(k)) => {
+            println!("{k}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            // No scratchpad plan (e.g. plan cache disabled): nothing
+            // to address, but not an error.
+            println!("none");
+            ExitCode::SUCCESS
+        }
+        Err(e) => compile_error(&e.to_string()),
+    }
+}
+
+/// `serve [--addr A] [--threads N] [--lru N] [--launch-slots N]
+/// [--artifact-dir DIR]`: start the persistent compile service and
+/// block until a protocol `shutdown` request.
+fn serve(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let numeric = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(flag) {
+            None => Ok(default),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("flag `{flag}` needs a positive integer")),
+            },
+        }
+    };
+    if let Some(a) = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|p| args.get(p + 1))
+    {
+        cfg.addr = a.clone();
+    }
+    cfg.threads = match numeric("--threads", cfg.threads) {
+        Ok(n) => n,
+        Err(msg) => return usage(&msg),
+    };
+    cfg.lru_capacity = match numeric("--lru", cfg.lru_capacity) {
+        Ok(n) => n,
+        Err(msg) => return usage(&msg),
+    };
+    cfg.launch_slots = match numeric("--launch-slots", cfg.launch_slots) {
+        Ok(n) => n,
+        Err(msg) => return usage(&msg),
+    };
+    cfg.artifact_dir = flag_value("--artifact-dir");
+    match Server::start(cfg) {
+        Ok(handle) => {
+            println!("polymem serve listening on {}", handle.addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => runtime_error(&format!("cannot start server: {e}")),
     }
 }

@@ -18,7 +18,10 @@
 //! * [`machine`] — a two-level GPU-like machine simulator with explicit
 //!   scratchpad memories,
 //! * [`kernels`] — kernel specifications used in the paper's evaluation
-//!   (MPEG-4 motion estimation, Jacobi stencils) plus extras.
+//!   (MPEG-4 motion estimation, Jacobi stencils) plus extras,
+//! * [`serve`] — the persistent compile service (`polymem serve`):
+//!   warm plan cache + content-addressed artifact store behind a
+//!   line-delimited JSON protocol.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -30,3 +33,4 @@ pub use polymem_kernels as kernels;
 pub use polymem_linalg as linalg;
 pub use polymem_machine as machine;
 pub use polymem_poly as poly;
+pub use polymem_serve as serve;

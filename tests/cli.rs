@@ -14,6 +14,22 @@ fn polymem(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`polymem`] but reports the raw exit code and lets the test
+/// inject environment variables (for the fault hooks).
+fn polymem_code(args: &[&str], env: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_polymem"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("not killed by signal"),
+    )
+}
+
 #[test]
 fn figures_subcommand_prints_a_figure() {
     let (stdout, _, ok) = polymem(&["figures", "7"]);
@@ -67,4 +83,91 @@ fn bad_usage_fails_with_help() {
     let (_, stderr, ok) = polymem(&["analyze", "nosuchkernel"]);
     assert!(!ok);
     assert!(stderr.contains("unknown kernel"), "{stderr}");
+}
+
+// Exit-code classification: one directed test per class, so scripts
+// (and the serve daemon's error mapping) can rely on the contract
+// `0 ok / 2 usage / 3 compile / 4 runtime`.
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    let (_, _, code) = polymem_code(&["frobnicate"], &[]);
+    assert_eq!(code, 2);
+    let (_, stderr, code) = polymem_code(&["run", "me", "--no-heirarchy"], &[]);
+    assert_eq!(code, 2, "typo'd flag must be a usage error: {stderr}");
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    let (_, _, code) = polymem_code(&["run", "nosuchkernel"], &[]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn compile_errors_exit_with_code_3() {
+    let dir = std::env::temp_dir().join("polymem_cli_compile_err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.poly");
+    std::fs::write(&path, "program { this is not a kernel }").unwrap();
+    let (_, stderr, code) = polymem_code(&["analyze", path.to_str().unwrap()], &[]);
+    assert_eq!(code, 3, "{stderr}");
+    assert!(stderr.contains("compile error:"), "{stderr}");
+}
+
+#[test]
+fn runtime_errors_exit_with_code_4() {
+    // The fault hook panics one block worker; the simulation fails
+    // after compilation succeeded, which is the runtime class.
+    let (_, stderr, code) = polymem_code(
+        &["run", "me", "--size", "8"],
+        &[("POLYMEM_FAULT_PANIC_BLOCK", "0")],
+    );
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("runtime error:"), "{stderr}");
+    assert!(stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn key_is_stable_across_processes() {
+    // The artifact address must be a pure content hash: two fresh
+    // processes — separate ASLR, allocation order, everything —
+    // print identical digests.
+    let (k1, _, code1) = polymem_code(&["key", "me", "--size", "16"], &[]);
+    let (k2, _, code2) = polymem_code(&["key", "me", "--size", "16"], &[]);
+    assert_eq!(code1, 0);
+    assert_eq!(code2, 0);
+    assert_eq!(k1, k2);
+    let digest = k1.trim();
+    assert_eq!(digest.len(), 32, "two-lane key renders 32 hex digits");
+    assert!(digest.chars().all(|c| c.is_ascii_hexdigit()), "{digest}");
+
+    // Different launch parametrization → different address.
+    let (k3, _, _) = polymem_code(&["key", "me", "--size", "32"], &[]);
+    assert_ne!(k1, k3);
+    // Mapping-relevant config flips the key too.
+    let (k4, _, _) = polymem_code(&["key", "me", "--size", "16", "--no-hierarchy"], &[]);
+    assert_ne!(k1, k4);
+}
+
+#[test]
+fn run_reuses_persisted_artifacts_across_processes() {
+    let dir = std::env::temp_dir().join("polymem_cli_artifact_reuse");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.to_str().unwrap();
+    let (out1, _, code1) = polymem_code(&["run", "me", "--size", "8", "--artifact-dir", d], &[]);
+    assert_eq!(code1, 0, "{out1}");
+    assert!(out1.contains("matches reference"), "{out1}");
+    // The store now holds the plan under the address `key` prints.
+    let (key, _, _) = polymem_code(&["key", "me", "--size", "8"], &[]);
+    let stored = dir.join(format!("{}.plan", key.trim()));
+    assert!(stored.exists(), "expected artifact at {stored:?}");
+    // A second process skips the §3 passes: compiler time is zero.
+    let (out2, _, code2) = polymem_code(
+        &["run", "me", "--size", "8", "--artifact-dir", d, "--profile"],
+        &[],
+    );
+    assert_eq!(code2, 0, "{out2}");
+    assert!(out2.contains("matches reference"), "{out2}");
+    assert!(
+        out2.contains("compiler (§3 passes)        0.000 ms"),
+        "artifact hit must skip analysis:\n{out2}"
+    );
 }
