@@ -1,110 +1,304 @@
-//! Extension experiments beyond the paper's evaluation:
+//! Extension experiments beyond the paper's evaluation, on the shared
+//! `BENCH_*.json` harness:
 //!
 //! 1. **conv2d** — a windowed kernel the paper's intro motivates but
-//!    does not measure: staged vs DRAM-only across kernel widths.
+//!    does not measure: staged vs DRAM-only across kernel widths,
+//!    rendered as a figure table. Gated: staging must win at every
+//!    width and the gain must grow with the window (the reuse the
+//!    framework captures is O(k²)).
 //! 2. **Cell-like machine** — the paper's framework targets the Cell's
-//!    mandatory local store too (§3); compare the same staged matmul
-//!    on the GPU-like and Cell-like presets.
+//!    mandatory local store too (§3); the same staged matmul runs on
+//!    the GPU-like and Cell-like presets through a harness [`Case`],
+//!    gated on bit-exactness and the scratchpad capacity limit.
 //! 3. **Timelines** — phase breakdowns (movement / compute /
 //!    scratchpad / barrier) for the paper's two kernels at their
-//!    chosen configurations, showing which resource binds where.
+//!    chosen configurations, gated on each timeline being non-empty
+//!    with phases summing to its total.
 //!
 //! ```sh
-//! cargo run --release -p polymem-bench --bin extensions
+//! cargo run --release -p polymem-bench --bin extensions            # full
+//! cargo run --release -p polymem-bench --bin extensions -- --smoke # CI
 //! ```
+//!
+//! Writes `BENCH_extensions.json`; exits non-zero on any gate failure.
+//! All gated quantities come from the deterministic cost model or
+//! deterministic counters, so the gates hold in smoke mode too.
 
-use polymem_kernels::{conv2d, jacobi, me};
-use polymem_machine::{MachineConfig, Timeline};
+use polymem_bench::harness::{best_of, conclude, json_escape_free, smoke_mode, store_for, Case};
+use polymem_bench::{Figure, Series};
+use polymem_kernels::{conv2d, jacobi, matmul, me};
+use polymem_machine::{execute_blocked, MachineConfig, Timeline};
 
-fn main() {
-    conv2d_sweep();
-    cell_comparison();
-    timelines();
+struct SweepRow {
+    k: i64,
+    dram_ms: f64,
+    staged_ms: f64,
 }
 
-fn conv2d_sweep() {
+impl SweepRow {
+    fn gain(&self) -> f64 {
+        self.dram_ms / self.staged_ms
+    }
+}
+
+/// Extension 1: staged vs DRAM-only conv2d across window widths, via
+/// the figure machinery the `fig*` binaries share.
+fn conv2d_sweep(n: i64) -> (Figure, Vec<SweepRow>) {
     let gpu = MachineConfig::geforce_8800_gtx();
-    println!("== Extension 1: conv2d staged vs DRAM-only (N = 4096) ==");
-    println!(
-        "{:>8} {:>16} {:>16} {:>8}",
-        "kernel", "DRAM-only", "staged", "gain"
-    );
+    let mut dram = Series {
+        label: "DRAM-only".into(),
+        points: vec![],
+    };
+    let mut staged = Series {
+        label: "staged".into(),
+        points: vec![],
+    };
+    let mut rows = Vec::new();
     for k in [3i64, 5, 7, 9] {
-        let s = conv2d::ConvSize { n: 4096, k };
-        let dram = conv2d::profile(&s, (32, 32), 64, 256, false, &gpu)
+        let s = conv2d::ConvSize { n, k };
+        let d = conv2d::profile(&s, (32, 32), 64, 256, false, &gpu)
             .estimate(&gpu)
             .expect("fits")
             .total_ms;
-        let smem = conv2d::profile(&s, (32, 32), 64, 256, true, &gpu)
+        let m = conv2d::profile(&s, (32, 32), 64, 256, true, &gpu)
             .estimate(&gpu)
             .expect("fits")
             .total_ms;
-        println!(
-            "{:>5}x{:<2} {:>13.1} ms {:>13.1} ms {:>7.1}x",
+        dram.points.push((k as f64, d));
+        staged.points.push((k as f64, m));
+        rows.push(SweepRow {
             k,
-            k,
-            dram,
-            smem,
-            dram / smem
-        );
+            dram_ms: d,
+            staged_ms: m,
+        });
     }
-    println!("   (the window-overlap reuse the framework captures grows with k^2)\n");
+    let fig = Figure {
+        id: "Extension 1".into(),
+        title: format!("conv2d staged vs DRAM-only (N = {n})"),
+        x_label: "Window".into(),
+        series: vec![dram, staged],
+    };
+    (fig, rows)
 }
 
-fn cell_comparison() {
-    use polymem_ir::ArrayStore;
-    use polymem_kernels::matmul;
-    use polymem_machine::execute_blocked;
-    println!("== Extension 2: same staged kernel on GPU-like vs Cell-like ==");
+struct CellRow {
+    machine: &'static str,
+    blocks: u64,
+    moved_in: u64,
+    moved_out: u64,
+    peak_words: u64,
+    word_bytes: u64,
+    smem_bytes: u64,
+    bit_exact: bool,
+}
+
+/// Extension 2: the same staged matmul on both machine presets.
+fn cell_comparison(n: i64) -> Vec<CellRow> {
     let p = matmul::program();
-    let n = 16i64;
-    for (label, cfg) in [
-        ("GeForce 8800 GTX ", MachineConfig::geforce_8800_gtx()),
-        ("Cell-like machine", MachineConfig::cell_like()),
+    let case = Case {
+        name: "matmul",
+        base: store_for(&p, &[n], |st| matmul::init_store(st, 1)),
+        program: p,
+        kernel: matmul::blocked_kernel(4, 4, 8, true),
+        params: vec![n],
+        check: "C",
+    };
+    let reference = case.reference();
+    let mut rows = Vec::new();
+    for (machine, cfg) in [
+        ("gpu", MachineConfig::geforce_8800_gtx()),
+        ("cell", MachineConfig::cell_like()),
     ] {
-        let mut st = ArrayStore::for_program(&p, &[n]).expect("store");
-        matmul::init_store(&mut st, 1);
-        let stats = execute_blocked(
-            &matmul::blocked_kernel(4, 4, 8, true),
-            &[n],
-            &mut st,
-            &cfg,
-            true,
-        )
-        .expect("run");
-        println!(
-            "  {label}: {} blocks, moved in/out {}/{}, peak {} words ({} B limit)",
-            stats.blocks, stats.moved_in, stats.moved_out, stats.max_smem_words, cfg.smem_bytes
-        );
+        let (_, (stats, store)) = best_of(3, || {
+            let mut store = case.base.clone();
+            let stats = execute_blocked(&case.kernel, &case.params, &mut store, &cfg, true)
+                .expect("execution succeeds");
+            (stats.compute_ns as f64, (stats, store))
+        });
+        rows.push(CellRow {
+            machine,
+            blocks: stats.blocks,
+            moved_in: stats.moved_in,
+            moved_out: stats.moved_out,
+            peak_words: stats.max_smem_words,
+            word_bytes: cfg.word_bytes,
+            smem_bytes: cfg.smem_bytes,
+            bit_exact: case.output_matches(&store, &reference),
+        });
     }
-    println!("   (Cell semantics force every compute access through the local store)\n");
+    rows
 }
 
-fn timelines() {
-    let gpu = MachineConfig::geforce_8800_gtx();
-    println!("== Extension 3: phase timelines at the paper's configurations ==");
+struct TimelineRow {
+    name: &'static str,
+    timeline: Timeline,
+}
 
-    let s = me::MeSize::square(16 << 20, 16);
+/// Extension 3: phase timelines at the paper's configurations.
+fn timelines(smoke: bool) -> Vec<TimelineRow> {
+    let gpu = MachineConfig::geforce_8800_gtx();
+    let mut out = Vec::new();
+
+    let s = me::MeSize::square(if smoke { 1 << 20 } else { 16 << 20 }, 16);
     let p = me::profile(&s, (32, 16), 32, 256, true, &gpu);
-    let tl = Timeline::from_profile(&p, &gpu).expect("fits");
-    println!("ME, 16M positions, tiles (32,16,16,16):");
-    print!("{}", tl.render(64));
+    out.push(TimelineRow {
+        name: "me",
+        timeline: Timeline::from_profile(&p, &gpu).expect("fits"),
+    });
 
     let s = jacobi::JacobiSize {
-        n: 512 * 1024,
+        n: if smoke { 64 * 1024 } else { 512 * 1024 },
         t: 4096,
     };
     let p = jacobi::profile_tiled(&s, 32, 256, 128, 64, true, &gpu);
-    let tl = Timeline::from_profile(&p, &gpu).expect("fits");
-    println!("Jacobi, N = 512k, tiles (32, 256):");
-    print!("{}", tl.render(64));
+    out.push(TimelineRow {
+        name: "jacobi",
+        timeline: Timeline::from_profile(&p, &gpu).expect("fits"),
+    });
 
     let s = jacobi::JacobiSize {
         n: 32 * 1024,
         t: 4096,
     };
     let p = jacobi::profile_resident(&s, 32, 256, 64, &gpu);
-    let tl = Timeline::from_profile(&p, &gpu).expect("fits");
-    println!("Jacobi resident (N = 32k) at 256 blocks (Fig. 7 right edge — barrier share grows):");
-    print!("{}", tl.render(64));
+    out.push(TimelineRow {
+        name: "jacobi_resident",
+        timeline: Timeline::from_profile(&p, &gpu).expect("fits"),
+    });
+    out
+}
+
+fn render_json(
+    mode: &str,
+    sweep: &[SweepRow],
+    cells: &[CellRow],
+    tls: &[TimelineRow],
+    pass: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str("  \"conv2d_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"k\": {}, \"dram_ms\": {:.3}, \"staged_ms\": {:.3}, \"gain\": {:.3} }}{}\n",
+            r.k,
+            r.dram_ms,
+            r.staged_ms,
+            r.gain(),
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"cell_comparison\": [\n");
+    for (i, r) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"machine\": \"{}\", \"blocks\": {}, \"moved_in\": {}, \"moved_out\": {}, \
+             \"peak_words\": {}, \"smem_bytes\": {}, \"bit_exact\": {} }}{}\n",
+            json_escape_free(r.machine),
+            r.blocks,
+            r.moved_in,
+            r.moved_out,
+            r.peak_words,
+            r.smem_bytes,
+            r.bit_exact,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"timelines\": [\n");
+    for (i, r) in tls.iter().enumerate() {
+        let phases = r
+            .timeline
+            .segments
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{ \"phase\": \"{}\", \"ms\": {:.4} }}",
+                    s.phase.label(),
+                    s.ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"total_ms\": {:.4}, \"segments\": [{}] }}{}\n",
+            json_escape_free(r.name),
+            r.timeline.total_ms,
+            phases,
+            if i + 1 == tls.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"pass\": {pass}\n}}\n"));
+    out
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("extension experiments ({mode} mode)\n");
+
+    let (fig, sweep) = conv2d_sweep(if smoke { 512 } else { 4096 });
+    println!("{}", fig.to_table());
+    println!("   (the window-overlap reuse the framework captures grows with k^2)\n");
+
+    let cells = cell_comparison(if smoke { 8 } else { 16 });
+    println!("== Extension 2: same staged kernel on GPU-like vs Cell-like ==");
+    for r in &cells {
+        println!(
+            "  [{:<4}] {} blocks, moved in/out {}/{}, peak {} words ({} B limit), bit-exact: {}",
+            r.machine,
+            r.blocks,
+            r.moved_in,
+            r.moved_out,
+            r.peak_words,
+            r.smem_bytes,
+            if r.bit_exact { "yes" } else { "NO" },
+        );
+    }
+
+    let tls = timelines(smoke);
+    println!("\n== Extension 3: phase timelines at the paper's configurations ==");
+    for r in &tls {
+        println!("{} ({:.2} ms):", r.name, r.timeline.total_ms);
+        print!("{}", r.timeline.render(64));
+    }
+
+    let mut failures = Vec::new();
+    for r in &sweep {
+        if r.staged_ms >= r.dram_ms {
+            failures.push(format!("conv2d k={}: staging did not win", r.k));
+        }
+    }
+    for w in sweep.windows(2) {
+        if w[1].gain() <= w[0].gain() {
+            failures.push(format!(
+                "conv2d: gain did not grow from k={} ({:.2}x) to k={} ({:.2}x)",
+                w[0].k,
+                w[0].gain(),
+                w[1].k,
+                w[1].gain()
+            ));
+        }
+    }
+    for r in &cells {
+        if !r.bit_exact {
+            failures.push(format!("matmul[{}]: output mismatch", r.machine));
+        }
+        if r.peak_words * r.word_bytes > r.smem_bytes {
+            failures.push(format!(
+                "matmul[{}]: peak {} words exceeds the {} B local store",
+                r.machine, r.peak_words, r.smem_bytes
+            ));
+        }
+    }
+    for r in &tls {
+        let sum: f64 = r.timeline.segments.iter().map(|s| s.ms).sum();
+        if r.timeline.segments.is_empty() || (sum - r.timeline.total_ms).abs() > 1e-6 {
+            failures.push(format!(
+                "timeline {}: segments sum {:.4} != total {:.4}",
+                r.name, sum, r.timeline.total_ms
+            ));
+        }
+    }
+
+    let json = render_json(mode, &sweep, &cells, &tls, failures.is_empty());
+    conclude("BENCH_extensions.json", &json, &failures);
 }

@@ -32,6 +32,7 @@ pub mod movement;
 pub mod partition;
 pub mod residency;
 pub mod reuse;
+pub mod tune;
 
 pub use access::LocalAccess;
 pub use alloc::{LocalBuffer, UnionBound};
@@ -50,6 +51,9 @@ pub use lowering::{lower_rows, prove_flat, row_major_weights, FlatAffine, Lowere
 pub use movement::MovementCode;
 pub use residency::{plan_residency, ResidencyPlan, RetainPlan};
 pub use reuse::{ReuseDecision, DEFAULT_DELTA};
+pub use tune::{
+    estimate, tune_key, CostConstants, CostEstimate, MappingDesc, Structure, TuneArtifact, TuneRow,
+};
 
 use polymem_ir::Program;
 use polymem_poly::{Polyhedron, Space};

@@ -24,6 +24,7 @@ pub mod builder;
 pub mod bytecode;
 pub mod exec;
 pub mod expr;
+pub mod gen;
 pub mod parse;
 pub mod program;
 
@@ -31,6 +32,7 @@ pub use builder::{DomainBuilder, ProgramBuilder};
 pub use bytecode::{BodyCode, ByteOp};
 pub use exec::{exec_program, exec_statement_instance, ArrayStore};
 pub use expr::{Expr, LinExpr};
+pub use gen::{init_random_store, random_program};
 pub use parse::parse_program;
 pub use program::{Access, ArrayDecl, Program, Statement};
 

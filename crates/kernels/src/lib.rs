@@ -23,6 +23,7 @@ pub mod jacobi;
 pub mod jacobi2d;
 pub mod matmul;
 pub mod me;
+pub mod tunespace;
 
 /// Deterministic pseudo-random fill values for workload arrays (xorshift).
 pub fn synth_value(seed: u64, idx: &[i64]) -> i64 {

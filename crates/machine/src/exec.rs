@@ -424,7 +424,7 @@ pub type WarmedPlan = (Arc<SymbolicPlan>, PlanSource);
 /// computes or consumes. Performance-only knobs (latencies, clocks,
 /// DMA shape) deliberately stay out, so retuning the cost model never
 /// invalidates compiled plans.
-fn machine_salt(config: &MachineConfig) -> [u64; 11] {
+pub(crate) fn machine_salt(config: &MachineConfig) -> [u64; 11] {
     [
         match config.kind {
             MachineKind::Gpu => 0,
@@ -963,7 +963,11 @@ pub fn execute_blocked_seeded(
 /// The §3 configuration the executor analyses (and warms) with. The
 /// residency dim (innermost `seq_dims` entry) only affects the shared
 /// symbolic analysis; per-instance (owned) analysis ignores it.
-fn smem_config(params: &[i64], config: &MachineConfig, kernel: &BlockedKernel) -> SmemConfig {
+pub(crate) fn smem_config(
+    params: &[i64],
+    config: &MachineConfig,
+    kernel: &BlockedKernel,
+) -> SmemConfig {
     SmemConfig {
         sample_params: params.to_vec(),
         must_copy_all: config.kind == MachineKind::CellLike,
@@ -979,7 +983,7 @@ fn smem_config(params: &[i64], config: &MachineConfig, kernel: &BlockedKernel) -
 
 /// Enumerate the values of the named dims of a statement's domain
 /// (projected), with some dims already fixed.
-fn enumerate_named(
+pub(crate) fn enumerate_named(
     stmt: &polymem_ir::Statement,
     names: &[String],
     params: &[i64],
@@ -1148,7 +1152,7 @@ fn writeback_persistent(
 /// case matters because the buffer planner may drop such a dim as an
 /// H-matrix row, leaving the kept-dim shape identical across
 /// sub-tiles — hoisting would then alias distinct footprints.
-fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usize> {
+pub(crate) fn seq_redundant_arrays(kernel: &BlockedKernel) -> std::collections::HashSet<usize> {
     let program = &kernel.program;
     (0..program.arrays.len())
         .filter(|&a| {

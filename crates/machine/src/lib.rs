@@ -36,6 +36,7 @@ pub mod exec;
 mod overlay;
 pub mod profile;
 pub mod trace;
+pub mod tune;
 
 pub use config::{MachineConfig, MachineKind};
 pub use dma::{DmaEngine, DmaStats, DmaTag};
@@ -45,6 +46,10 @@ pub use exec::{
 };
 pub use profile::{KernelProfile, TimeBreakdown};
 pub use trace::{PassKind, PassProfiler, PassReport, Phase, Timeline};
+pub use tune::{
+    config_for, cost_constants, generic_candidates, structure_of, tile_kernel, tune, TuneCandidate,
+    TuneOptions, TuneOutcome,
+};
 
 use std::fmt;
 

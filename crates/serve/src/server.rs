@@ -28,7 +28,12 @@
 //! ```
 //!
 //! Optional request fields: `double_buffer`, `hierarchy`, `residency`
-//! (booleans; defaults false/true/true like the CLI), `vector_width`.
+//! (booleans; defaults false/true/true like the CLI), `vector_width`,
+//! and `tuned` (boolean): resolve the autotuned mapping for the
+//! kernel from the tune artifact store (`polymem tune` writes it;
+//! zero search cost when warm, a fresh pruned search otherwise) and
+//! execute that instead of the preset — the response's `mapping`
+//! field reports which mapping ran.
 //! Responses always carry `"ok"`; failures add `"error"` and a
 //! `"class"` (`usage` | `compile` | `runtime`) mirroring the CLI's
 //! exit-code taxonomy. `run` responses carry the result `checksum`
@@ -44,8 +49,10 @@ use crate::json::Json;
 use crate::lru::PlanLru;
 use crate::workload;
 use polymem_ir::ArrayStore;
+use polymem_kernels::tunespace;
 use polymem_machine::{
-    execute_blocked_seeded, plan_artifact_key, warm_plan, MachineConfig, PassProfiler, PlanSource,
+    config_for, execute_blocked_seeded, plan_artifact_key, tune, warm_plan, BlockedKernel,
+    MachineConfig, PassProfiler, PlanSource, TuneOptions,
 };
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -320,6 +327,7 @@ struct Request {
     hierarchy: bool,
     residency: bool,
     vector_width: Option<u64>,
+    tuned: bool,
 }
 
 impl Request {
@@ -344,6 +352,7 @@ impl Request {
                 .get("vector_width")
                 .and_then(Json::as_i64)
                 .and_then(|w| u64::try_from(w).ok()),
+            tuned: b("tuned", false),
         }
     }
 
@@ -435,8 +444,57 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool) {
     (resp, false)
 }
 
+/// Resolve the autotuned mapping for a `tuned` request: the same
+/// search (and artifact key) as `polymem tune <kernel>` / `polymem
+/// run --tuned`, so a tune artifact written by the CLI answers with
+/// zero simulations. The search runs under the launch gate.
+fn tuned_mapping(
+    req: &Request,
+    shared: &Shared,
+) -> Result<(BlockedKernel, MachineConfig, String), String> {
+    let mut base = match req.machine.as_str() {
+        "gpu" => MachineConfig::geforce_8800_gtx(),
+        "cell" => MachineConfig::cell_like(),
+        "cpu" => MachineConfig::host_cpu(),
+        other => return Err(format!("unknown machine `{other}`")),
+    };
+    base.artifact_dir = shared.artifact_dir.clone();
+    let cands = tunespace::candidates(&req.kernel, &base, false)
+        .ok_or_else(|| format!("no tune space for `{}`", req.kernel))?;
+    let (program, params, _) = tunespace::workload(&req.kernel, req.size)
+        .ok_or_else(|| format!("no workload for `{}`", req.kernel))?;
+    let opts = TuneOptions {
+        space_label: format!("cli:{}:size={}", req.kernel, req.size),
+        ..TuneOptions::default()
+    };
+    let name = req.kernel.clone();
+    let out = {
+        let _slot = shared.gate.acquire();
+        tune(
+            &program,
+            &params,
+            &|st: &mut ArrayStore| tunespace::init_store(&name, st, 42),
+            &cands,
+            &base,
+            &opts,
+        )
+    }
+    .map_err(|e| e.to_string())?;
+    let kernel = tunespace::build(&req.kernel, &out.winner)
+        .ok_or_else(|| format!("winner `{}` does not rebuild", out.winner.label()))?;
+    let cfg = config_for(&out.winner, &base);
+    Ok((
+        kernel,
+        cfg,
+        format!("{} [{}]", out.winner.label(), out.plan_source),
+    ))
+}
+
 /// Resolve a request's workload, config and content address, plus the
-/// warm-cache seed if the plan is already resident.
+/// warm-cache seed if the plan is already resident. For `tuned`
+/// requests the preset mapping (and the request's execution toggles)
+/// are replaced by the autotuned winner; the returned label reports
+/// which mapping runs.
 #[allow(clippy::type_complexity)]
 fn prepare(
     req: &Request,
@@ -447,25 +505,37 @@ fn prepare(
         MachineConfig,
         Option<String>,
         Option<Arc<polymem_core::smem::SymbolicPlan>>,
+        Option<String>,
     ),
     String,
 > {
-    let Some(w) = workload::resolve(&req.kernel, req.size, req.double_buffer) else {
+    let Some(mut w) = workload::resolve(&req.kernel, req.size, req.double_buffer) else {
         return Err(err("usage", &format!("unknown kernel `{}`", req.kernel)));
     };
-    let Some(cfg) = req.machine_config(&shared.artifact_dir) else {
+    let Some(mut cfg) = req.machine_config(&shared.artifact_dir) else {
         return Err(err("usage", &format!("unknown machine `{}`", req.machine)));
     };
+    let mut mapping = None;
+    if req.tuned {
+        match tuned_mapping(req, shared) {
+            Ok((kernel, tcfg, label)) => {
+                w.kernel = kernel;
+                cfg = tcfg;
+                mapping = Some(label);
+            }
+            Err(m) => mapping = Some(format!("preset [tune failed: {m}]")),
+        }
+    }
     let key_hex = match plan_artifact_key(&w.kernel, &w.params, &cfg) {
         Ok(k) => k.map(|k| k.to_string()),
         Err(e) => return Err(err("compile", &e.to_string())),
     };
     let seed = key_hex.as_deref().and_then(|k| shared.lru.get(k));
-    Ok((w, cfg, key_hex, seed))
+    Ok((w, cfg, key_hex, seed, mapping))
 }
 
 fn handle_run(req: &Request, shared: &Shared) -> String {
-    let (w, cfg, key_hex, seed) = match prepare(req, shared) {
+    let (w, cfg, key_hex, seed, mapping) = match prepare(req, shared) {
         Ok(p) => p,
         Err(resp) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -519,6 +589,7 @@ fn handle_run(req: &Request, shared: &Shared) -> String {
         ("kernel", Json::Str(req.kernel.clone())),
         ("machine", Json::Str(req.machine.clone())),
         ("size", Json::Num(req.size as f64)),
+        ("mapping", mapping.map(Json::Str).unwrap_or(Json::Null)),
         ("plan_source", Json::Str(source_str(source).into())),
         ("key", key_hex.map(Json::Str).unwrap_or(Json::Null)),
         ("checksum", Json::Str(format!("{checksum:016x}"))),
@@ -540,7 +611,7 @@ fn handle_run(req: &Request, shared: &Shared) -> String {
 }
 
 fn handle_analyze(req: &Request, shared: &Shared) -> String {
-    let (w, cfg, key_hex, seed) = match prepare(req, shared) {
+    let (w, cfg, key_hex, seed, mapping) = match prepare(req, shared) {
         Ok(p) => p,
         Err(resp) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -566,6 +637,7 @@ fn handle_analyze(req: &Request, shared: &Shared) -> String {
         ("ok", Json::Bool(true)),
         ("kernel", Json::Str(req.kernel.clone())),
         ("machine", Json::Str(req.machine.clone())),
+        ("mapping", mapping.map(Json::Str).unwrap_or(Json::Null)),
         ("plan_source", Json::Str(source_str(source).into())),
         ("key", key_hex.map(Json::Str).unwrap_or(Json::Null)),
         ("elapsed_ns", Json::Num(elapsed.as_nanos() as f64)),
@@ -677,6 +749,41 @@ mod tests {
         );
         assert_eq!(run.get("plan_source").unwrap().as_str(), Some("seeded"));
         h.shutdown();
+    }
+
+    #[test]
+    fn tuned_run_reports_the_winning_mapping() {
+        let dir = std::env::temp_dir().join(format!("polymem-serve-tuned-{}", std::process::id()));
+        let h = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            artifact_dir: Some(dir.to_string_lossy().into_owned()),
+            lru_capacity: 8,
+            launch_slots: 2,
+        })
+        .unwrap();
+        let (mut r, mut w) = client(h.addr());
+        let req = r#"{"cmd":"run","kernel":"matmul","machine":"gpu","size":8,"tuned":true}"#;
+        let first = request(&mut r, &mut w, req);
+        assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+        let mapping = first.get("mapping").unwrap().as_str().unwrap().to_string();
+        assert!(
+            mapping.contains("[search]"),
+            "cold tune searches: {mapping}"
+        );
+        // Second request answers from the persisted tune artifact.
+        let second = request(&mut r, &mut w, req);
+        let mapping2 = second.get("mapping").unwrap().as_str().unwrap().to_string();
+        assert!(
+            mapping2.contains("[artifact]"),
+            "warm tune loads: {mapping2}"
+        );
+        assert_eq!(
+            first.get("checksum").unwrap().as_str(),
+            second.get("checksum").unwrap().as_str()
+        );
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,14 +19,19 @@ use polymem::core::emit::{emit_staged, EmitOptions};
 use polymem::core::smem::{
     analyze_program_timed, analyze_symbolic_hier, HierSpec, SmemConfig, SmemPlan,
 };
-use polymem::ir::{exec_program, ArrayStore, Program};
-use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me};
+use polymem::ir::{exec_program, init_random_store, random_program, ArrayStore, Program};
+use polymem::kernels::{conv2d, jacobi, jacobi2d, matmul, me, tunespace};
 use polymem::machine::{
-    execute_blocked_profiled, plan_artifact_key, BlockedKernel, MachineConfig, PassProfiler,
+    config_for, execute_blocked_profiled, generic_candidates, plan_artifact_key, tune,
+    BlockedKernel, MachineConfig, PassProfiler, TuneOptions, TuneOutcome,
 };
 use polymem::serve::{ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Store initializer threaded into `machine::tune` (boxed so built-in
+/// and generated workloads share one code path).
+type InitFn = Box<dyn Fn(&mut ArrayStore) + Sync>;
 
 /// Exit code for usage errors: unknown command/kernel/flag, malformed
 /// flag values.
@@ -132,6 +137,21 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--no-residency",
             "--vector-width",
             "--artifact-dir",
+            "--tuned",
+        ],
+        "tune" => &[
+            "--size",
+            "--params",
+            "--machine",
+            "--top",
+            "--reps",
+            "--exhaustive",
+            "--smoke",
+            "--json",
+            "--force",
+            "--random",
+            "--seed",
+            "--artifact-dir",
         ],
         "key" => &[
             "--size",
@@ -166,6 +186,11 @@ fn validate_flags(cmd: &str, args: &[String]) -> Result<(), String> {
         "--threads",
         "--lru",
         "--launch-slots",
+        "--machine",
+        "--top",
+        "--reps",
+        "--random",
+        "--seed",
     ];
     let allowed = allowed_flags(cmd);
     let mut i = 0;
@@ -264,6 +289,7 @@ fn main() -> ExitCode {
             let size = cli_size(&args);
             with_kernel(k.as_deref(), |name| key(name, size))
         }
+        Some("tune") => tune_cmd(&args[1..]),
         Some("serve") => serve(&args[1..]),
         _ => usage(""),
     }
@@ -294,6 +320,10 @@ fn usage(msg: &str) -> ExitCode {
          \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
          \x20 trace <me|jacobi>        phase timeline of a launch\n\
          \x20 key <kernel> [--size N]  print the launch's plan-artifact content address\n\
+         \x20 tune <kernel|.poly>      cost-model-pruned mapping search\n\
+         \x20      [--size N] [--machine gpu|cell|host] [--top K] [--reps N]\n\
+         \x20      [--exhaustive] [--smoke] [--json] [--force]\n\
+         \x20      [--random N] [--seed S] [--artifact-dir DIR]\n\
          \x20 serve [--addr A] [--threads N] [--lru N] [--launch-slots N]\n\
          \x20       [--artifact-dir DIR]\n\
          \x20                          start the persistent compile service\n\
@@ -321,6 +351,14 @@ fn usage(msg: &str) -> ExitCode {
          compiled plans in a content-addressed store (and reuse them\n\
          across processes); `key` prints the store address a launch\n\
          would use. Unknown --flags are rejected.\n\
+         `tune` scores every candidate mapping with the analytic cost\n\
+         model, simulates only the top-K frontier (plus the pinned\n\
+         preset) in parallel, and persists the winner under a\n\
+         tune-keyed artifact (--artifact-dir) that `run --tuned` and\n\
+         `serve` reload with zero search cost; --exhaustive disables\n\
+         pruning, --json dumps the ranked predicted-vs-simulated\n\
+         table, --random N tunes N generated affine programs\n\
+         (POLYMEM_EXEC_CHECK=1 cross-checks every simulated block).\n\
          \n\
          exit codes: 0 ok, 2 usage error, 3 compile error, 4 runtime error."
     );
@@ -706,7 +744,32 @@ fn run(name: &str, size: i64) -> ExitCode {
     if let Some(exit) = apply_vector_width(&mut gpu) {
         return exit;
     }
-    let Some(kernel) = kernel_mapping(name, gpu.double_buffer) else {
+    // `--tuned`: swap in the autotuned winner (zero search cost when
+    // the tune artifact is warm); fall back to the preset mapping with
+    // a note when no tuned mapping resolves.
+    let mut tuned_note = None;
+    let kernel = if std::env::args().any(|a| a == "--tuned") {
+        // The tune key hashes the base machine: use the same pristine
+        // preset `polymem tune <name>` does (run's execution toggles
+        // are superseded by the winner's anyway), so a prior `tune`
+        // with the same --artifact-dir is found, not re-searched.
+        let mut tune_base = MachineConfig::geforce_8800_gtx();
+        tune_base.artifact_dir = gpu.artifact_dir.clone();
+        match tuned_mapping(name, size, &tune_base) {
+            Ok((k, cfg, note)) => {
+                gpu = cfg;
+                tuned_note = Some(note);
+                Some(k)
+            }
+            Err(msg) => {
+                eprintln!("tune: {msg}; falling back to the preset mapping");
+                kernel_mapping(name, gpu.double_buffer)
+            }
+        }
+    } else {
+        kernel_mapping(name, gpu.double_buffer)
+    };
+    let Some(kernel) = kernel else {
         return usage("unknown kernel");
     };
     let (params, check) = run_params(name, size).expect("kernel_mapping covered the names");
@@ -744,6 +807,9 @@ fn run(name: &str, size: i64) -> ExitCode {
             "MISMATCH ✗"
         }
     );
+    if let Some(note) = &tuned_note {
+        println!("  {note}");
+    }
     println!(
         "  blocks {}, rounds {}, instances {}",
         stats.blocks, stats.rounds, stats.instances
@@ -852,6 +918,302 @@ fn key(name: &str, size: i64) -> ExitCode {
         }
         Err(e) => compile_error(&e.to_string()),
     }
+}
+
+/// `--machine gpu|cell|host` for `tune`: the base machine preset the
+/// search prices and simulates against (default `gpu`).
+fn tune_machine_config() -> Result<(MachineConfig, String), String> {
+    let name = flag_value("--machine").unwrap_or_else(|| "gpu".into());
+    let mut cfg = match name.as_str() {
+        "gpu" => MachineConfig::geforce_8800_gtx(),
+        "cell" => MachineConfig::cell_like(),
+        "host" => MachineConfig::host_cpu(),
+        other => return Err(format!("unknown machine `{other}` (gpu, cell, host)")),
+    };
+    cfg.artifact_dir = flag_value("--artifact-dir");
+    Ok((cfg, name))
+}
+
+/// The search options `tune` and `run --tuned` must agree on: both
+/// derive the artifact key from them, so a tuned run can only reuse a
+/// search performed with the same shape.
+fn tune_options(label: String) -> Result<TuneOptions, String> {
+    let mut opts = TuneOptions {
+        space_label: label,
+        ..TuneOptions::default()
+    };
+    if let Some(v) = flag_value("--top") {
+        opts.top_k = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("flag `--top` needs a positive integer")?;
+    }
+    if let Some(v) = flag_value("--reps") {
+        opts.reps = v
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("flag `--reps` needs a positive integer")?;
+    }
+    opts.exhaustive = std::env::args().any(|a| a == "--exhaustive");
+    opts.force = std::env::args().any(|a| a == "--force");
+    Ok(opts)
+}
+
+/// Render one [`TuneOutcome`] — human table or `--json` dump of the
+/// ranked predicted-vs-simulated table.
+fn print_tune_outcome(target: &str, machine: &str, out: &TuneOutcome, json: bool) {
+    if json {
+        let mut s = format!(
+            "{{\n  \"kernel\": \"{target}\", \"machine\": \"{machine}\",\n  \
+             \"key\": \"{}\", \"plan_source\": \"{}\",\n  \
+             \"simulated\": {}, \"total\": {},\n  \
+             \"winner\": {{ \"mapping\": \"{}\", \"predicted\": {}, \"cycles\": {} }},\n  \
+             \"rows\": [\n",
+            out.key,
+            out.plan_source,
+            out.simulated,
+            out.total,
+            out.winner.label(),
+            out.winner_predicted,
+            out.winner_cycles
+        );
+        for (i, r) in out.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"mapping\": \"{}\", \"predicted\": {}, \"simulated\": {}, \
+                 \"exact\": {}, \"preset\": {}, \"note\": \"{}\" }}{}\n",
+                r.desc.label(),
+                r.predicted,
+                r.simulated.map_or("null".into(), |c| c.to_string()),
+                r.exact,
+                r.preset,
+                r.note,
+                if i + 1 == out.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        print!("{s}");
+        return;
+    }
+    println!(
+        "tune {target} ({machine}): {} candidates, {} simulated, plan source: {}",
+        out.total, out.simulated, out.plan_source
+    );
+    println!("  key {}", out.key);
+    println!(
+        "  winner: {} (predicted {}, simulated {})",
+        out.winner.label(),
+        out.winner_predicted,
+        out.winner_cycles
+    );
+    println!(
+        "  {:>4}  {:>12}  {:>12}  {:5}  mapping",
+        "rank", "predicted", "simulated", "exact"
+    );
+    for (i, r) in out.rows.iter().enumerate() {
+        println!(
+            "  {:>4}  {:>12}  {:>12}  {:5}  {}{}{}",
+            i + 1,
+            if r.predicted == u64::MAX {
+                "-".into()
+            } else {
+                r.predicted.to_string()
+            },
+            r.simulated.map_or("-".into(), |c| c.to_string()),
+            if r.simulated.is_some() {
+                if r.exact {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "-"
+            },
+            if r.preset { "*" } else { "" },
+            r.desc.label(),
+            if r.note.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", r.note)
+            }
+        );
+    }
+}
+
+/// `tune <kernel|.poly>` / `tune --random N`: run the cost-model-pruned
+/// mapping search and print (or persist) the ranked table.
+fn tune_cmd(args: &[String]) -> ExitCode {
+    let size = cli_size(args);
+    let ((base, machine), json) = match tune_machine_config() {
+        Ok(c) => (c, json_requested()),
+        Err(m) => return usage(&m),
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let menu: &[i64] = if smoke { &[2, 4, 8] } else { &[2, 4, 8, 16] };
+
+    if let Some(nv) = flag_value("--random") {
+        let Some(n) = nv.parse::<u64>().ok().filter(|&n| n >= 1) else {
+            return usage("flag `--random` needs a positive integer");
+        };
+        let seed0 = flag_value("--seed")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(1);
+        return tune_random(n, seed0, size, &base, &machine, menu, json);
+    }
+
+    let Some(target) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage("`tune` needs a kernel name, a .poly path, or --random N");
+    };
+
+    // Built-in kernels bring their own candidate table (with the CLI
+    // preset pinned); .poly programs get the band-derived generic one.
+    let (program, params, candidates, init): (Program, Vec<i64>, _, InitFn) =
+        match tunespace::candidates(target, &base, smoke) {
+            Some(cands) => {
+                let (program, params, _) =
+                    tunespace::workload(target, size).expect("space implies workload");
+                let name = target.clone();
+                (
+                    program,
+                    params,
+                    cands,
+                    Box::new(move |st: &mut ArrayStore| tunespace::init_store(&name, st, 42)),
+                )
+            }
+            None => {
+                let (program, params) = match kernel_program(target) {
+                    Ok(x) => x,
+                    Err(KernelError::Unknown) => {
+                        return usage(&format!("unknown kernel `{target}`"))
+                    }
+                    Err(KernelError::Usage(m)) => return usage(&m),
+                    Err(KernelError::Compile(m)) => return compile_error(&m),
+                };
+                let cands = match generic_candidates(&program, &params, &base, menu) {
+                    Ok(c) => c,
+                    Err(e) => return compile_error(&format!("candidate derivation failed: {e}")),
+                };
+                let p = program.clone();
+                (
+                    program,
+                    params,
+                    cands,
+                    Box::new(move |st: &mut ArrayStore| init_random_store(&p, st, 42)),
+                )
+            }
+        };
+    let opts = match tune_options(format!("cli:{target}:size={size}")) {
+        Ok(o) => o,
+        Err(m) => return usage(&m),
+    };
+    match tune(&program, &params, init.as_ref(), &candidates, &base, &opts) {
+        Ok(out) => {
+            print_tune_outcome(target, &machine, &out, json);
+            ExitCode::SUCCESS
+        }
+        Err(e) => runtime_error(&format!("tune failed: {e}")),
+    }
+}
+
+/// `tune --random N [--seed S]`: fuzz the whole pipeline — generate N
+/// random affine programs, derive generic candidate spaces, and tune
+/// each one (set `POLYMEM_EXEC_CHECK=1` to cross-check every simulated
+/// block against the interpreter).
+fn tune_random(
+    n: u64,
+    seed0: u64,
+    size: i64,
+    base: &MachineConfig,
+    machine: &str,
+    menu: &[i64],
+    json: bool,
+) -> ExitCode {
+    let mut failures = 0u64;
+    for k in 0..n {
+        let seed = seed0 + k;
+        let program = random_program(seed);
+        let params = vec![size];
+        let candidates = match generic_candidates(&program, &params, base, menu) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("seed {seed}: candidate derivation failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let opts = match tune_options(format!("cli:random:{seed}:size={size}")) {
+            Ok(o) => o,
+            Err(m) => return usage(&m),
+        };
+        let p = program.clone();
+        let init = move |st: &mut ArrayStore| init_random_store(&p, st, 42);
+        match tune(&program, &params, &init, &candidates, base, &opts) {
+            Ok(out) => {
+                if json {
+                    print_tune_outcome(&format!("random:{seed}"), machine, &out, true);
+                } else {
+                    println!(
+                        "seed {seed}: {} stmts, {} candidates, {} simulated, winner {} ({} cycles)",
+                        program.stmts.len(),
+                        out.total,
+                        out.simulated,
+                        out.winner.label(),
+                        out.winner_cycles
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("seed {seed}: tune failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        runtime_error(&format!("{failures} of {n} random programs failed"))
+    }
+}
+
+/// Resolve the tuned mapping for `run --tuned`: consult (or, when the
+/// store is cold, perform) the same search `polymem tune <name>` runs,
+/// then rebuild the winning kernel and fold its toggles into the
+/// config.
+fn tuned_mapping(
+    name: &str,
+    size: i64,
+    base: &MachineConfig,
+) -> Result<(BlockedKernel, MachineConfig, String), String> {
+    let cands = tunespace::candidates(name, base, false)
+        .ok_or_else(|| format!("no tune space for `{name}`"))?;
+    let (program, params, _) =
+        tunespace::workload(name, size).ok_or_else(|| format!("no workload for `{name}`"))?;
+    let opts = TuneOptions {
+        space_label: format!("cli:{name}:size={size}"),
+        ..TuneOptions::default()
+    };
+    let out = tune(
+        &program,
+        &params,
+        &|st: &mut ArrayStore| tunespace::init_store(name, st, 42),
+        &cands,
+        base,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
+    let kernel = tunespace::build(name, &out.winner)
+        .ok_or_else(|| format!("winner `{}` does not rebuild", out.winner.label()))?;
+    let cfg = config_for(&out.winner, base);
+    Ok((
+        kernel,
+        cfg,
+        format!(
+            "tuned mapping ({}): {}",
+            out.plan_source,
+            out.winner.label()
+        ),
+    ))
 }
 
 /// `serve [--addr A] [--threads N] [--lru N] [--launch-slots N]

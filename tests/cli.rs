@@ -147,6 +147,110 @@ fn key_is_stable_across_processes() {
 }
 
 #[test]
+fn tune_ranks_candidates_and_run_tuned_reuses_the_artifact() {
+    let dir = std::env::temp_dir().join("polymem_cli_tune");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.to_str().unwrap();
+    // Cold: the pruned search runs, simulating only the frontier.
+    let (out1, _, code1) = polymem_code(
+        &[
+            "tune",
+            "matmul",
+            "--size",
+            "8",
+            "--smoke",
+            "--artifact-dir",
+            d,
+        ],
+        &[],
+    );
+    assert_eq!(code1, 0, "{out1}");
+    assert!(out1.contains("plan source: search"), "{out1}");
+    assert!(out1.contains("winner:"), "{out1}");
+    // The preset row is marked and simulated (pinned into the frontier).
+    assert!(out1.contains("*tile["), "{out1}");
+    // Warm: a second process answers from the tune artifact.
+    let (out2, _, code2) = polymem_code(
+        &[
+            "tune",
+            "matmul",
+            "--size",
+            "8",
+            "--smoke",
+            "--artifact-dir",
+            d,
+        ],
+        &[],
+    );
+    assert_eq!(code2, 0, "{out2}");
+    assert!(out2.contains("plan source: artifact"), "{out2}");
+    assert!(out2.contains("0 simulated"), "{out2}");
+    // The full-space search feeds `run --tuned` (separate key from
+    // --smoke): first run searches, second loads the artifact.
+    let (out3, _, code3) = polymem_code(
+        &[
+            "run",
+            "matmul",
+            "--size",
+            "8",
+            "--tuned",
+            "--artifact-dir",
+            d,
+        ],
+        &[],
+    );
+    assert_eq!(code3, 0, "{out3}");
+    assert!(out3.contains("matches reference"), "{out3}");
+    assert!(out3.contains("tuned mapping (search)"), "{out3}");
+    let (out4, _, code4) = polymem_code(
+        &[
+            "run",
+            "matmul",
+            "--size",
+            "8",
+            "--tuned",
+            "--artifact-dir",
+            d,
+        ],
+        &[],
+    );
+    assert_eq!(code4, 0, "{out4}");
+    assert!(out4.contains("tuned mapping (artifact)"), "{out4}");
+}
+
+#[test]
+fn tune_json_dumps_the_ranked_table() {
+    let (out, _, code) = polymem_code(
+        &[
+            "tune", "me", "--size", "8", "--smoke", "--top", "2", "--json",
+        ],
+        &[],
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("\"plan_source\": \"search\""), "{out}");
+    assert!(out.contains("\"winner\""), "{out}");
+    assert!(out.contains("\"predicted\""), "{out}");
+    assert!(out.contains("\"simulated\""), "{out}");
+    // Unsimulated rows carry null, not a number.
+    assert!(out.contains("\"simulated\": null"), "{out}");
+}
+
+#[test]
+fn tune_random_fuzzes_generated_programs() {
+    let (out, stderr, code) = polymem_code(
+        &[
+            "tune", "--random", "2", "--seed", "6", "--size", "6", "--smoke",
+        ],
+        &[("POLYMEM_EXEC_CHECK", "1")],
+    );
+    assert_eq!(code, 0, "{out}\n{stderr}");
+    assert!(out.contains("seed 6:"), "{out}");
+    assert!(out.contains("seed 7:"), "{out}");
+    assert!(out.contains("winner"), "{out}");
+}
+
+#[test]
 fn run_reuses_persisted_artifacts_across_processes() {
     let dir = std::env::temp_dir().join("polymem_cli_artifact_reuse");
     let _ = std::fs::remove_dir_all(&dir);

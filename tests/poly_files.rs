@@ -61,3 +61,89 @@ fn seidel_band_has_no_parallel_loop() {
     let band = polymem::core::tiling::find_permutable_band(&p).unwrap();
     assert!(band.space_loops().is_empty());
 }
+
+mod end_to_end {
+    use super::read;
+    use polymem::ir::{exec_program, parse_program, ArrayStore, Program};
+    use polymem::machine::{
+        config_for, execute_blocked, generic_candidates, tune, MachineConfig, TuneOptions,
+    };
+
+    fn machines() -> [(&'static str, MachineConfig); 2] {
+        [
+            ("gpu", MachineConfig::geforce_8800_gtx()),
+            ("cell", MachineConfig::cell_like()),
+        ]
+    }
+
+    fn init(_p: &Program, st: &mut ArrayStore) {
+        st.fill_with("A", |ix| ix[0] * 3 + 1).unwrap();
+    }
+
+    /// Every candidate the band analysis derives for a `.poly` example
+    /// executes on the simulator bit-exactly, on both machine models.
+    fn check_poly(name: &str, params: &[i64]) {
+        let p = parse_program(&read(name)).unwrap();
+        let mut reference = ArrayStore::for_program(&p, params).unwrap();
+        init(&p, &mut reference);
+        exec_program(&p, params, &mut reference).unwrap();
+        for (label, base) in machines() {
+            let cands = generic_candidates(&p, params, &base, &[2, 4]).unwrap();
+            assert!(!cands.is_empty(), "{name} on {label}: empty space");
+            for c in &cands {
+                let cfg = config_for(&c.desc, &base);
+                let mut st = ArrayStore::for_program(&c.kernel.program, params).unwrap();
+                init(&p, &mut st);
+                execute_blocked(&c.kernel, params, &mut st, &cfg, false)
+                    .unwrap_or_else(|e| panic!("{name} on {label}, {}: {e}", c.desc.label()));
+                for a in &p.arrays {
+                    assert_eq!(
+                        st.data(&a.name).unwrap(),
+                        reference.data(&a.name).unwrap(),
+                        "{name} on {label}, {}: array {} diverges",
+                        c.desc.label(),
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blur3_executes_blocked_on_both_machines() {
+        check_poly("blur3.poly", &[16, 4]);
+    }
+
+    #[test]
+    fn seidel_executes_blocked_on_both_machines() {
+        check_poly("seidel.poly", &[3, 8]);
+    }
+
+    /// `polymem tune` acceptance over a `.poly` example: the pruned
+    /// search finds a bit-exact winner, persists it, and a warm re-run
+    /// answers from the artifact with zero simulations.
+    #[test]
+    fn tune_finds_and_persists_a_winner_for_blur3() {
+        let p = parse_program(&read("blur3.poly")).unwrap();
+        let params = [16i64, 4];
+        let dir = std::env::temp_dir().join(format!("polymem-tune-blur3-{}", std::process::id()));
+        let mut base = MachineConfig::geforce_8800_gtx();
+        base.artifact_dir = Some(dir.to_string_lossy().into_owned());
+        let cands = generic_candidates(&p, &params, &base, &[2, 4, 8]).unwrap();
+        let opts = TuneOptions {
+            top_k: 2,
+            space_label: "test:blur3".into(),
+            ..TuneOptions::default()
+        };
+        let init = |st: &mut ArrayStore| st.fill_with("A", |ix| ix[0] * 3 + 1).unwrap();
+        let cold = tune(&p, &params, &init, &cands, &base, &opts).unwrap();
+        assert_eq!(cold.plan_source, "search");
+        assert!(cold.simulated > 0 && cold.simulated < cold.total);
+        let warm = tune(&p, &params, &init, &cands, &base, &opts).unwrap();
+        assert_eq!(warm.plan_source, "artifact");
+        assert_eq!(warm.simulated, 0);
+        assert_eq!(warm.winner.to_line(), cold.winner.to_line());
+        assert_eq!(warm.winner_cycles, cold.winner_cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the autotuner's analytic cost estimator and
+//! pruning behaviour.
+//!
+//! The gates mirror the claims the tuner's design rests on: the
+//! estimator's predicted ranking is good enough that the top-K
+//! frontier contains the true simulated optimum, and its traffic term
+//! is monotone — a mapping with strictly less reuse never gets charged
+//! fewer global bytes.
+
+use polymem::core::smem::tune::{estimate, CostEstimate, MappingDesc};
+use polymem::ir::ArrayStore;
+use polymem::kernels::tunespace;
+use polymem::machine::{
+    config_for, cost_constants, structure_of, tune, warm_plan, MachineConfig, TuneOptions,
+};
+
+/// Price one mapping of a built-in kernel with the analytic estimator
+/// (no simulation).
+fn price(name: &str, desc: &MappingDesc, base: &MachineConfig, size: i64) -> CostEstimate {
+    let kernel = tunespace::build(name, desc).expect("desc rebuilds");
+    let (_, params, _) = tunespace::workload(name, size).expect("workload");
+    let cfg = config_for(desc, base);
+    let st = structure_of(&kernel, &params, &cfg).expect("structure");
+    let sp = if kernel.use_scratchpad {
+        warm_plan(&kernel, &params, &cfg, None, None)
+            .expect("plan")
+            .map(|(sp, _)| sp)
+    } else {
+        None
+    };
+    estimate(
+        &kernel.program,
+        sp.as_deref(),
+        &params,
+        &st,
+        &cost_constants(&cfg),
+    )
+    .expect("estimate")
+}
+
+fn square_desc(
+    ti: i64,
+    tj: i64,
+    seq_last: bool,
+    residency: bool,
+    base: &MachineConfig,
+) -> MappingDesc {
+    let (block_dims, seq_dims) = if seq_last {
+        (vec!["iT".into()], vec!["jT".into()])
+    } else {
+        (vec!["iT".into(), "jT".into()], vec![])
+    };
+    MappingDesc {
+        scheme: "tile".into(),
+        tiles: vec![("i".into(), ti), ("j".into(), tj)],
+        round_dims: vec![],
+        block_dims,
+        seq_dims,
+        thread_dims: vec!["i".into()],
+        use_scratchpad: true,
+        double_buffer: false,
+        hierarchy: false,
+        residency,
+        vector_width: base.vector_width,
+    }
+}
+
+/// Shrinking the tile shrinks the window reuse each staged tile
+/// amortizes (the halo is re-loaded per tile), so the estimator must
+/// never predict *fewer* global bytes for a smaller tile.
+#[test]
+fn estimator_traffic_is_monotone_in_tile_reuse() {
+    let base = MachineConfig::geforce_8800_gtx();
+    for name in ["conv2d", "me"] {
+        let mut prev: Option<(i64, u64)> = None;
+        for t in [2i64, 4, 8] {
+            let e = price(name, &square_desc(t, t, false, true, &base), &base, 16);
+            if let Some((pt, pb)) = prev {
+                assert!(
+                    pb >= e.global_bytes,
+                    "{name}: tile {pt} predicted {pb} B < tile {t}'s {} B — \
+                     smaller tiles must never be charged less traffic",
+                    e.global_bytes
+                );
+            }
+            prev = Some((t, e.global_bytes));
+        }
+    }
+}
+
+/// Disabling residency re-stages each group's full window at every
+/// sequential sub-tile instead of transferring the delta: strictly
+/// less reuse, so never fewer predicted global bytes — and with a
+/// genuine overlap, strictly more.
+#[test]
+fn estimator_charges_no_residency_at_least_as_much() {
+    let base = MachineConfig::geforce_8800_gtx();
+    for name in ["conv2d", "me"] {
+        let with = price(name, &square_desc(4, 4, true, true, &base), &base, 16);
+        let without = price(name, &square_desc(4, 4, true, false, &base), &base, 16);
+        assert!(
+            without.global_bytes >= with.global_bytes,
+            "{name}: no-residency predicted {} B < residency's {} B",
+            without.global_bytes,
+            with.global_bytes
+        );
+    }
+}
+
+/// An unstaged mapping (every access to global memory) must never be
+/// charged fewer global accesses than the staged one.
+#[test]
+fn estimator_charges_unstaged_at_least_as_many_global_accesses() {
+    let base = MachineConfig::geforce_8800_gtx();
+    let staged = square_desc(4, 4, false, true, &base);
+    let unstaged = MappingDesc {
+        use_scratchpad: false,
+        ..staged.clone()
+    };
+    for name in ["conv2d", "me", "jacobi2d"] {
+        let s = price(name, &staged, &base, 16);
+        let u = price(name, &unstaged, &base, 16);
+        assert!(
+            u.global_accesses >= s.global_accesses,
+            "{name}: unstaged {} global accesses < staged {}",
+            u.global_accesses,
+            s.global_accesses
+        );
+        assert!(u.predicted_cycles >= s.predicted_cycles, "{name}");
+    }
+}
+
+/// On a small space simulated exhaustively, the pruned top-K frontier
+/// must contain the true optimum (same winning cycles), while
+/// simulating at least 5× fewer candidates.
+#[test]
+fn pruned_frontier_contains_the_simulated_optimum() {
+    let base = MachineConfig::geforce_8800_gtx();
+    for name in ["matmul", "me"] {
+        let cands = tunespace::candidates(name, &base, true).expect("space");
+        let (program, params, _) = tunespace::workload(name, 8).expect("workload");
+        let init = |st: &mut ArrayStore| tunespace::init_store(name, st, 42);
+        let exhaustive = tune(
+            &program,
+            &params,
+            &init,
+            &cands,
+            &base,
+            &TuneOptions {
+                exhaustive: true,
+                space_label: format!("props:{name}:ex"),
+                ..TuneOptions::default()
+            },
+        )
+        .expect("exhaustive tune");
+        let pruned = tune(
+            &program,
+            &params,
+            &init,
+            &cands,
+            &base,
+            &TuneOptions {
+                top_k: 2,
+                space_label: format!("props:{name}:pruned"),
+                ..TuneOptions::default()
+            },
+        )
+        .expect("pruned tune");
+        assert_eq!(
+            pruned.winner_cycles, exhaustive.winner_cycles,
+            "{name}: pruned winner ({} cycles) missed the true optimum ({} cycles)",
+            pruned.winner_cycles, exhaustive.winner_cycles
+        );
+        assert!(
+            exhaustive.simulated >= 5 * pruned.simulated,
+            "{name}: pruning only cut {} -> {} simulations",
+            exhaustive.simulated,
+            pruned.simulated
+        );
+        // Every simulated candidate was bit-exact.
+        for r in &pruned.rows {
+            assert!(
+                r.simulated.is_none() || r.exact,
+                "{name}: simulated candidate {} diverged",
+                r.desc.label()
+            );
+        }
+    }
+}
