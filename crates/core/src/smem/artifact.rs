@@ -339,6 +339,7 @@ pub fn plan_key(
     // Analysis configuration.
     h.u64(cfg.delta.to_bits());
     h.u64(cfg.must_copy_all as u64);
+    h.u64(cfg.staging_pays as u64);
     h.u64(cfg.sample_params.len() as u64);
     for &p in &cfg.sample_params {
         h.i64(p);

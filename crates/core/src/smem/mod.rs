@@ -125,6 +125,13 @@ pub struct SmemConfig {
     /// store (`true`); GPU-like architectures copy only beneficial
     /// partitions (`false`, paper default for the GPU testbed).
     pub must_copy_all: bool,
+    /// Whether staging a copy into local memory can save cycles at
+    /// all on the target (`true` everywhere the paper looks). On
+    /// processing-in-memory machines "global" data already sits next
+    /// to the compute unit, so Algorithm 1 answers "not beneficial"
+    /// for every group and the program runs in place. Overridden by
+    /// `must_copy_all`.
+    pub staging_pays: bool,
     /// Representative parameter values for exact volume counting in
     /// Algorithm 1's constant-reuse test.
     pub sample_params: Vec<i64>,
@@ -148,6 +155,7 @@ impl Default for SmemConfig {
         SmemConfig {
             delta: DEFAULT_DELTA,
             must_copy_all: false,
+            staging_pays: true,
             sample_params: Vec::new(),
             count_budget: 1 << 20,
             partition: true,

@@ -37,6 +37,16 @@ pub struct ReuseDecision {
 
 /// Run Algorithm 1 on one partition of references.
 pub fn evaluate_group(members: &[&RefInfo], config: &SmemConfig) -> Result<ReuseDecision> {
+    // In-place-compute machines (PIM): a local copy can never beat
+    // touching the data where it lives, so no amount of reuse makes
+    // staging beneficial. Answer before measuring anything.
+    if !config.staging_pays {
+        return Ok(ReuseDecision {
+            beneficial: false,
+            order_of_magnitude: false,
+            overlap_fraction: None,
+        });
+    }
     // Lines 1–5: mark yes if any reference has rank < iteration dims.
     if members.iter().any(|m| m.has_order_of_magnitude_reuse()) {
         return Ok(ReuseDecision {
@@ -156,6 +166,37 @@ mod tests {
             sample_params: params.to_vec(),
             ..SmemConfig::default()
         }
+    }
+
+    #[test]
+    fn in_place_compute_defeats_every_reuse_condition() {
+        // The strongest possible case for staging — rank-deficient
+        // reuse (condition 1) — still loses when staging can't pay:
+        // a PIM bank touches the data in place for free.
+        let mut b = ProgramBuilder::new("p", ["N"]);
+        b.array("X", &[v("N")]);
+        b.array("Out", &[v("N"), v("N")]);
+        b.stmt("S")
+            .loops(&[
+                ("i", LinExpr::c(0), v("N") - 1),
+                ("j", LinExpr::c(0), v("N") - 1),
+            ])
+            .write("Out", &[v("i"), v("j")])
+            .read("X", &[v("j")])
+            .body(Expr::Read(0))
+            .done();
+        let p = b.build().unwrap();
+        let x = p.array_index("X").unwrap();
+        let refs = collect_refs(&p, x).unwrap();
+        let members: Vec<&_> = refs.iter().collect();
+        let cfg = SmemConfig {
+            staging_pays: false,
+            ..config(&[8])
+        };
+        let d = evaluate_group(&members, &cfg).unwrap();
+        assert!(!d.beneficial);
+        assert!(!d.order_of_magnitude);
+        assert_eq!(d.overlap_fraction, None);
     }
 
     #[test]

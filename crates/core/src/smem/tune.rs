@@ -240,6 +240,14 @@ pub struct CostConstants {
     pub max_blocks_per_outer: u64,
     /// Point budget for exact instance counting.
     pub count_budget: u64,
+    /// PE-mesh rows on spatial machines (0 = no placement-priced NoC;
+    /// DMA descriptors then pay no route term).
+    pub mesh_rows: u64,
+    /// PE-mesh columns (hop distance from the west-edge memory ports
+    /// grows with the column index).
+    pub mesh_cols: u64,
+    /// NoC cycles per hop per DMA descriptor.
+    pub hop_cycles: f64,
 }
 
 impl CostConstants {
@@ -251,6 +259,20 @@ impl CostConstants {
         }
         let per_unit = (self.smem_bytes / smem_per_block).min(self.max_blocks_per_outer);
         (per_unit * self.n_outer).max(1).min(hw.max(1))
+    }
+
+    /// The worst per-descriptor NoC route any of `blocks` concurrent
+    /// blocks pays under column-major mesh placement, mirroring
+    /// `MachineConfig::max_route_cycles` — the estimator prices the
+    /// representative block as the round's critical path. 0 without a
+    /// mesh.
+    pub fn max_route_cycles(&self, blocks: u64) -> u64 {
+        if self.mesh_rows == 0 || self.mesh_cols == 0 || blocks == 0 {
+            return 0;
+        }
+        let pes = (self.mesh_rows * self.mesh_cols).max(1);
+        let col = (blocks.min(pes) - 1) / self.mesh_rows.max(1);
+        ((col + 1) as f64 * self.hop_cycles).round() as u64
     }
 }
 
@@ -310,17 +332,21 @@ struct DmaSim {
     setup: f64,
     bpc: f64,
     word_bytes: u64,
+    /// Per-descriptor NoC route cycles (spatial machines; 0 elsewhere),
+    /// mirroring `DmaEngine::with_route`.
+    route: u64,
     descriptors: u64,
     elements: u64,
 }
 
 impl DmaSim {
-    fn new(cc: &CostConstants) -> DmaSim {
+    fn new(cc: &CostConstants, route: u64) -> DmaSim {
         DmaSim {
             channels: vec![0; cc.dma_channels.max(1) as usize],
             setup: cc.dma_setup_cycles.max(0.0),
             bpc: cc.dma_bytes_per_cycle.max(1e-9),
             word_bytes: cc.word_bytes,
+            route,
             descriptors: 0,
             elements: 0,
         }
@@ -342,7 +368,8 @@ impl DmaSim {
             let start = now.max(self.channels[ch]);
             let cost = (self.setup + (bytes as f64 / self.bpc).ceil())
                 .round()
-                .max(1.0) as u64;
+                .max(1.0) as u64
+                + self.route;
             let done = start + cost;
             self.channels[ch] = done;
             self.descriptors += 1;
@@ -524,9 +551,11 @@ pub fn estimate(
         }
     }
 
-    // Walk the block's sub-tile schedule with the DMA channel model.
+    // Walk the block's sub-tile schedule with the DMA channel model,
+    // pricing the representative block as the round's NoC critical
+    // path (the easternmost concurrently placed block's route).
     let seqs = structure.seqs.max(1);
-    let mut dma = DmaSim::new(cc);
+    let mut dma = DmaSim::new(cc, cc.max_route_cycles(structure.blocks.max(1)));
     let mut now = 0u64;
     let mut moved_elems = 0u64;
     if structure.double_buffer && seqs > 1 && !groups.is_empty() {

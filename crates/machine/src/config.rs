@@ -1,36 +1,61 @@
-//! Machine descriptions.
+//! Machine configurations.
 //!
 //! The [`MachineConfig`] fields are the architecture parameters of the
-//! paper's §4/§5 machine abstraction. The `geforce_8800_gtx` preset is
-//! calibrated to the paper's testbed (16 multiprocessors × 8 SIMD
-//! units at 1.35 GHz, 16 KB scratchpad per multiprocessor, warp 32,
-//! 768 MB DRAM behind a high-latency bus); `cell_like` models an
-//! architecture whose local store is *mandatory* (data cannot be
-//! touched from global memory during compute, §3); `host_cpu` is the
-//! paper's Core2-Duo-class baseline.
+//! paper's §4/§5 machine abstraction plus the execution toggles the
+//! front-ends flip. Since the machine-description subsystem landed,
+//! every preset is pure data: the constructors here lower the
+//! corresponding [`crate::desc`] registry entry
+//! ([`MachineDesc::config`](crate::desc::MachineDesc::config)), and
+//! behavioural differences between machines flow through the numbers
+//! and the [`Capabilities`] flags — nothing downstream branches on a
+//! machine name.
 
 /// Default executor enumeration budget: generous (2^32 points) but
 /// finite, so runaway domains fail with a typed error.
 pub const DEFAULT_ENUM_BUDGET: u64 = 1 << 32;
 
-/// Which preset family a config came from (drives a few behavioural
-/// switches in the executors).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum MachineKind {
-    /// GPU-like: scratchpad optional, occupancy limited by its use.
-    Gpu,
-    /// Cell-like: every accessed element must be staged into the
-    /// local store first.
-    CellLike,
-    /// A host CPU (no explicit scratchpad; hardware cache).
-    Cpu,
+/// Capability flags of a machine description: behavioural switches as
+/// data, replacing the old `MachineKind` enum branches. Each flag is a
+/// statement about the architecture that the mapper queries; they are
+/// mapping-relevant and fold into the plan-artifact salt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Capabilities {
+    /// The local store is mandatory (Cell-like): compute cannot touch
+    /// global memory, so every accessed element is staged regardless
+    /// of Algorithm 1's benefit answer.
+    pub must_stage: bool,
+    /// Compute units sit inside the memory (PIM): a "global" access
+    /// costs the same as a local one, so staging a copy can never pay
+    /// and Algorithm 1 answers "not beneficial" for every group.
+    pub in_place_compute: bool,
+    /// Data movement is routed over a NoC (spatial/dataflow): every
+    /// DMA descriptor pays a per-hop route cost determined by the
+    /// block's placement on the [`MeshDesc`].
+    pub placement_cost: bool,
+    /// Global accesses are filtered by a hardware cache (host CPU);
+    /// informational — the cache is folded into `global_latency`.
+    pub hardware_cache: bool,
 }
 
-/// A two-level explicitly-managed-memory machine.
+/// Geometry of a spatial machine's PE mesh. Memory ports sit on the
+/// west edge; blocks are placed column-major (block `b` occupies the
+/// PE at row `b mod rows`, column `(b mod rows·cols) / rows`), so a
+/// descriptor routed to column `c` crosses `c + 1` hops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeshDesc {
+    /// PE rows.
+    pub rows: u64,
+    /// PE columns (distance from the memory ports grows eastward).
+    pub cols: u64,
+    /// NoC cycles per hop per DMA descriptor.
+    pub hop_cycles: f64,
+}
+
+/// A multi-level explicitly-managed-memory machine.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
-    /// Behavioural family.
-    pub kind: MachineKind,
+    /// Capability flags (see [`Capabilities`]).
+    pub caps: Capabilities,
     /// Outer-level parallel units (multiprocessors / MIMD units).
     pub n_outer: u64,
     /// Inner-level SIMD units per outer unit.
@@ -123,7 +148,8 @@ pub struct MachineConfig {
     /// against its lexicographic predecessor and only the *delta*
     /// crosses the global bus; overlapping elements are retained (and
     /// re-based in-place when the window slides, as in stencil halos).
-    /// Requires the plan cache; on in the GPU and Cell presets;
+    /// Requires the plan cache; derived per description: on exactly
+    /// for machines with a scratchpad worth keeping warm;
     /// `polymem run --no-residency` turns it off.
     pub residency: bool,
     /// Partition each array's references into maximal disjoint groups
@@ -140,121 +166,76 @@ pub struct MachineConfig {
     /// block-shape parametrization — see `polymem_core::smem::artifact`.
     /// `None` (every preset) disables persistence.
     pub artifact_dir: Option<String>,
+    /// PE-mesh geometry, for machines with `caps.placement_cost`.
+    /// Not mapping-relevant (routes change cycles, never plans), so it
+    /// stays out of the artifact salt.
+    pub mesh: Option<MeshDesc>,
 }
 
 impl MachineConfig {
     /// The paper's testbed: NVIDIA GeForce 8800 GTX.
     pub fn geforce_8800_gtx() -> MachineConfig {
-        MachineConfig {
-            kind: MachineKind::Gpu,
-            n_outer: 16,
-            n_inner: 8,
-            warp_size: 32,
-            smem_bytes: 16 * 1024,
-            word_bytes: 4,
-            clock_ghz: 1.35,
-            cycles_per_op: 1.0,
-            // ~500-cycle DRAM latency, heavily overlapped by warps.
-            global_latency: 500.0,
-            global_overlap: 32.0,
-            smem_latency: 2.0,
-            sync_cycles: 20.0,
-            device_sync_base: 2_000.0,
-            device_sync_per_block: 50.0,
-            max_blocks_per_outer: 8,
-            enum_budget: DEFAULT_ENUM_BUDGET,
-            plan_cache: true,
-            // Coalescing hardware: a half-warp's worth of outstanding
-            // wide transactions, ~64 B/cycle aggregate.
-            dma_channels: 8,
-            dma_setup_cycles: 300.0,
-            dma_bytes_per_cycle: 16.0,
-            double_buffer: false,
-            compiled_exec: true,
-            // One warp's worth of 32-bit registers per thread is far
-            // more than any frame set here; 64 words is the gate that
-            // keeps frames row-sized.
-            regs_per_inner: 64,
-            hierarchy: false,
-            // The 8800's inner level is 8-wide SIMD.
-            vector_width: 8,
-            residency: true,
-            partition: true,
-            artifact_dir: None,
-        }
+        crate::desc::gpu().config()
     }
 
     /// A Cell-BE-like machine: local store is mandatory.
     pub fn cell_like() -> MachineConfig {
-        MachineConfig {
-            kind: MachineKind::CellLike,
-            n_outer: 8,
-            n_inner: 1,
-            warp_size: 1,
-            smem_bytes: 256 * 1024,
-            word_bytes: 4,
-            clock_ghz: 3.2,
-            cycles_per_op: 1.0,
-            global_latency: 400.0,
-            global_overlap: 4.0,
-            smem_latency: 4.0,
-            sync_cycles: 100.0,
-            device_sync_base: 10_000.0,
-            device_sync_per_block: 1_000.0,
-            max_blocks_per_outer: 1,
-            enum_budget: DEFAULT_ENUM_BUDGET,
-            plan_cache: true,
-            // The MFC accepts 16 queued DMA commands per SPE.
-            dma_channels: 16,
-            dma_setup_cycles: 200.0,
-            dma_bytes_per_cycle: 8.0,
-            double_buffer: false,
-            compiled_exec: true,
-            // The SPE register file has 128 entries.
-            regs_per_inner: 128,
-            hierarchy: false,
-            // SPE SIMD is 128-bit: four 32-bit lanes.
-            vector_width: 4,
-            residency: true,
-            partition: true,
-            artifact_dir: None,
-        }
+        crate::desc::cell().config()
     }
 
     /// The host CPU baseline (Core2-Duo class, 2.13 GHz, 2 MB L2).
     pub fn host_cpu() -> MachineConfig {
-        MachineConfig {
-            kind: MachineKind::Cpu,
-            n_outer: 1,
-            n_inner: 1,
-            warp_size: 1,
-            smem_bytes: 0,
-            word_bytes: 4,
-            clock_ghz: 2.13,
-            cycles_per_op: 1.0,
-            // Cache-filtered average memory cost per element access.
-            global_latency: 8.0,
-            global_overlap: 1.0,
-            smem_latency: 0.0,
-            sync_cycles: 0.0,
-            device_sync_base: 0.0,
-            device_sync_per_block: 0.0,
-            max_blocks_per_outer: 1,
-            enum_budget: DEFAULT_ENUM_BUDGET,
-            plan_cache: true,
-            // No DMA engine: loads/stores go through the cache.
-            dma_channels: 0,
-            dma_setup_cycles: 0.0,
-            dma_bytes_per_cycle: 8.0,
-            double_buffer: false,
-            compiled_exec: true,
-            regs_per_inner: 16,
-            hierarchy: false,
-            vector_width: 1,
-            // No scratchpad to keep warm.
-            residency: false,
-            partition: true,
-            artifact_dir: None,
+        crate::desc::host().config()
+    }
+
+    /// A processing-in-memory machine: per-bank compute units,
+    /// near-zero "global" latency, expensive inter-bank movement.
+    pub fn pim_banked() -> MachineConfig {
+        crate::desc::pim().config()
+    }
+
+    /// A spatial/dataflow accelerator: an 8×8 PE mesh where DMA
+    /// descriptors pay NoC route costs by placement.
+    pub fn spatial_mesh() -> MachineConfig {
+        crate::desc::spatial().config()
+    }
+
+    /// Does staging a copy into the scratchpad save cycles at all on
+    /// this machine? `false` on in-place-compute (PIM) machines, where
+    /// the data is already next to the unit — Algorithm 1 then answers
+    /// "not beneficial" for every group. Mapping-relevant: folded into
+    /// the plan-artifact salt.
+    pub fn staging_pays(&self) -> bool {
+        !self.caps.in_place_compute
+    }
+
+    /// NoC route cycles one DMA descriptor pays for the block at
+    /// linear placement index `block_idx`: blocks fill the mesh
+    /// column-major from the west-edge memory ports, so the block's
+    /// column determines its hop count. Zero without `placement_cost`.
+    pub fn route_cycles(&self, block_idx: u64) -> u64 {
+        match &self.mesh {
+            Some(m) if self.caps.placement_cost => {
+                let pes = (m.rows * m.cols).max(1);
+                let col = (block_idx % pes) / m.rows.max(1);
+                ((col + 1) as f64 * m.hop_cycles).round() as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// The worst route any of `blocks` concurrent blocks pays (the
+    /// critical-path hop count of one round), mirroring the placement
+    /// rule of [`route_cycles`](MachineConfig::route_cycles). The cost
+    /// estimator prices the representative block with this.
+    pub fn max_route_cycles(&self, blocks: u64) -> u64 {
+        match &self.mesh {
+            Some(m) if self.caps.placement_cost && blocks > 0 => {
+                let pes = (m.rows * m.cols).max(1);
+                let col = (blocks.min(pes) - 1) / m.rows.max(1);
+                ((col + 1) as f64 * m.hop_cycles).round() as u64
+            }
+            _ => 0,
         }
     }
 
@@ -302,16 +283,56 @@ mod tests {
         assert_eq!(g.warp_size, 32);
         assert_eq!(g.smem_bytes, 16 * 1024);
         assert_eq!(g.total_smem_bytes(), 256 * 1024); // the paper's 2^18
-        assert_eq!(g.kind, MachineKind::Gpu);
-        assert_eq!(MachineConfig::cell_like().kind, MachineKind::CellLike);
-        assert_eq!(MachineConfig::host_cpu().kind, MachineKind::Cpu);
+        assert_eq!(g.caps, Capabilities::default());
+        assert!(MachineConfig::cell_like().caps.must_stage);
+        assert!(MachineConfig::host_cpu().caps.hardware_cache);
+    }
+
+    #[test]
+    fn new_backends_have_their_capabilities() {
+        let p = MachineConfig::pim_banked();
+        assert!(p.caps.in_place_compute);
+        assert!(!p.staging_pays());
+        // Near-zero global latency: in place really is free-ish.
+        assert!(p.global_latency / p.global_overlap <= p.smem_latency);
+        let s = MachineConfig::spatial_mesh();
+        assert!(s.caps.placement_cost);
+        let m = s.mesh.as_ref().expect("mesh geometry");
+        assert_eq!(m.rows * m.cols, s.n_outer);
+        assert!(MachineConfig::geforce_8800_gtx().staging_pays());
+    }
+
+    #[test]
+    fn route_cycles_follow_column_major_placement() {
+        let s = MachineConfig::spatial_mesh();
+        let hop = s.mesh.as_ref().unwrap().hop_cycles as u64;
+        // Column 0 (blocks 0..rows): one hop from the west ports.
+        assert_eq!(s.route_cycles(0), hop);
+        assert_eq!(s.route_cycles(7), hop);
+        // Next column: two hops.
+        assert_eq!(s.route_cycles(8), 2 * hop);
+        // Wraps past the mesh (second occupancy wave).
+        assert_eq!(s.route_cycles(64), hop);
+        // The critical path of a round is its easternmost column.
+        assert_eq!(s.max_route_cycles(1), hop);
+        assert_eq!(s.max_route_cycles(9), 2 * hop);
+        assert_eq!(s.max_route_cycles(64), 8 * hop);
+        assert_eq!(s.max_route_cycles(1000), 8 * hop);
+        // Non-spatial machines route nothing.
+        let g = MachineConfig::geforce_8800_gtx();
+        assert_eq!(g.route_cycles(5), 0);
+        assert_eq!(g.max_route_cycles(64), 0);
     }
 
     #[test]
     fn residency_is_on_for_scratchpad_machines_only() {
         assert!(MachineConfig::geforce_8800_gtx().residency);
         assert!(MachineConfig::cell_like().residency);
+        assert!(MachineConfig::spatial_mesh().residency);
         assert!(!MachineConfig::host_cpu().residency);
+        // PIM has a (tiny) row buffer but computes in place: nothing
+        // is staged, so nothing stays resident.
+        assert!(!MachineConfig::pim_banked().residency);
     }
 
     #[test]
@@ -329,6 +350,8 @@ mod tests {
             MachineConfig::geforce_8800_gtx(),
             MachineConfig::cell_like(),
             MachineConfig::host_cpu(),
+            MachineConfig::pim_banked(),
+            MachineConfig::spatial_mesh(),
         ] {
             assert!(!cfg.double_buffer);
             assert!(cfg.dma_bytes_per_cycle > 0.0);

@@ -147,6 +147,11 @@ pub struct DmaEngine {
     channels: Vec<u64>,
     setup_cycles: f64,
     bytes_per_cycle: f64,
+    /// NoC route cycles every descriptor pays on top of setup +
+    /// bandwidth — the inter-PE hop cost on spatial machines (the
+    /// issuing block's placement fixes the hop count for the whole
+    /// block). 0 on machines without placement-priced movement.
+    route_cycles: u64,
     /// Accumulated observability counters.
     pub stats: DmaStats,
 }
@@ -156,11 +161,18 @@ impl DmaEngine {
     /// channel, even if the config says 0 — issuing is then simply
     /// never attempted by the executor).
     pub fn new(config: &MachineConfig) -> DmaEngine {
+        DmaEngine::with_route(config, 0)
+    }
+
+    /// Build an engine whose descriptors each pay `route_cycles` of
+    /// NoC routing (a spatial block's placement-determined hop cost).
+    pub fn with_route(config: &MachineConfig, route_cycles: u64) -> DmaEngine {
         let n = config.dma_channels.max(1) as usize;
         DmaEngine {
             channels: vec![0; n],
             setup_cycles: config.dma_setup_cycles.max(0.0),
             bytes_per_cycle: config.dma_bytes_per_cycle.max(1e-9),
+            route_cycles,
             stats: DmaStats {
                 channel_busy_cycles: vec![0; n],
                 bytes_hist: vec![0; DMA_HIST_BUCKETS],
@@ -172,7 +184,7 @@ impl DmaEngine {
     /// Cycles one descriptor occupies a channel.
     fn transfer_cycles(&self, bytes: u64) -> u64 {
         let xfer = (bytes as f64 / self.bytes_per_cycle).ceil();
-        (self.setup_cycles + xfer).round().max(1.0) as u64
+        (self.setup_cycles + xfer).round().max(1.0) as u64 + self.route_cycles
     }
 
     /// Queue one descriptor. The transfer starts no earlier than
@@ -282,6 +294,19 @@ mod tests {
         assert_eq!(e.stats.total_busy_cycles(), 108);
         // 32 B lands in the 2^5 bucket.
         assert_eq!(e.stats.bytes_hist[5], 1);
+    }
+
+    #[test]
+    fn route_cycles_are_charged_per_descriptor() {
+        let mut cfg = MachineConfig::geforce_8800_gtx();
+        cfg.dma_channels = 1;
+        cfg.dma_setup_cycles = 100.0;
+        cfg.dma_bytes_per_cycle = 4.0;
+        let mut e = DmaEngine::with_route(&cfg, 7);
+        let t0 = e.issue(&desc(8), 4, 0, 0); // 100 + 8 + 7 per hop term
+        assert_eq!(t0.done, 115);
+        let t1 = e.issue(&desc(8), 4, 0, 0); // queues behind, pays again
+        assert_eq!(t1.done, 230);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! bit-exactly against the reference interpreter.
 
 use crate::compiled::{run_compiled, LaunchShared};
-use crate::config::{MachineConfig, MachineKind};
+use crate::config::MachineConfig;
 use crate::dma::{DmaEngine, DmaStats, DmaTag};
 use crate::overlay::{flatten, Overlay};
 use crate::trace::PassProfiler;
@@ -426,11 +426,14 @@ pub type WarmedPlan = (Arc<SymbolicPlan>, PlanSource);
 /// invalidates compiled plans.
 pub(crate) fn machine_salt(config: &MachineConfig) -> [u64; 11] {
     [
-        match config.kind {
-            MachineKind::Gpu => 0,
-            MachineKind::CellLike => 1,
-            MachineKind::Cpu => 2,
-        },
+        // Capability bits replace the old machine-kind discriminant:
+        // each flag changes what the §3 pipeline decides, so each gets
+        // its own bit. Mesh geometry stays out (routes change cycles,
+        // never plans).
+        config.caps.must_stage as u64
+            | (config.caps.in_place_compute as u64) << 1
+            | (config.caps.placement_cost as u64) << 2
+            | (config.caps.hardware_cache as u64) << 3,
         config.smem_bytes,
         config.word_bytes,
         config.plan_cache as u64,
@@ -863,13 +866,13 @@ pub fn execute_blocked_seeded(
 
         // Execute every block of this round against the same store
         // snapshot, buffering writes.
-        let run_block = |bv: &Vec<i64>| -> Result<(Overlay, ExecStats)> {
+        let run_block = |bv: &Vec<i64>, bidx: u64| -> Result<(Overlay, ExecStats)> {
             let mut fixed = fixed_round.clone();
             for (n, v) in kernel.block_dims.iter().zip(bv) {
                 fixed.insert(n.clone(), *v);
             }
             execute_one_block(
-                kernel, &fixed, params, store, config, cache, profiler, poisoned, launch,
+                kernel, &fixed, params, store, config, cache, profiler, poisoned, launch, bidx,
             )
         };
 
@@ -895,7 +898,7 @@ pub fn execute_blocked_seeded(
                                     if fault_block == Some(block) {
                                         panic!("injected fault in block worker {block}");
                                     }
-                                    run_block(b)
+                                    run_block(b, block as u64)
                                 }));
                             match outcome {
                                 Ok(Ok(r)) => *o = Some(r),
@@ -922,8 +925,8 @@ pub fn execute_blocked_seeded(
                 .collect()
         } else {
             let mut v = Vec::with_capacity(blocks.len());
-            for b in &blocks {
-                v.push(run_block(b)?);
+            for (bidx, b) in blocks.iter().enumerate() {
+                v.push(run_block(b, bidx as u64)?);
             }
             v
         };
@@ -970,7 +973,8 @@ pub(crate) fn smem_config(
 ) -> SmemConfig {
     SmemConfig {
         sample_params: params.to_vec(),
-        must_copy_all: config.kind == MachineKind::CellLike,
+        must_copy_all: config.caps.must_stage,
+        staging_pays: config.staging_pays(),
         partition: config.partition,
         residency_dim: if config.residency {
             kernel.seq_dims.last().cloned()
@@ -1202,10 +1206,10 @@ struct BlockClock {
 }
 
 impl BlockClock {
-    fn new(ext: Vec<Vec<i64>>, config: &MachineConfig) -> BlockClock {
+    fn new(ext: Vec<Vec<i64>>, config: &MachineConfig, block_idx: u64) -> BlockClock {
         BlockClock {
             now: 0,
-            dma: DmaEngine::new(config),
+            dma: DmaEngine::with_route(config, config.route_cycles(block_idx)),
             dma_on: config.dma_channels > 0,
             ext,
         }
@@ -2433,13 +2437,14 @@ fn execute_one_block(
     profiler: Option<&PassProfiler>,
     poisoned: Option<&HashSet<AccessId>>,
     launch: &LaunchShared,
+    block_idx: u64,
 ) -> Result<(Overlay, ExecStats)> {
     let mut overlay = Overlay::new(kernel.program.arrays.len());
     let mut stats = ExecStats {
         blocks: 1,
         ..ExecStats::default()
     };
-    let mut clock = BlockClock::new(launch.ext.clone(), config);
+    let mut clock = BlockClock::new(launch.ext.clone(), config, block_idx);
     if kernel.use_scratchpad && !kernel.seq_dims.is_empty() {
         // Sequential sub-tiles with §4.2 hoisting.
         let Some(lead) = kernel.program.stmts.first() else {

@@ -31,6 +31,7 @@
 
 mod compiled;
 pub mod config;
+pub mod desc;
 pub mod dma;
 pub mod exec;
 mod overlay;
@@ -38,7 +39,8 @@ pub mod profile;
 pub mod trace;
 pub mod tune;
 
-pub use config::{MachineConfig, MachineKind};
+pub use config::{Capabilities, MachineConfig, MeshDesc};
+pub use desc::{MachineDesc, MemLevel};
 pub use dma::{DmaEngine, DmaStats, DmaTag};
 pub use exec::{
     execute_blocked, execute_blocked_profiled, execute_blocked_seeded, plan_artifact_key,

@@ -229,6 +229,18 @@ pub fn cost_constants(config: &MachineConfig) -> CostConstants {
         n_outer: config.n_outer,
         max_blocks_per_outer: config.max_blocks_per_outer,
         count_budget: config.enum_budget,
+        mesh_rows: match &config.mesh {
+            Some(m) if config.caps.placement_cost => m.rows,
+            _ => 0,
+        },
+        mesh_cols: match &config.mesh {
+            Some(m) if config.caps.placement_cost => m.cols,
+            _ => 0,
+        },
+        hop_cycles: match &config.mesh {
+            Some(m) if config.caps.placement_cost => m.hop_cycles,
+            _ => 0.0,
+        },
     }
 }
 

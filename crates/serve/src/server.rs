@@ -357,17 +357,13 @@ impl Request {
     }
 
     /// The launch configuration, mirroring `polymem run`'s flag
-    /// handling over the named preset.
+    /// handling over the named description: any machine in the
+    /// registry works (`cpu` stays an accepted alias for `host`).
     fn machine_config(&self, artifact_dir: &Option<String>) -> Option<MachineConfig> {
-        let mut cfg = match self.machine.as_str() {
-            "gpu" => MachineConfig::geforce_8800_gtx(),
-            "cell" => MachineConfig::cell_like(),
-            "cpu" => MachineConfig::host_cpu(),
-            _ => return None,
-        };
+        let mut cfg = polymem_machine::desc::lookup(&self.machine)?.config();
         cfg.double_buffer = self.double_buffer;
         cfg.hierarchy = self.hierarchy;
-        cfg.residency = self.residency;
+        cfg.residency = cfg.residency && self.residency;
         if let Some(w) = self.vector_width {
             if w >= 1 {
                 cfg.vector_width = w;
@@ -452,11 +448,9 @@ fn tuned_mapping(
     req: &Request,
     shared: &Shared,
 ) -> Result<(BlockedKernel, MachineConfig, String), String> {
-    let mut base = match req.machine.as_str() {
-        "gpu" => MachineConfig::geforce_8800_gtx(),
-        "cell" => MachineConfig::cell_like(),
-        "cpu" => MachineConfig::host_cpu(),
-        other => return Err(format!("unknown machine `{other}`")),
+    let mut base = match polymem_machine::desc::lookup(&req.machine) {
+        Some(d) => d.config(),
+        None => return Err(format!("unknown machine `{}`", req.machine)),
     };
     base.artifact_dir = shared.artifact_dir.clone();
     let cands = tunespace::candidates(&req.kernel, &base, false)
@@ -748,6 +742,45 @@ mod tests {
             r#"{"cmd":"run","kernel":"conv2d","machine":"gpu","size":8}"#,
         );
         assert_eq!(run.get("plan_source").unwrap().as_str(), Some("seeded"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn every_registered_machine_serves_and_unknown_names_are_usage_errors() {
+        let h = start_local();
+        let (mut r, mut w) = client(h.addr());
+        // The same kernel is bit-exact on every registered machine:
+        // the checksums all agree even as the mappings diverge.
+        let mut checksums = Vec::new();
+        for m in polymem_machine::desc::NAMES {
+            let req = format!(r#"{{"cmd":"run","kernel":"matmul","machine":"{m}","size":8}}"#);
+            let resp = request(&mut r, &mut w, &req);
+            assert_eq!(
+                resp.get("ok").unwrap().as_bool(),
+                Some(true),
+                "{m}: {resp:?}"
+            );
+            checksums.push(resp.get("checksum").unwrap().as_str().unwrap().to_string());
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "machines disagree: {checksums:?}"
+        );
+        // Aliases resolve through the same registry.
+        let alias = request(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"run","kernel":"matmul","machine":"cpu","size":8}"#,
+        );
+        assert_eq!(alias.get("ok").unwrap().as_bool(), Some(true));
+        // Unknown names are usage-class errors, not crashes.
+        let bad = request(
+            &mut r,
+            &mut w,
+            r#"{"cmd":"run","kernel":"matmul","machine":"quantum","size":8}"#,
+        );
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(bad.get("class").unwrap().as_str(), Some("usage"));
         h.shutdown();
     }
 

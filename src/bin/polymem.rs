@@ -93,17 +93,41 @@ fn json_requested() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// Resolve the base machine: `--machine-file PATH` loads a TOML
+/// description, `--machine NAME` looks up the registry (any registered
+/// name or alias, not a hardcoded list), default `gpu`. Returns the
+/// lowered config together with the description's name.
+fn resolve_machine() -> Result<(MachineConfig, String), String> {
+    use polymem::machine::desc;
+    if let Some(path) = flag_value("--machine-file") {
+        if flag_value("--machine").is_some() {
+            return Err("--machine and --machine-file are mutually exclusive".into());
+        }
+        let d = desc::MachineDesc::from_file(&path)?;
+        return Ok((d.config(), d.name));
+    }
+    let name = flag_value("--machine").unwrap_or_else(|| "gpu".into());
+    match desc::lookup(&name) {
+        Some(d) => Ok((d.config(), d.name)),
+        None => Err(format!(
+            "unknown machine `{name}` (registered: {})",
+            desc::NAMES.join(", ")
+        )),
+    }
+}
+
 /// The machine configuration every simulating subcommand shares,
-/// assembled from the execution flags — `analyze` and `run` must
-/// describe/execute the *same* launch.
-fn machine_config() -> MachineConfig {
-    let mut gpu = MachineConfig::geforce_8800_gtx();
-    gpu.double_buffer = double_buffer_requested();
-    gpu.compiled_exec = !compiled_exec_disabled();
-    gpu.hierarchy = !hierarchy_disabled();
-    gpu.residency = !residency_disabled();
-    gpu.artifact_dir = flag_value("--artifact-dir");
-    gpu
+/// assembled from the resolved machine description plus the execution
+/// flags — `analyze` and `run` must describe/execute the *same*
+/// launch.
+fn machine_config() -> Result<MachineConfig, String> {
+    let (mut cfg, _) = resolve_machine()?;
+    cfg.double_buffer = double_buffer_requested();
+    cfg.compiled_exec = !compiled_exec_disabled();
+    cfg.hierarchy = !hierarchy_disabled();
+    cfg.residency = cfg.residency && !residency_disabled();
+    cfg.artifact_dir = flag_value("--artifact-dir");
+    Ok(cfg)
 }
 
 /// The value following a `--flag`, if present.
@@ -121,6 +145,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--json",
             "--profile",
             "--params",
+            "--machine",
+            "--machine-file",
             "--double-buffer",
             "--no-compiled-exec",
             "--no-hierarchy",
@@ -131,6 +157,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         "run" => &[
             "--size",
             "--profile",
+            "--machine",
+            "--machine-file",
             "--double-buffer",
             "--no-compiled-exec",
             "--no-hierarchy",
@@ -143,6 +171,7 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
             "--size",
             "--params",
             "--machine",
+            "--machine-file",
             "--top",
             "--reps",
             "--exhaustive",
@@ -155,6 +184,8 @@ fn allowed_flags(cmd: &str) -> &'static [&'static str] {
         ],
         "key" => &[
             "--size",
+            "--machine",
+            "--machine-file",
             "--double-buffer",
             "--no-compiled-exec",
             "--no-hierarchy",
@@ -187,6 +218,7 @@ fn validate_flags(cmd: &str, args: &[String]) -> Result<(), String> {
         "--lru",
         "--launch-slots",
         "--machine",
+        "--machine-file",
         "--top",
         "--reps",
         "--random",
@@ -317,11 +349,11 @@ fn usage(msg: &str) -> ExitCode {
          \x20                          (--json: machine-readable two-level dump)\n\
          \x20 emit <kernel> [--cuda]   print the transformed (staged) code\n\
          \x20 search <me|jacobi>       run the paper's tile-size search\n\
-         \x20 run <kernel> [--size N]  functional run on the simulated GPU\n\
+         \x20 run <kernel> [--size N]  functional run on the simulated machine\n\
          \x20 trace <me|jacobi>        phase timeline of a launch\n\
          \x20 key <kernel> [--size N]  print the launch's plan-artifact content address\n\
          \x20 tune <kernel|.poly>      cost-model-pruned mapping search\n\
-         \x20      [--size N] [--machine gpu|cell|host] [--top K] [--reps N]\n\
+         \x20      [--size N] [--machine NAME] [--top K] [--reps N]\n\
          \x20      [--exhaustive] [--smoke] [--json] [--force]\n\
          \x20      [--random N] [--seed S] [--artifact-dir DIR]\n\
          \x20 serve [--addr A] [--threads N] [--lru N] [--launch-slots N]\n\
@@ -329,6 +361,12 @@ fn usage(msg: &str) -> ExitCode {
          \x20                          start the persistent compile service\n\
          \n\
          kernels: me, jacobi, jacobi2d, matmul, conv2d\n\
+         machines: gpu, cell, host, pim, spatial (any registered name)\n\
+         \n\
+         `analyze`/`run`/`key`/`tune` target a machine with\n\
+         --machine NAME (registry lookup) or --machine-file PATH (a\n\
+         declarative TOML machine description; see DESIGN.md for the\n\
+         schema). Unknown machine names are a usage error.\n\
          \n\
          `analyze` and `run` accept --profile (or POLYMEM_PROFILE=1) to\n\
          print a pass-level wall-clock profile; `run` also reports plan\n\
@@ -560,7 +598,10 @@ fn level_json(label: &str, plan: &SmemPlan, ext: &[i64]) -> String {
 /// launch those flags would execute, not a hardcoded default.
 fn analyze_json(name: &str) -> ExitCode {
     let (program, params) = kernel_program(name).expect("checked");
-    let gpu = machine_config();
+    let gpu = match machine_config() {
+        Ok(c) => c,
+        Err(m) => return usage(&m),
+    };
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"kernel\": \"{}\",\n  \"params\": {params:?},\n",
@@ -740,7 +781,10 @@ fn apply_vector_width(gpu: &mut MachineConfig) -> Option<ExitCode> {
 }
 
 fn run(name: &str, size: i64) -> ExitCode {
-    let mut gpu = machine_config();
+    let mut gpu = match machine_config() {
+        Ok(c) => c,
+        Err(m) => return usage(&m),
+    };
     if let Some(exit) = apply_vector_width(&mut gpu) {
         return exit;
     }
@@ -750,10 +794,14 @@ fn run(name: &str, size: i64) -> ExitCode {
     let mut tuned_note = None;
     let kernel = if std::env::args().any(|a| a == "--tuned") {
         // The tune key hashes the base machine: use the same pristine
-        // preset `polymem tune <name>` does (run's execution toggles
-        // are superseded by the winner's anyway), so a prior `tune`
-        // with the same --artifact-dir is found, not re-searched.
-        let mut tune_base = MachineConfig::geforce_8800_gtx();
+        // description `polymem tune <name>` does (run's execution
+        // toggles are superseded by the winner's anyway), so a prior
+        // `tune` with the same --artifact-dir is found, not
+        // re-searched.
+        let mut tune_base = match resolve_machine() {
+            Ok((c, _)) => c,
+            Err(m) => return usage(&m),
+        };
         tune_base.artifact_dir = gpu.artifact_dir.clone();
         match tuned_mapping(name, size, &tune_base) {
             Ok((k, cfg, note)) => {
@@ -897,7 +945,10 @@ fn run(name: &str, size: i64) -> ExitCode {
 /// configuration, and the block-shape parametrization — stable across
 /// processes, so two invocations must print the same 32 hex digits.
 fn key(name: &str, size: i64) -> ExitCode {
-    let mut gpu = machine_config();
+    let mut gpu = match machine_config() {
+        Ok(c) => c,
+        Err(m) => return usage(&m),
+    };
     if let Some(exit) = apply_vector_width(&mut gpu) {
         return exit;
     }
@@ -920,16 +971,11 @@ fn key(name: &str, size: i64) -> ExitCode {
     }
 }
 
-/// `--machine gpu|cell|host` for `tune`: the base machine preset the
-/// search prices and simulates against (default `gpu`).
+/// `--machine NAME` / `--machine-file PATH` for `tune`: the base
+/// machine the search prices and simulates against (default `gpu`).
+/// Any registered description works — unknown names are a usage error.
 fn tune_machine_config() -> Result<(MachineConfig, String), String> {
-    let name = flag_value("--machine").unwrap_or_else(|| "gpu".into());
-    let mut cfg = match name.as_str() {
-        "gpu" => MachineConfig::geforce_8800_gtx(),
-        "cell" => MachineConfig::cell_like(),
-        "host" => MachineConfig::host_cpu(),
-        other => return Err(format!("unknown machine `{other}` (gpu, cell, host)")),
-    };
+    let (mut cfg, name) = resolve_machine()?;
     cfg.artifact_dir = flag_value("--artifact-dir");
     Ok((cfg, name))
 }

@@ -275,3 +275,85 @@ fn run_reuses_persisted_artifacts_across_processes() {
         "artifact hit must skip analysis:\n{out2}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Machine registry: --machine / --machine-file
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_registered_machine_runs_bit_exact() {
+    for m in ["gpu", "cell", "host", "pim", "spatial"] {
+        let (out, _, ok) = polymem(&["run", "matmul", "--size", "8", "--machine", m]);
+        assert!(ok, "{m}: {out}");
+        assert!(out.contains("matches reference"), "{m}: {out}");
+    }
+}
+
+#[test]
+fn unknown_machine_names_are_usage_errors() {
+    let (_, stderr, code) = polymem_code(&["run", "me", "--machine", "quantum"], &[]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("unknown machine"), "{stderr}");
+    assert!(
+        stderr.contains("pim") && stderr.contains("spatial"),
+        "the error must list the registered names: {stderr}"
+    );
+    let (_, _, code) = polymem_code(
+        &["tune", "matmul", "--size", "8", "--machine", "quantum"],
+        &[],
+    );
+    assert_eq!(code, 2);
+    let (_, _, code) = polymem_code(&["key", "me", "--machine", "quantum"], &[]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn machine_file_loads_a_custom_description() {
+    let dir = std::env::temp_dir().join("polymem_cli_machine_file");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lab.toml");
+    let mut d = polymem_machine::desc::spatial();
+    d.name = "labmesh".into();
+    std::fs::write(&path, d.to_toml()).unwrap();
+    let p = path.to_str().unwrap();
+
+    let (out, _, ok) = polymem(&["run", "matmul", "--size", "8", "--machine-file", p]);
+    assert!(ok, "{out}");
+    assert!(out.contains("matches reference"), "{out}");
+
+    // The two selection flags are mutually exclusive.
+    let (_, stderr, code) = polymem_code(
+        &["run", "matmul", "--machine", "gpu", "--machine-file", p],
+        &[],
+    );
+    assert_eq!(code, 2, "{stderr}");
+
+    // A malformed description is a usage error, not a crash.
+    let bad = dir.join("bad.toml");
+    std::fs::write(&bad, "name = \"x\"\nnot_a_key = 1\n").unwrap();
+    let (_, _, code) = polymem_code(
+        &["run", "matmul", "--machine-file", bad.to_str().unwrap()],
+        &[],
+    );
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn machine_keys_are_stable_across_processes_and_differ_per_machine() {
+    // The PIM and spatial presets address artifacts as pure content
+    // hashes: fresh processes agree digit-for-digit.
+    let mut keys = Vec::new();
+    for m in ["gpu", "pim", "spatial"] {
+        let (k1, _, c1) = polymem_code(&["key", "matmul", "--size", "8", "--machine", m], &[]);
+        let (k2, _, c2) = polymem_code(&["key", "matmul", "--size", "8", "--machine", m], &[]);
+        assert_eq!(c1, 0);
+        assert_eq!(c2, 0);
+        assert_eq!(k1, k2, "{m} key must be process-independent");
+        keys.push(k1.trim().to_string());
+    }
+    // Mapping-relevant machine differences address different plans.
+    assert_ne!(keys[0], keys[1], "gpu vs pim");
+    assert_ne!(keys[0], keys[2], "gpu vs spatial");
+    assert_ne!(keys[1], keys[2], "pim vs spatial");
+}

@@ -37,8 +37,8 @@ fn all_kernels_run_identically_on_all_machine_kinds() {
         assert_eq!(
             st.data("Sad").unwrap(),
             reference.data("Sad").unwrap(),
-            "ME mismatch (smem={smem}, kind={:?})",
-            cfg.kind
+            "ME mismatch (smem={smem}, caps={:?})",
+            cfg.caps
         );
     }
 
@@ -123,7 +123,7 @@ fn plan_cache_is_bit_exact_for_every_kernel_and_machine_kind() {
                 st_off.data(out).unwrap(),
                 "cached vs uncached contents differ for {} on {:?}",
                 kernel.program.name,
-                cfg0.kind
+                cfg0.caps
             );
             // Traffic and footprint must also be identical: the
             // instantiated symbolic plan is element-for-element the
